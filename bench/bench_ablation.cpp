@@ -1,0 +1,98 @@
+/// Ablation study of the paper's design choices (DESIGN.md §"shapes to
+/// hold"): each inspector heuristic is swapped for a baseline while the
+/// rest of the pipeline stays fixed, on both a synthetic §5.1 problem and
+/// the C65H132 tiling-v2 workload.
+///
+///  * column assignment: mirrored-cyclic (paper) vs plain cyclic vs LPT;
+///  * block packing: worst-fit (paper) vs first-fit vs best-fit;
+///  * A-chunk prefetch: depth 2 (paper's 25% + 25%) vs depth 1 (none);
+///  * grid rows p: 1 vs 2 vs 4 (B replication vs A broadcast trade-off).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "plan/builder.hpp"
+#include "plan/stats.hpp"
+#include "sim/simulator.hpp"
+
+using namespace bstc;
+using namespace bstc::bench;
+
+namespace {
+
+struct Workload {
+  const char* name;
+  const Shape* a;
+  const Shape* b;
+  const Shape* c;
+};
+
+void run_case(const Workload& w, const MachineModel& machine,
+              const char* label, const PlanConfig& cfg, TextTable& table) {
+  const ExecutionPlan plan = build_plan(*w.a, *w.b, *w.c, machine, cfg);
+  const PlanStats st = compute_stats(plan, *w.a, *w.b, *w.c);
+  const SimResult sim = simulate(plan, *w.a, *w.b, *w.c, machine);
+  table.add_row({w.name, label, fmt_fixed(sim.makespan_s, 2),
+                 fmt_fixed(sim.performance / 1e12, 1),
+                 fmt_fixed(st.gpu_imbalance, 3),
+                 fmt_bytes(st.a_network_bytes),
+                 std::to_string(st.blocks), std::to_string(st.chunks)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation study — swap one inspector heuristic at a time\n"
+      "(16 Summit nodes; synthetic M=48k N=K=192k d=0.5 and C65H132 v2)\n\n");
+
+  const MachineModel machine = MachineModel::summit(16);
+  const SyntheticProblem synth = make_synthetic(48000, 192000, 0.5);
+  const AbcdProblem abcd = c65h132(AbcdConfig::tiling_v2());
+  const Workload workloads[2] = {
+      {"synthetic", &synth.a, &synth.b, &synth.c},
+      {"C65H132/v2", &abcd.t, &abcd.v, &abcd.r},
+  };
+
+  TextTable table({"workload", "variant", "time (s)", "Tflop/s",
+                   "GPU imbalance", "A broadcast", "blocks", "chunks"});
+  for (const Workload& w : workloads) {
+    PlanConfig base;
+    base.p = 2;
+    run_case(w, machine, "paper defaults (p=2)", base, table);
+
+    PlanConfig cyc = base;
+    cyc.assignment = AssignmentPolicy::kCyclic;
+    run_case(w, machine, "assignment: plain cyclic", cyc, table);
+    PlanConfig lpt = base;
+    lpt.assignment = AssignmentPolicy::kLpt;
+    run_case(w, machine, "assignment: LPT greedy", lpt, table);
+
+    PlanConfig ff = base;
+    ff.packing = PackingPolicy::kFirstFit;
+    run_case(w, machine, "packing: first-fit", ff, table);
+    PlanConfig bf = base;
+    bf.packing = PackingPolicy::kBestFit;
+    run_case(w, machine, "packing: best-fit", bf, table);
+
+    PlanConfig nopf = base;
+    nopf.prefetch_depth = 1;
+    run_case(w, machine, "prefetch: off (depth 1)", nopf, table);
+
+    // Disable A-chunking entirely: each chunk holds one tile, so every A
+    // tile transfer is its own pipeline stage (the paper's re-use scheme
+    // of SS3.2.3 switched off).
+    PlanConfig nochunk = base;
+    nochunk.chunk_mem_fraction = 1e-12;
+    run_case(w, machine, "chunking: single-tile chunks", nochunk, table);
+
+    PlanConfig p1 = base;
+    p1.p = 1;
+    run_case(w, machine, "grid: p=1 (no B replication)", p1, table);
+    PlanConfig p4 = base;
+    p4.p = 4;
+    run_case(w, machine, "grid: p=4", p4, table);
+  }
+  print_table("Ablations", table);
+  return 0;
+}

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file bench_c65_scaling.hpp
+/// Shared sweep for paper Figures 7, 8 and 9: the C65H132 ABCD contraction
+/// with tilings v1/v2/v3 on 3..108 V100s.
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "plan/plan.hpp"
+#include "sim/simulator.hpp"
+
+namespace bstc::bench {
+
+struct ScalingPoint {
+  const char* tiling;
+  int gpus = 0;
+  double time_s = 0.0;
+  double tflops = 0.0;
+  double tflops_per_gpu = 0.0;
+  double parallel_efficiency = 0.0;  ///< vs the 3-GPU point of this tiling
+};
+
+/// Run the Figure 7-9 sweep once. Grid: one grid row (p=1) — A/T is tiny
+/// relative to B/V in this problem, so replication of B is not needed to
+/// contain the broadcast.
+inline std::vector<ScalingPoint> run_c65_scaling() {
+  std::vector<ScalingPoint> points;
+  const struct {
+    const char* name;
+    AbcdConfig cfg;
+  } tilings[3] = {{"v1", AbcdConfig::tiling_v1()},
+                  {"v2", AbcdConfig::tiling_v2()},
+                  {"v3", AbcdConfig::tiling_v3()}};
+  for (const auto& [name, cfg] : tilings) {
+    const AbcdProblem p = c65h132(cfg);
+    double t3 = 0.0;
+    for (const int gpus : fig7_gpu_counts()) {
+      const MachineModel machine = MachineModel::summit_gpus(gpus);
+      PlanConfig plan_cfg;  // p = 1
+      const SimResult r =
+          simulate_contraction(p.t, p.v, p.r, machine, plan_cfg);
+      ScalingPoint point;
+      point.tiling = name;
+      point.gpus = gpus;
+      point.time_s = r.makespan_s;
+      point.tflops = r.performance / 1e12;
+      point.tflops_per_gpu = r.per_gpu_performance / 1e12;
+      if (gpus == 3) t3 = r.makespan_s;
+      point.parallel_efficiency =
+          t3 > 0.0 ? (t3 * 3.0) / (r.makespan_s * gpus) : 1.0;
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+}  // namespace bstc::bench

@@ -1,0 +1,34 @@
+/// Reproduces paper Figure 3: theoretical (maximum) arithmetic intensity
+/// of the synthetic problem as a function of N=K and density.
+///
+/// AI = flops / bytes(A + B + C) — an upper bound realized only if every
+/// matrix is loaded to the device exactly once. Expected shape: grows with
+/// N=K (more operations per byte of A) and collapses with density.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace bstc;
+using namespace bstc::bench;
+
+int main() {
+  std::printf(
+      "Figure 3 — maximum arithmetic intensity (flop/byte), M = 48k\n\n");
+
+  TextTable table({"N=K", "density", "AI (flop/byte)", "flop (T)",
+                   "bytes A+B+C (GB)"});
+  for (const double density : fig2_densities()) {
+    for (const Index n : fig2_sizes()) {
+      const SyntheticProblem p = make_synthetic(kFig2M, n, density);
+      const double ai = arithmetic_intensity(p.a, p.b, p.c);
+      const double bytes =
+          p.a.nnz_bytes() + p.b.nnz_bytes() + p.c.nnz_bytes();
+      const double flops = contraction_stats(p.a, p.b).flops;
+      table.add_row({fmt_group(n), fmt_fixed(density, 2), fmt_fixed(ai, 0),
+                     fmt_fixed(flops / 1e12, 0), fmt_fixed(bytes / 1e9, 1)});
+    }
+  }
+  print_table("Figure 3 (arithmetic intensity)", table);
+  return 0;
+}

@@ -1,0 +1,38 @@
+/// Reproduces paper Figure 4: time to completion of the synthetic problem
+/// as a function of N=K and density on 16 Summit nodes.
+///
+/// Expected shape: although sparser problems run at a lower flop rate
+/// (Figure 2), their flop count shrinks faster, so time-to-solution
+/// *decreases* with density for every size.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/simulator.hpp"
+
+using namespace bstc;
+using namespace bstc::bench;
+
+int main() {
+  const MachineModel machine = MachineModel::summit(16);
+  PlanConfig plan_cfg;
+  plan_cfg.p = 2;
+
+  std::printf(
+      "Figure 4 — time to completion vs N=K and density, 16 Summit nodes\n"
+      "M = 48k, tiles U(512, 2048), grid 2 x 8\n\n");
+
+  TextTable table({"N=K", "density", "time (s)", "Tflop/s"});
+  for (const double density : fig2_densities()) {
+    for (const Index n : fig2_sizes()) {
+      const SyntheticProblem p = make_synthetic(kFig2M, n, density);
+      const SimResult r =
+          simulate_contraction(p.a, p.b, p.c, machine, plan_cfg);
+      table.add_row({fmt_group(n), fmt_fixed(density, 2),
+                     fmt_fixed(r.makespan_s, 2),
+                     fmt_fixed(r.performance / 1e12, 1)});
+    }
+  }
+  print_table("Figure 4 (time to completion)", table);
+  return 0;
+}

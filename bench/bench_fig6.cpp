@@ -1,0 +1,53 @@
+/// Reproduces paper Figure 6: tile-size (MBytes) distributions of the
+/// C65H132 problem for tilings v1, v2 and v3.
+///
+/// Expected shape: v1 tiles cluster around a few MB; v2 spreads to tens of
+/// MB; v3 reaches beyond a hundred MB — coarser clusterings give larger
+/// and more irregular tiles.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "support/histogram.hpp"
+
+using namespace bstc;
+using namespace bstc::bench;
+
+namespace {
+
+void emit(const char* name, const AbcdProblem& p, double hi_mb) {
+  // Tile sizes of the B matrix (ao2 x ao2 tiles), as in the paper: "All
+  // input matrices use a similar block distribution".
+  std::vector<double> sizes_mb;
+  for (std::size_t r = 0; r < p.v.tile_rows(); ++r) {
+    const double rows = static_cast<double>(p.ao2_tiling.tile_extent(r));
+    for (std::size_t c = 0; c < p.v.tile_cols(); ++c) {
+      if (!p.v.nonzero(r, c)) continue;
+      const double cols = static_cast<double>(p.ao2_tiling.tile_extent(c));
+      sizes_mb.push_back(rows * cols * 8.0 / 1e6);
+    }
+  }
+  Histogram hist(0.0, hi_mb, 24);
+  hist.add_all(sizes_mb);
+  double mean = 0.0, max = 0.0;
+  for (const double s : sizes_mb) {
+    mean += s;
+    max = std::max(max, s);
+  }
+  mean /= static_cast<double>(sizes_mb.size());
+  std::printf("%s: %zu nonzero tiles, mean %.2f MB, max %.2f MB\n%s\n", name,
+              sizes_mb.size(), mean, max, hist.render(60).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 6 — tile size distribution (MB) for tilings v1/v2/v3\n"
+      "(paper: v1 ~2.5-5.5 MB, v2 up to ~40 MB, v3 up to ~200 MB)\n\n");
+  emit("v1", c65h132(AbcdConfig::tiling_v1()), 8.0);
+  emit("v2", c65h132(AbcdConfig::tiling_v2()), 48.0);
+  emit("v3", c65h132(AbcdConfig::tiling_v3()), 220.0);
+  return 0;
+}

@@ -1,0 +1,56 @@
+/// Reproduces the paper's §5 GEMM-peak measurement protocol:
+/// "we ran a single GEMM operation on large matrices that were
+/// pre-initialized in the GPU memory, repeated the operation 10 times,
+/// and took the fastest run" -> 7.2 Tflop/s per V100.
+///
+/// Here the protocol runs twice: once against the machine model's V100
+/// roofline (recovering the 7.2 Tflop/s practical peak the model was
+/// calibrated to) and once for real on this host's CPU GEMM kernel (the
+/// kernel that the real executor uses), reporting its measured peak.
+
+#include <cstdio>
+
+#include "machine/machine.hpp"
+#include "support/format.hpp"
+#include "support/timer.hpp"
+#include "tile/gemm.hpp"
+
+using namespace bstc;
+
+int main() {
+  // --- Model: V100 practical peak per the paper's protocol. ---
+  const GpuSpec gpu;
+  double best_model = 0.0;
+  for (int rep = 0; rep < 10; ++rep) {
+    const Index n = 8192;
+    const double t = gpu.gemm_time(n, n, n);
+    best_model = std::max(best_model,
+                          2.0 * static_cast<double>(n) * n * n / t);
+  }
+  std::printf("V100 model practical GEMM peak: %s (paper: 7.2 Tflop/s)\n",
+              fmt_flops(best_model).c_str());
+  std::printf("  efficiency at 728^3: %.1f%% (paper: ~peak at 728x728)\n",
+              100.0 * gpu.gemm_efficiency(728, 728, 728));
+  std::printf("  efficiency at  64^3: %.1f%%\n",
+              100.0 * gpu.gemm_efficiency(64, 64, 64));
+
+  // --- Real: this host's CPU kernel, best of 10 on resident data. ---
+  const Index n = 256;
+  Rng rng(1);
+  Tile a(n, n), b(n, n), c(n, n);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  gemm(1.0, a, b, 0.0, c);  // warm up
+  double best_real = 0.0;
+  for (int rep = 0; rep < 10; ++rep) {
+    Timer timer;
+    gemm(1.0, a, b, 0.0, c);
+    const double t = timer.elapsed_s();
+    best_real = std::max(best_real, gemm_flops(a, b) / t);
+  }
+  std::printf(
+      "host CPU blocked-GEMM kernel peak (%lldx%lldx%lld, best of 10): %s\n",
+      static_cast<long long>(n), static_cast<long long>(n),
+      static_cast<long long>(n), fmt_flops(best_real).c_str());
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// \file bsp_vs_dataflow.cpp
+/// The paper's §1 argument made quantitative: "computation with such
+/// irregular data structures is a poor match to the dominant imperative,
+/// bulk-synchronous parallel programming model."
+///
+/// Runs the SAME irregular block-sparse product twice — once through the
+/// classic BSP SUMMA schedule (synchronized broadcast steps) and once
+/// through the dataflow engine (inspector + task runtime) — both with
+/// exact numerics, and compares their step imbalance, idle fraction and
+/// broadcast traffic across densities.
+
+#include <cstdio>
+
+#include "baseline/summa.hpp"
+#include "bsm/block_sparse_matrix.hpp"
+#include "core/engine.hpp"
+#include "shape/shape_algebra.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+using namespace bstc;
+
+int main() {
+  std::printf(
+      "BSP (SUMMA) vs dataflow (inspector + runtime) on one irregular\n"
+      "block-sparse product, 2 x 2 grid, exact numerics for both.\n\n");
+
+  TextTable table({"density", "BSP step imbalance", "BSP idle slots",
+                   "BSP bcast (A+B)", "dataflow A bcast",
+                   "dataflow GPU imbalance", "match"});
+  for (const double density : {1.0, 0.5, 0.2, 0.1}) {
+    Rng rng(static_cast<std::uint64_t>(density * 1000) + 3);
+    const Tiling mt = Tiling::random_uniform(120, 8, 32, rng);
+    const Tiling kt = Tiling::random_uniform(360, 8, 32, rng);
+    const Tiling nt = Tiling::random_uniform(360, 8, 32, rng);
+    const Shape sa = Shape::random(mt, kt, density, rng);
+    const Shape sb = Shape::random(kt, nt, density, rng);
+    const Shape sc = contract_shape(sa, sb);
+    const BlockSparseMatrix a = BlockSparseMatrix::random(sa, rng);
+    const BlockSparseMatrix b = BlockSparseMatrix::random(sb, rng);
+
+    // BSP baseline.
+    const SummaResult bsp = summa_multiply(a, b, sc, 2, 2);
+
+    // Dataflow engine on 4 nodes / 4 GPUs (2 x 2 grid).
+    MachineModel machine = MachineModel::summit(4);
+    machine.node.gpus = 1;
+    machine.gpu_total = 4;
+    machine.node.gpu.memory_bytes = 1.0e6;
+    EngineConfig cfg;
+    cfg.plan.p = 2;
+    const Tiling kt_copy = kt;
+    const TileGenerator b_gen = [&b](std::size_t r, std::size_t c) {
+      return b.tile(r, c);
+    };
+    (void)kt_copy;
+    const EngineResult df =
+        contract(a, sb, b_gen, sc, nullptr, machine, cfg);
+
+    const double err = df.c.max_abs_diff(bsp.c);
+    table.add_row(
+        {fmt_fixed(density, 2), fmt_fixed(bsp.mean_step_imbalance, 2) + "x",
+         fmt_percent(bsp.idle_fraction),
+         fmt_bytes(bsp.a_broadcast_bytes + bsp.b_broadcast_bytes),
+         fmt_bytes(df.a_network_bytes),
+         fmt_fixed(df.plan_stats.gpu_imbalance, 2) + "x",
+         err < 1e-10 ? "exact" : "MISMATCH"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected shape: as density falls, the BSP schedule idles more of\n"
+      "its rank-step slots and its per-step imbalance grows (fewer, more\n"
+      "irregular updates per synchronized step), while the dataflow\n"
+      "engine's whole-run imbalance stays mild and B never moves between\n"
+      "nodes at all.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+/// \file molecule_zoo.cpp
+/// The paper's closing conjecture, tested: "different molecules have the
+/// potential to provide much denser and compute-intensive input matrices,
+/// thereby (likely) enabling our algorithm to reach higher peak
+/// performance."
+///
+/// Builds the ABCD problem for four molecular shapes of ~equal atom count
+/// — chain (the paper's case), ring, helix and a compact 3-D cluster —
+/// with identical physical cutoffs, and compares density, flops and
+/// simulated performance on 96 V100s.
+
+#include <cstdio>
+
+#include "chem/abcd3d.hpp"
+#include "chem/molecule.hpp"
+#include "machine/machine.hpp"
+#include "sim/simulator.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+using namespace bstc;
+
+int main() {
+  std::printf(
+      "Molecule zoo — geometry vs density vs achieved performance\n"
+      "(~65 carbons each, identical cutoffs, 96 V100s)\n\n");
+
+  struct Entry {
+    const char* name;
+    Molecule molecule;
+  };
+  // The compact ball is nearly dense (its screened problem approaches the
+  // full O^2 U^4 operation count), so it is run at a reduced size and a
+  // coarser clustering to keep this example quick.
+  const Entry zoo[] = {
+      {"chain  (paper)", Molecule::alkane(65)},
+      {"ring", Molecule::ring(65)},
+      {"helix", Molecule::helix(65)},
+      {"compact ball", Molecule::compact(30)},
+  };
+
+  const MachineModel machine = MachineModel::summit(16);
+  TextTable table({"molecule", "formula", "U", "O", "density V", "flop",
+                   "time (s)", "Tflop/s", "% peak"});
+  for (const Entry& entry : zoo) {
+    const OrbitalSystem3 sys = OrbitalSystem3::build(entry.molecule);
+    AbcdConfig cfg;  // v1 cutoffs; granularity scaled to the atom count
+    cfg.ao_clusters = entry.molecule.count(Element::kC);
+    if (cfg.ao_clusters < 40) {
+      cfg.ao_clusters = 24;  // coarser tiles for the dense compact case
+      cfg.occ_clusters = 5;
+    }
+    const AbcdProblem3 p = build_abcd_3d(sys, cfg);
+    const AbcdTraits tr = abcd_traits(p);
+    PlanConfig plan_cfg;
+    const SimResult sim =
+        simulate_contraction(p.t, p.v, p.r, machine, plan_cfg);
+    table.add_row(
+        {entry.name, entry.molecule.formula(), std::to_string(sys.num_ao()),
+         std::to_string(sys.num_occ()), fmt_percent(tr.density_v),
+         fmt_flop_count(tr.flops), fmt_fixed(sim.makespan_s, 1),
+         fmt_fixed(sim.performance / 1e12, 1),
+         fmt_percent(sim.performance / machine.aggregate_gpu_peak())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected shape: the compact 3-D cluster is much denser than the\n"
+      "chain, carries far more flops, and sustains a higher fraction of\n"
+      "GPU peak — the trend the paper predicts for such molecules.\n");
+  return 0;
+}

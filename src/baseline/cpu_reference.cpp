@@ -1,0 +1,24 @@
+#include "baseline/cpu_reference.hpp"
+
+#include "shape/shape_algebra.hpp"
+#include "support/error.hpp"
+
+namespace bstc {
+
+CpuRefResult simulate_cpu_reference(const Shape& a, const Shape& b,
+                                    const Shape& c,
+                                    const MachineModel& machine,
+                                    const CpuRefConfig& cfg) {
+  BSTC_REQUIRE(cfg.efficiency > 0.0 && cfg.efficiency <= 1.0,
+               "efficiency must be in (0, 1]");
+  const ContractionStats stats = contraction_stats(a, b, c);
+  CpuRefResult result;
+  result.per_node_performance =
+      machine.node.cpu_peak_flops * cfg.efficiency;
+  result.performance =
+      result.per_node_performance * static_cast<double>(machine.nodes);
+  result.time_s = stats.flops / result.performance;
+  return result;
+}
+
+}  // namespace bstc

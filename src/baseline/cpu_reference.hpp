@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file cpu_reference.hpp
+/// MPQC-style CPU-only reference model (paper §5.2).
+///
+/// The paper compares against the CPU-only ABCD implementation in MPQC:
+/// {8, 16} Summit nodes (672 cores total at 16 nodes) completed in
+/// {308, 158} s, i.e. ~17% of a 2 Tflop/s per-node peak. The reference
+/// model reproduces that arithmetic so the "~10x from GPUs on the same
+/// nodes" comparison can be regenerated.
+
+#include "machine/machine.hpp"
+#include "shape/shape.hpp"
+
+namespace bstc {
+
+/// CPU reference configuration.
+struct CpuRefConfig {
+  /// Fraction of CPU peak sustained by the CPU-only tensor code
+  /// (paper §5.2 estimates ~17% for MPQC on Summit).
+  double efficiency = 0.17;
+};
+
+/// Outcome of the CPU-only run model.
+struct CpuRefResult {
+  double time_s = 0.0;
+  double performance = 0.0;       ///< sustained flop/s
+  double per_node_performance = 0.0;
+};
+
+/// Model the CPU-only evaluation of the product on `nodes` nodes.
+CpuRefResult simulate_cpu_reference(const Shape& a, const Shape& b,
+                                    const Shape& c,
+                                    const MachineModel& machine,
+                                    const CpuRefConfig& cfg = {});
+
+}  // namespace bstc

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file dbcsr.hpp
+/// libDBCSR-style baseline: Cannon-algorithm block-sparse multiplication
+/// with one GPU per MPI rank (paper §5.1 and §6.2).
+///
+/// The paper benchmarks libDBCSR on the same synthetic problems and
+/// observes two behaviours our model reproduces:
+///  1. capacity failures — DBCSR keeps each rank's share of all three
+///     matrices plus shift buffers resident on its single GPU, so large
+///     dense problems abort with CUDA allocation errors ("assumes that a
+///     part of the data bigger than the available memory on each GPU
+///     should fit in memory");
+///  2. lower throughput — one GPU per rank means many more ranks, a
+///     bulk-synchronous shift schedule with no compute/communication
+///     overlap across steps, and per-step host-device restaging.
+
+#include <string>
+
+#include "machine/machine.hpp"
+#include "shape/shape.hpp"
+
+namespace bstc {
+
+/// Model parameters of the baseline.
+struct DbcsrConfig {
+  /// Device working-set multiplier over (local A + local B + local C):
+  /// shift double-buffers and staging. Calibrated so the paper's failing
+  /// configuration (M=48k, N=K=192k dense on 96 V100s) exceeds 16 GB.
+  double buffer_factor = 4.0;
+  /// Ceiling on the fraction of GPU peak DBCSR's stack-driven kernel path
+  /// reaches on irregular blocks (Schutt et al. [44] report <= 27% of
+  /// peak even on favourable problems).
+  double kernel_efficiency_cap = 0.17;
+};
+
+/// Outcome of one baseline run.
+struct DbcsrResult {
+  bool feasible = true;        ///< false = CUDA allocation failure
+  std::string failure;         ///< reason when !feasible
+  int grid_rows = 0;           ///< process grid used
+  int grid_cols = 0;
+  double time_s = 0.0;
+  double performance = 0.0;    ///< flop/s when feasible
+  double device_bytes = 0.0;   ///< modelled per-rank device footprint
+};
+
+/// Simulate the baseline on a fixed process grid (rows*cols ranks, one
+/// GPU each).
+DbcsrResult simulate_dbcsr(const Shape& a, const Shape& b, const Shape& c,
+                           const MachineModel& machine, int grid_rows,
+                           int grid_cols, const DbcsrConfig& cfg = {});
+
+/// Try every process grid factorization of the machine's GPU count and
+/// return the best feasible result (the paper ran "all process grids
+/// achievable with 96 processes and kept the best performing parameters");
+/// returns an infeasible result when no grid fits.
+DbcsrResult simulate_dbcsr_best(const Shape& a, const Shape& b,
+                                const Shape& c, const MachineModel& machine,
+                                const DbcsrConfig& cfg = {});
+
+}  // namespace bstc

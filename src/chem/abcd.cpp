@@ -1,0 +1,207 @@
+#include "chem/abcd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "shape/shape_algebra.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "tiling/cluster.hpp"
+
+namespace bstc {
+
+AbcdConfig AbcdConfig::tiling_v1() { return AbcdConfig{}; }
+
+AbcdConfig AbcdConfig::tiling_v2() {
+  AbcdConfig cfg;
+  cfg.occ_clusters = 7;
+  cfg.ao_clusters = 55;
+  return cfg;
+}
+
+AbcdConfig AbcdConfig::tiling_v3() {
+  AbcdConfig cfg;
+  cfg.occ_clusters = 5;
+  cfg.ao_clusters = 40;
+  return cfg;
+}
+
+AbcdProblem build_abcd(const OrbitalSystem& system, const AbcdConfig& cfg) {
+  BSTC_REQUIRE(!system.ao_centers.empty() && !system.occ_centers.empty(),
+               "orbital system must be populated");
+  Rng rng(cfg.seed);
+
+  // --- Cluster the index ranges (paper [29]) ---------------------------
+  const Clustering occ = kmeans_1d(system.occ_centers, cfg.occ_clusters, rng);
+  const Clustering ao = kmeans_1d(system.ao_centers, cfg.ao_clusters, rng);
+  const std::size_t n_occ_cl = occ.sizes.size();
+  const std::size_t n_ao_cl = ao.sizes.size();
+
+  AbcdProblem problem;
+  problem.ao_cluster_center = ao.centroids;
+  problem.ao_cluster_size.assign(n_ao_cl, 0);
+  for (std::size_t c = 0; c < n_ao_cl; ++c) {
+    problem.ao_cluster_size[c] = static_cast<Index>(ao.sizes[c]);
+  }
+  // AO cluster intervals (clusters are contiguous runs of the sorted
+  // centers).
+  {
+    std::vector<double> sorted_ao(system.ao_centers);
+    std::sort(sorted_ao.begin(), sorted_ao.end());
+    problem.ao_cluster_lo.assign(n_ao_cl, 0.0);
+    problem.ao_cluster_hi.assign(n_ao_cl, 0.0);
+    std::size_t idx = 0;
+    for (std::size_t c = 0; c < n_ao_cl; ++c) {
+      problem.ao_cluster_lo[c] = sorted_ao[idx];
+      idx += ao.sizes[c];
+      problem.ao_cluster_hi[c] = sorted_ao[idx - 1];
+    }
+  }
+
+  // --- Screened occupied pair list -------------------------------------
+  // occ_centers are sorted, and kmeans assignments refer to the sorted
+  // order, so occ.assignment[i] is the cluster of orbital i directly.
+  std::vector<double> sorted_occ(system.occ_centers);
+  std::sort(sorted_occ.begin(), sorted_occ.end());
+  const std::size_t n_occ = sorted_occ.size();
+
+  std::vector<Index> pair_count(n_occ_cl * n_occ_cl, 0);
+  std::vector<double> pair_center_sum(n_occ_cl * n_occ_cl, 0.0);
+  std::vector<double> pair_lo(n_occ_cl * n_occ_cl, 1e300);
+  std::vector<double> pair_hi(n_occ_cl * n_occ_cl, -1e300);
+  for (std::size_t i = 0; i < n_occ; ++i) {
+    for (std::size_t j = cfg.symmetric_pairs ? i : 0; j < n_occ; ++j) {
+      if (std::abs(sorted_occ[i] - sorted_occ[j]) > cfg.pair_cutoff) continue;
+      const std::size_t tile =
+          occ.assignment[i] * n_occ_cl + occ.assignment[j];
+      const double mid = 0.5 * (sorted_occ[i] + sorted_occ[j]);
+      ++pair_count[tile];
+      pair_center_sum[tile] += mid;
+      pair_lo[tile] = std::min(pair_lo[tile], mid);
+      pair_hi[tile] = std::max(pair_hi[tile], mid);
+    }
+  }
+  std::vector<Index> pair_extents;
+  for (std::size_t ti = 0; ti < n_occ_cl; ++ti) {
+    for (std::size_t tj = 0; tj < n_occ_cl; ++tj) {
+      const std::size_t tile = ti * n_occ_cl + tj;
+      if (pair_count[tile] == 0) continue;
+      PairTile pt;
+      pt.cluster_i = ti;
+      pt.cluster_j = tj;
+      pt.extent = pair_count[tile];
+      pt.center = pair_center_sum[tile] / static_cast<double>(pair_count[tile]);
+      pt.lo = pair_lo[tile];
+      pt.hi = pair_hi[tile];
+      problem.pair_tiles.push_back(pt);
+      pair_extents.push_back(pt.extent);
+    }
+  }
+  BSTC_REQUIRE(!pair_extents.empty(), "pair cutoff removed every pair");
+  problem.pair_tiling = Tiling::from_extents(pair_extents);
+
+  // --- Fused AO-pair tiling (cd and ab ranges) -------------------------
+  std::vector<Index> ao2_extents;
+  ao2_extents.reserve(n_ao_cl * n_ao_cl);
+  for (std::size_t c = 0; c < n_ao_cl; ++c) {
+    for (std::size_t d = 0; d < n_ao_cl; ++d) {
+      ao2_extents.push_back(problem.ao_cluster_size[c] *
+                            problem.ao_cluster_size[d]);
+    }
+  }
+  problem.ao2_tiling = Tiling::from_extents(ao2_extents);
+
+  // Interval-to-interval distance on the chain axis (0 when overlapping):
+  // a tile survives a screen when *any* of its elements would, matching
+  // norm-based tile screening.
+  const auto interval_dist = [](double lo1, double hi1, double lo2,
+                                double hi2) {
+    return std::max({0.0, lo2 - hi1, lo1 - hi2});
+  };
+  const auto ao_dist = [&](std::size_t c1, std::size_t c2) {
+    return interval_dist(problem.ao_cluster_lo[c1], problem.ao_cluster_hi[c1],
+                         problem.ao_cluster_lo[c2], problem.ao_cluster_hi[c2]);
+  };
+  const auto pair_ao_dist = [&](const PairTile& pt, std::size_t c) {
+    return interval_dist(pt.lo, pt.hi, problem.ao_cluster_lo[c],
+                         problem.ao_cluster_hi[c]);
+  };
+
+  // --- T shape: AO pair (c,d) near the occupied pair tile --------------
+  problem.t = Shape(problem.pair_tiling, problem.ao2_tiling);
+  for (std::size_t row = 0; row < problem.pair_tiles.size(); ++row) {
+    const PairTile& pt = problem.pair_tiles[row];
+    for (std::size_t c = 0; c < n_ao_cl; ++c) {
+      if (pair_ao_dist(pt, c) > cfg.t_cutoff) continue;
+      for (std::size_t d = 0; d < n_ao_cl; ++d) {
+        if (pair_ao_dist(pt, d) > cfg.t_cutoff) continue;
+        problem.t.set(row, c * n_ao_cl + d);
+      }
+    }
+  }
+
+  // --- V shape: charge distributions (c,a) and (d,b) overlap -----------
+  problem.v = Shape(problem.ao2_tiling, problem.ao2_tiling);
+  std::vector<std::vector<std::size_t>> near(n_ao_cl);
+  for (std::size_t c = 0; c < n_ao_cl; ++c) {
+    for (std::size_t x = 0; x < n_ao_cl; ++x) {
+      if (ao_dist(c, x) <= cfg.v_cutoff) near[c].push_back(x);
+    }
+  }
+  for (std::size_t c = 0; c < n_ao_cl; ++c) {
+    for (std::size_t d = 0; d < n_ao_cl; ++d) {
+      const std::size_t row = c * n_ao_cl + d;
+      for (const std::size_t av : near[c]) {
+        for (const std::size_t bv : near[d]) {
+          problem.v.set(row, av * n_ao_cl + bv);
+        }
+      }
+    }
+  }
+
+  // --- R shape: closure of (T, V) intersected with a locality screen ---
+  const Shape closure = contract_shape(problem.t, problem.v);
+  problem.r = Shape(problem.pair_tiling, problem.ao2_tiling);
+  for (std::size_t row = 0; row < problem.pair_tiles.size(); ++row) {
+    const PairTile& pt = problem.pair_tiles[row];
+    for (std::size_t av = 0; av < n_ao_cl; ++av) {
+      if (pair_ao_dist(pt, av) > cfg.r_cutoff) continue;
+      for (std::size_t bv = 0; bv < n_ao_cl; ++bv) {
+        if (pair_ao_dist(pt, bv) > cfg.r_cutoff) continue;
+        const std::size_t col = av * n_ao_cl + bv;
+        if (closure.nonzero(row, col)) problem.r.set(row, col);
+      }
+    }
+  }
+  return problem;
+}
+
+AbcdTraits compute_abcd_traits(const Tiling& pair_tiling,
+                               const Tiling& ao2_tiling, const Shape& t,
+                               const Shape& v, const Shape& r) {
+  AbcdTraits tr;
+  tr.m = pair_tiling.extent();
+  tr.n = ao2_tiling.extent();
+  tr.k = ao2_tiling.extent();
+  const ContractionStats plain = contraction_stats(t, v);
+  const ContractionStats opt = contraction_stats(t, v, r);
+  tr.flops = plain.flops;
+  tr.flops_opt = opt.flops;
+  tr.gemm_tasks = plain.gemm_tasks;
+  tr.gemm_tasks_opt = opt.gemm_tasks;
+  tr.avg_rows_per_tile = pair_tiling.mean_tile_extent();
+  tr.avg_cols_per_tile = ao2_tiling.mean_tile_extent();
+  tr.min_col_tile = ao2_tiling.min_tile_extent();
+  tr.max_col_tile = ao2_tiling.max_tile_extent();
+  tr.density_t = t.density();
+  tr.density_v = v.density();
+  tr.density_r = r.density();
+  return tr;
+}
+
+AbcdTraits abcd_traits(const AbcdProblem& problem) {
+  return compute_abcd_traits(problem.pair_tiling, problem.ao2_tiling,
+                             problem.t, problem.v, problem.r);
+}
+
+}  // namespace bstc

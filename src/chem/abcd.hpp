@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file abcd.hpp
+/// The ABCD coupled-cluster workload (paper §2, §5.2):
+///
+///   R^{ij}_{ab} = sum_{cd} T^{ij}_{cd} V^{cd}_{ab}
+///
+/// matricized as C <- C + A*B with A = T (rows: screened occupied pairs
+/// ij, columns: fused AO pairs cd), B = V (cd x ab, square), C = R.
+///
+/// Sparsity and tiling derive from geometry exactly as in the paper's
+/// reduced-scaling formalism:
+///  * index ranges are tiled by 1-D k-means clustering of orbital centers
+///    (occupied orbitals and AOs), per [29];
+///  * the ij row space is a *screened pair list*: pair (i,j) is kept when
+///    the two localized orbitals are within `pair_cutoff`; row tiles are
+///    occupied-cluster pairs holding at least one kept pair;
+///  * T(ij-tile, cd-tile) is nonzero when both AO clusters c and d come
+///    within `t_cutoff` of the pair tile (interval-to-interval distance,
+///    i.e. a tile survives if *any* of its elements survives — the norm
+///    screening used by reduced-scaling codes, which also reproduces the
+///    paper's observation that coarser tilings are denser);
+///  * V(cd-tile, ab-tile) is nonzero when clusters (c, a) and (d, b) come
+///    within `v_cutoff` of each other (the two-electron integral (ca|db)
+///    requires both charge distributions to overlap);
+///  * R's shape is the contraction closure of (T, V) intersected with an
+///    `r_cutoff` locality screen — the paper's "(opt.)" sparse shape
+///    determined "from the sparse shapes of tensors T and V" [10].
+///
+/// Cutoff defaults are calibrated so the C65H132 problem reproduces the
+/// paper's Table 1 (M, N, K exact; densities and flop counts close).
+
+#include <cstdint>
+
+#include "chem/orbitals.hpp"
+#include "shape/shape.hpp"
+#include "tiling/tiling.hpp"
+
+namespace bstc {
+
+/// Workload parameters. Cluster counts define the tiling granularity
+/// (paper tilings v1/v2/v3); physical cutoffs are tiling-independent, so
+/// coarser tilings naturally show higher density and flop counts, exactly
+/// the paper's observed trade-off.
+struct AbcdConfig {
+  std::size_t occ_clusters = 8;  ///< v1: 8 -> up to 64 pair tiles (Fig. 5)
+  std::size_t ao_clusters = 65;  ///< v1: 65 -> 4225 fused cd tiles (Fig. 5)
+  double pair_cutoff = 36.8;     ///< Angstrom; calibrated to M ~ 26576
+  double t_cutoff = 8.65;        ///< calibrated to density(T) ~ 9.8%
+  double v_cutoff = 6.35;        ///< calibrated to density(V) ~ 2.4%
+  double r_cutoff = 11.65;       ///< calibrated to density(R) ~ 14.9%
+  std::uint64_t seed = 7;        ///< k-means initialisation seed
+  /// Exploit the i<->j permutational symmetry of T and R: keep only
+  /// ordered pairs i <= j, roughly halving M and the operation count.
+  /// The paper neglects this "for simplicity" (§2 footnote: "the
+  /// permutational symmetries ... which are essential for proper physics
+  /// as well as attaining the optimal operation count"); enabling it is
+  /// the optimal-operation-count variant.
+  bool symmetric_pairs = false;
+
+  /// The paper's three tilings, fine to coarse (Table 1).
+  static AbcdConfig tiling_v1();
+  static AbcdConfig tiling_v2();
+  static AbcdConfig tiling_v3();
+};
+
+/// Metadata of one row tile of T/R (an occupied-cluster pair).
+struct PairTile {
+  std::size_t cluster_i = 0;  ///< occupied cluster of index i
+  std::size_t cluster_j = 0;  ///< occupied cluster of index j
+  Index extent = 0;           ///< kept pairs in this tile
+  double center = 0.0;        ///< mean chain coordinate of the pair tile
+  double lo = 0.0;            ///< smallest pair midpoint in the tile
+  double hi = 0.0;            ///< largest pair midpoint in the tile
+};
+
+/// The fully-built block-sparse problem.
+struct AbcdProblem {
+  Tiling pair_tiling;  ///< rows of T/R (extent M)
+  Tiling ao2_tiling;   ///< fused AO pairs (extent N = K = U^2)
+  Shape t;             ///< A shape (M x K)
+  Shape v;             ///< B shape (K x N)
+  Shape r;             ///< C shape (M x N), screened closure
+  std::vector<PairTile> pair_tiles;       ///< one per row tile
+  std::vector<double> ao_cluster_center;  ///< per AO cluster
+  std::vector<double> ao_cluster_lo;      ///< leftmost AO center per cluster
+  std::vector<double> ao_cluster_hi;      ///< rightmost AO center per cluster
+  std::vector<Index> ao_cluster_size;     ///< per AO cluster
+
+  Index m() const { return pair_tiling.extent(); }
+  Index n() const { return ao2_tiling.extent(); }
+  Index k() const { return ao2_tiling.extent(); }
+};
+
+/// The traits the paper reports in Table 1.
+struct AbcdTraits {
+  Index m = 0, n = 0, k = 0;
+  double flops = 0.0;            ///< all contributing tile GEMMs
+  double flops_opt = 0.0;        ///< restricted to R's screened shape
+  std::size_t gemm_tasks = 0;
+  std::size_t gemm_tasks_opt = 0;
+  double avg_rows_per_tile = 0.0;  ///< mean pair-tile extent
+  double avg_cols_per_tile = 0.0;  ///< mean fused-AO-tile extent
+  Index min_col_tile = 0, max_col_tile = 0;
+  double density_t = 0.0, density_v = 0.0, density_r = 0.0;
+};
+
+/// Build the ABCD problem for an orbital system.
+AbcdProblem build_abcd(const OrbitalSystem& system, const AbcdConfig& cfg);
+
+/// Compute the Table-1 traits of a built problem.
+AbcdTraits abcd_traits(const AbcdProblem& problem);
+
+/// Traits from raw tilings + shapes (shared by the 1-D and 3-D builders).
+AbcdTraits compute_abcd_traits(const Tiling& pair_tiling,
+                               const Tiling& ao2_tiling, const Shape& t,
+                               const Shape& v, const Shape& r);
+
+}  // namespace bstc

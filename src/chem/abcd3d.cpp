@@ -1,0 +1,121 @@
+#include "chem/abcd3d.hpp"
+
+#include <algorithm>
+
+#include "shape/shape_algebra.hpp"
+#include "support/error.hpp"
+#include "tiling/cluster.hpp"
+
+namespace bstc {
+
+AbcdProblem3 build_abcd_3d(const OrbitalSystem3& system,
+                           const AbcdConfig& cfg) {
+  BSTC_REQUIRE(!system.ao_centers.empty() && !system.occ_centers.empty(),
+               "orbital system must be populated");
+
+  const Clustering3 occ = kmeans_points(system.occ_centers, cfg.occ_clusters);
+  const Clustering3 ao = kmeans_points(system.ao_centers, cfg.ao_clusters);
+  const std::size_t n_occ_cl = occ.sizes.size();
+  const std::size_t n_ao_cl = ao.sizes.size();
+
+  AbcdProblem3 problem;
+  problem.ao_boxes = ao.boxes;
+  problem.ao_cluster_size.assign(n_ao_cl, 0);
+  for (std::size_t c = 0; c < n_ao_cl; ++c) {
+    problem.ao_cluster_size[c] = static_cast<Index>(ao.sizes[c]);
+  }
+
+  // --- Screened occupied pair list --------------------------------------
+  const std::size_t n_occ = system.occ_centers.size();
+  std::vector<Index> pair_count(n_occ_cl * n_occ_cl, 0);
+  std::vector<Aabb> pair_box(n_occ_cl * n_occ_cl);
+  for (std::size_t i = 0; i < n_occ; ++i) {
+    for (std::size_t j = cfg.symmetric_pairs ? i : 0; j < n_occ; ++j) {
+      if (distance(system.occ_centers[i], system.occ_centers[j]) >
+          cfg.pair_cutoff) {
+        continue;
+      }
+      const std::size_t tile =
+          occ.assignment[i] * n_occ_cl + occ.assignment[j];
+      ++pair_count[tile];
+      pair_box[tile].expand(
+          (system.occ_centers[i] + system.occ_centers[j]) * 0.5);
+    }
+  }
+  std::vector<Index> pair_extents;
+  for (std::size_t tile = 0; tile < pair_count.size(); ++tile) {
+    if (pair_count[tile] == 0) continue;
+    pair_extents.push_back(pair_count[tile]);
+    problem.pair_boxes.push_back(pair_box[tile]);
+  }
+  BSTC_REQUIRE(!pair_extents.empty(), "pair cutoff removed every pair");
+  problem.pair_tiling = Tiling::from_extents(pair_extents);
+
+  // --- Fused AO-pair tiling ---------------------------------------------
+  std::vector<Index> ao2_extents;
+  ao2_extents.reserve(n_ao_cl * n_ao_cl);
+  for (std::size_t c = 0; c < n_ao_cl; ++c) {
+    for (std::size_t d = 0; d < n_ao_cl; ++d) {
+      ao2_extents.push_back(problem.ao_cluster_size[c] *
+                            problem.ao_cluster_size[d]);
+    }
+  }
+  problem.ao2_tiling = Tiling::from_extents(ao2_extents);
+
+  // --- T shape ------------------------------------------------------------
+  problem.t = Shape(problem.pair_tiling, problem.ao2_tiling);
+  for (std::size_t row = 0; row < problem.pair_boxes.size(); ++row) {
+    const Aabb& pb = problem.pair_boxes[row];
+    for (std::size_t c = 0; c < n_ao_cl; ++c) {
+      if (pb.distance_to(ao.boxes[c]) > cfg.t_cutoff) continue;
+      for (std::size_t d = 0; d < n_ao_cl; ++d) {
+        if (pb.distance_to(ao.boxes[d]) > cfg.t_cutoff) continue;
+        problem.t.set(row, c * n_ao_cl + d);
+      }
+    }
+  }
+
+  // --- V shape ------------------------------------------------------------
+  problem.v = Shape(problem.ao2_tiling, problem.ao2_tiling);
+  std::vector<std::vector<std::size_t>> near(n_ao_cl);
+  for (std::size_t c = 0; c < n_ao_cl; ++c) {
+    for (std::size_t x = 0; x < n_ao_cl; ++x) {
+      if (ao.boxes[c].distance_to(ao.boxes[x]) <= cfg.v_cutoff) {
+        near[c].push_back(x);
+      }
+    }
+  }
+  for (std::size_t c = 0; c < n_ao_cl; ++c) {
+    for (std::size_t d = 0; d < n_ao_cl; ++d) {
+      const std::size_t row = c * n_ao_cl + d;
+      for (const std::size_t av : near[c]) {
+        for (const std::size_t bv : near[d]) {
+          problem.v.set(row, av * n_ao_cl + bv);
+        }
+      }
+    }
+  }
+
+  // --- R shape: screened closure ------------------------------------------
+  const Shape closure = contract_shape(problem.t, problem.v);
+  problem.r = Shape(problem.pair_tiling, problem.ao2_tiling);
+  for (std::size_t row = 0; row < problem.pair_boxes.size(); ++row) {
+    const Aabb& pb = problem.pair_boxes[row];
+    for (std::size_t av = 0; av < n_ao_cl; ++av) {
+      if (pb.distance_to(ao.boxes[av]) > cfg.r_cutoff) continue;
+      for (std::size_t bv = 0; bv < n_ao_cl; ++bv) {
+        if (pb.distance_to(ao.boxes[bv]) > cfg.r_cutoff) continue;
+        const std::size_t col = av * n_ao_cl + bv;
+        if (closure.nonzero(row, col)) problem.r.set(row, col);
+      }
+    }
+  }
+  return problem;
+}
+
+AbcdTraits abcd_traits(const AbcdProblem3& problem) {
+  return compute_abcd_traits(problem.pair_tiling, problem.ao2_tiling,
+                             problem.t, problem.v, problem.r);
+}
+
+}  // namespace bstc

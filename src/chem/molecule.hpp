@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file molecule.hpp
+/// Minimal molecular model for the electronic-structure workload.
+///
+/// The paper's practical benchmark is the ABCD tensor contraction for
+/// C65H132 — a quasi-1-dimensional alkane chain — in the def2-SVP basis.
+/// Only the geometry's 1-D locality structure matters for tensor sparsity
+/// (the paper itself fills V with random data), so atoms carry their
+/// position projected on the chain axis.
+
+#include <string>
+#include <vector>
+
+#include "support/geometry.hpp"
+
+namespace bstc {
+
+/// A chemical element we support (enough for alkanes/polymers).
+enum class Element { kH, kC };
+
+/// One atom with its 3-D position (Angstrom). The quasi-1-D workloads of
+/// the paper only use the chain coordinate x; the 3-D factories populate
+/// y and z as well.
+struct Atom {
+  Element element = Element::kC;
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Point3 position() const { return {x, y, z}; }
+};
+
+/// A molecule as a list of atoms.
+class Molecule {
+ public:
+  /// Linear alkane C_n H_{2n+2}: carbons every ~1.26 A along the axis
+  /// (the 1-D projection of a 1.54 A C-C bond at tetrahedral angle),
+  /// hydrogens at their carbon's position (their ~1.09 A C-H bonds are
+  /// mostly perpendicular to the axis). The paper's C65H132 workload.
+  static Molecule alkane(int n_carbons);
+
+  /// Cycloalkane C_n H_{2n}: carbons on a circle in the xy-plane. A
+  /// quasi-1-D system with periodic (wrap-around) locality — sparsity
+  /// patterns become banded-circulant instead of banded.
+  static Molecule ring(int n_carbons);
+
+  /// Helical carbon chain (quasi-linear in x, spiralling in y/z): the
+  /// paper's "quasi-linear molecules (such as some proteins)" stand-in,
+  /// genuinely three-dimensional geometry with 1-D long-range structure.
+  static Molecule helix(int n_carbons, double pitch = 1.5,
+                        double radius = 2.5, double turn_step = 0.7);
+
+  /// Compact synthetic cluster: carbons on a cubic lattice filling a ball
+  /// (each with two hydrogens). The paper's closing remark — "different
+  /// molecules have the potential to provide much denser and
+  /// compute-intensive input matrices" — this is that molecule.
+  static Molecule compact(int n_carbons, double lattice = 1.6);
+
+  /// Parse XYZ-format text (the standard chemistry interchange format:
+  /// atom count line, comment line, then "El x y z" rows). Only C and H
+  /// are supported; throws bstc::Error on malformed input or other
+  /// elements.
+  static Molecule from_xyz(const std::string& text);
+  /// Load an .xyz file.
+  static Molecule load_xyz(const std::string& path);
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  std::size_t size() const { return atoms_.size(); }
+
+  int count(Element e) const;
+  /// Total electrons (H: 1, C: 6).
+  int electrons() const;
+  /// Doubly-occupied orbitals: electrons / 2.
+  int occupied_orbitals() const { return electrons() / 2; }
+  /// Core orbitals (1s of each C), frozen in correlated calculations.
+  int core_orbitals() const { return count(Element::kC); }
+  /// Correlated (valence) occupied orbitals — the paper's O.
+  int valence_occupied() const {
+    return occupied_orbitals() - core_orbitals();
+  }
+  /// Chain extent along x (max - min atom position).
+  double length() const;
+
+  /// Bounding box of all atoms.
+  Aabb extent() const;
+
+  std::string formula() const;
+
+ private:
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace bstc

@@ -1,0 +1,97 @@
+#include "chem/orbitals.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace bstc {
+
+int basis_functions(BasisSet basis, Element e) {
+  switch (basis) {
+    case BasisSet::kSto3g:
+      return e == Element::kH ? 1 : 5;
+    case BasisSet::kDef2Svp:
+      return e == Element::kH ? 5 : 14;
+    case BasisSet::kDef2Tzvp:
+      return e == Element::kH ? 6 : 31;
+  }
+  throw Error("unknown basis set");
+}
+
+int def2svp_functions(Element e) {
+  return basis_functions(BasisSet::kDef2Svp, e);
+}
+
+OrbitalSystem OrbitalSystem::build(const Molecule& molecule,
+                                   BasisSet basis) {
+  OrbitalSystem sys;
+
+  // Atomic orbitals: one center per basis function at each atom position.
+  for (const Atom& atom : molecule.atoms()) {
+    const int nf = basis_functions(basis, atom.element);
+    for (int f = 0; f < nf; ++f) sys.ao_centers.push_back(atom.x);
+  }
+
+  // Localized valence occupied orbitals:
+  //  * one per C-C bond at the bond midpoint,
+  //  * one per C-H bond at the carbon position.
+  std::vector<double> carbons;
+  for (const Atom& atom : molecule.atoms()) {
+    if (atom.element == Element::kC) carbons.push_back(atom.x);
+  }
+  std::sort(carbons.begin(), carbons.end());
+  for (std::size_t i = 0; i + 1 < carbons.size(); ++i) {
+    sys.occ_centers.push_back(0.5 * (carbons[i] + carbons[i + 1]));
+  }
+  for (const Atom& atom : molecule.atoms()) {
+    if (atom.element == Element::kH) sys.occ_centers.push_back(atom.x);
+  }
+  std::sort(sys.occ_centers.begin(), sys.occ_centers.end());
+
+  BSTC_CHECK(static_cast<int>(sys.occ_centers.size()) ==
+             molecule.valence_occupied());
+  return sys;
+}
+
+OrbitalSystem3 OrbitalSystem3::build(const Molecule& molecule,
+                                     BasisSet basis) {
+  OrbitalSystem3 sys;
+  for (const Atom& atom : molecule.atoms()) {
+    const int nf = basis_functions(basis, atom.element);
+    for (int f = 0; f < nf; ++f) sys.ao_centers.push_back(atom.position());
+  }
+
+  std::vector<Point3> carbons;
+  for (const Atom& atom : molecule.atoms()) {
+    if (atom.element == Element::kC) carbons.push_back(atom.position());
+  }
+
+  // C-C bonds: any pair within 1.3x the minimum C-C distance.
+  if (carbons.size() >= 2) {
+    double min_d = 1e300;
+    for (std::size_t i = 0; i < carbons.size(); ++i) {
+      for (std::size_t j = i + 1; j < carbons.size(); ++j) {
+        min_d = std::min(min_d, distance(carbons[i], carbons[j]));
+      }
+    }
+    const double bond_cutoff = 1.3 * min_d;
+    for (std::size_t i = 0; i < carbons.size(); ++i) {
+      for (std::size_t j = i + 1; j < carbons.size(); ++j) {
+        if (distance(carbons[i], carbons[j]) <= bond_cutoff) {
+          sys.occ_centers.push_back((carbons[i] + carbons[j]) * 0.5);
+        }
+      }
+    }
+  }
+  // C-H bonds at the hydrogen position.
+  for (const Atom& atom : molecule.atoms()) {
+    if (atom.element == Element::kH) {
+      sys.occ_centers.push_back(atom.position());
+    }
+  }
+  BSTC_REQUIRE(!sys.occ_centers.empty(),
+               "molecule yields no occupied orbitals");
+  return sys;
+}
+
+}  // namespace bstc

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file orbitals.hpp
+/// Atomic-orbital and localized-occupied-orbital models.
+///
+/// def2-SVP contraction sizes: C = [3s2p1d] = 3 + 2*3 + 1*5 = 14 basis
+/// functions, H = [2s1p] = 2 + 3 = 5. For C65H132 this gives
+/// U = 65*14 + 132*5 = 1570 atomic orbitals, exactly the paper's U.
+/// Localized valence occupied orbitals sit on the bonds: 64 C-C bonds +
+/// 132 C-H bonds = 196 = the paper's O.
+
+#include <vector>
+
+#include "chem/molecule.hpp"
+
+namespace bstc {
+
+/// Supported Gaussian basis sets. The paper uses def2-SVP ("small AO
+/// basis ... representative of medium-precision simulations"); STO-3G and
+/// def2-TZVP bracket it for precision studies (a larger basis grows U and
+/// with it every matrix dimension).
+enum class BasisSet {
+  kSto3g,    ///< minimal: H = [1s] = 1, C = [2s1p] = 5
+  kDef2Svp,  ///< the paper's basis: H = [2s1p] = 5, C = [3s2p1d] = 14
+  kDef2Tzvp, ///< triple-zeta: H = [3s1p] = 6, C = [5s3p2d1f] = 31
+};
+
+/// Number of contracted basis functions of `basis` on one atom.
+int basis_functions(BasisSet basis, Element e);
+
+/// Number of def2-SVP basis functions on one atom.
+int def2svp_functions(Element e);
+
+/// The orbital-space description the ABCD workload is built from.
+struct OrbitalSystem {
+  /// One entry per atomic orbital: the center's chain coordinate.
+  std::vector<double> ao_centers;
+  /// One entry per localized valence occupied orbital (bond centers).
+  std::vector<double> occ_centers;
+
+  std::size_t num_ao() const { return ao_centers.size(); }     ///< U
+  std::size_t num_occ() const { return occ_centers.size(); }   ///< O
+
+  /// Build from a molecule in the def2-SVP basis with bond-localized
+  /// occupied orbitals (C-C bond midpoints + C-H bonds at the carbon).
+  static OrbitalSystem build(const Molecule& molecule,
+                             BasisSet basis = BasisSet::kDef2Svp);
+};
+
+/// Fully three-dimensional orbital system (the generalization beyond the
+/// paper's quasi-1-D chains; see build_abcd_3d). Bonded carbon pairs are
+/// detected geometrically: any C-C pair within 1.3x the minimum C-C
+/// distance counts as a bond, which handles chains, rings, helices and
+/// lattices uniformly.
+struct OrbitalSystem3 {
+  std::vector<Point3> ao_centers;   ///< one per atomic orbital
+  std::vector<Point3> occ_centers;  ///< one per localized occupied orbital
+
+  std::size_t num_ao() const { return ao_centers.size(); }
+  std::size_t num_occ() const { return occ_centers.size(); }
+
+  static OrbitalSystem3 build(const Molecule& molecule,
+                              BasisSet basis = BasisSet::kDef2Svp);
+};
+
+}  // namespace bstc

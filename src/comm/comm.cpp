@@ -1,0 +1,45 @@
+#include "comm/comm.hpp"
+
+#include "support/error.hpp"
+
+namespace bstc {
+
+CommRecorder::CommRecorder(int nodes)
+    : sent_(static_cast<std::size_t>(nodes), 0.0),
+      received_(static_cast<std::size_t>(nodes), 0.0) {
+  BSTC_REQUIRE(nodes > 0, "need at least one node");
+}
+
+void CommRecorder::record(int from, int to, double bytes) {
+  BSTC_REQUIRE(from >= 0 && static_cast<std::size_t>(from) < sent_.size() &&
+                   to >= 0 && static_cast<std::size_t>(to) < sent_.size(),
+               "node id out of range");
+  if (from == to) return;  // local access is not communication
+  std::lock_guard lock(mutex_);
+  sent_[static_cast<std::size_t>(from)] += bytes;
+  received_[static_cast<std::size_t>(to)] += bytes;
+  total_ += bytes;
+  ++messages_;
+}
+
+double CommRecorder::total_bytes() const {
+  std::lock_guard lock(mutex_);
+  return total_;
+}
+
+std::size_t CommRecorder::total_messages() const {
+  std::lock_guard lock(mutex_);
+  return messages_;
+}
+
+double CommRecorder::sent_by(int node) const {
+  std::lock_guard lock(mutex_);
+  return sent_.at(static_cast<std::size_t>(node));
+}
+
+double CommRecorder::received_by(int node) const {
+  std::lock_guard lock(mutex_);
+  return received_.at(static_cast<std::size_t>(node));
+}
+
+}  // namespace bstc

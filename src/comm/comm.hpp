@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file comm.hpp
+/// Communication bookkeeping for the in-process distributed execution.
+///
+/// The real executor runs all simulated ranks in one process, so
+/// "communication" is a copy plus accounting. What matters for fidelity is
+/// *what* moves where: A tiles are broadcast along grid rows from their
+/// 2D-cyclic home, C tiles return to their homes, and B never moves
+/// between nodes (paper §3.2.4). CommRecorder counts exactly that traffic
+/// so tests can check the executor's byte counts against the analytic
+/// plan statistics.
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace bstc {
+
+/// 2D-cyclic ownership of tiles over a p x q grid.
+struct CyclicDist2D {
+  int p = 1;
+  int q = 1;
+
+  /// Linear node id owning tile (i, j).
+  int node_of(std::uint32_t i, std::uint32_t j) const {
+    return static_cast<int>(i % static_cast<std::uint32_t>(p)) * q +
+           static_cast<int>(j % static_cast<std::uint32_t>(q));
+  }
+  int row_of(std::uint32_t i) const {
+    return static_cast<int>(i % static_cast<std::uint32_t>(p));
+  }
+  int col_of(std::uint32_t j) const {
+    return static_cast<int>(j % static_cast<std::uint32_t>(q));
+  }
+};
+
+/// Aggregate and per-node traffic counters. Thread-safe.
+class CommRecorder {
+ public:
+  explicit CommRecorder(int nodes);
+
+  /// Record a message of `bytes` from node `from` to node `to`.
+  void record(int from, int to, double bytes);
+
+  double total_bytes() const;
+  std::size_t total_messages() const;
+  double sent_by(int node) const;
+  double received_by(int node) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> sent_;
+  std::vector<double> received_;
+  double total_ = 0.0;
+  std::size_t messages_ = 0;
+};
+
+}  // namespace bstc

@@ -1,0 +1,49 @@
+#include "comm/transport.hpp"
+
+#include "support/error.hpp"
+
+namespace bstc {
+
+void TileMailbox::deliver(std::uint64_t key, Tile tile) {
+  {
+    std::lock_guard lock(mutex_);
+    const auto [it, fresh] =
+        messages_.emplace(key, std::make_unique<Tile>(std::move(tile)));
+    (void)it;
+    BSTC_REQUIRE(fresh, "message key delivered twice");
+  }
+  cv_.notify_all();
+}
+
+const Tile& TileMailbox::wait(std::uint64_t key) {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return messages_.count(key) > 0; });
+  return *messages_.at(key);
+}
+
+bool TileMailbox::contains(std::uint64_t key) const {
+  std::lock_guard lock(mutex_);
+  return messages_.count(key) > 0;
+}
+
+std::size_t TileMailbox::delivered_count() const {
+  std::lock_guard lock(mutex_);
+  return messages_.size();
+}
+
+Transport::Transport(int nodes)
+    : mailboxes_(static_cast<std::size_t>(nodes)), recorder_(nodes) {
+  BSTC_REQUIRE(nodes > 0, "need at least one node");
+}
+
+TileMailbox& Transport::mailbox(int node) {
+  BSTC_REQUIRE(node >= 0 && node < nodes(), "node out of range");
+  return mailboxes_[static_cast<std::size_t>(node)];
+}
+
+void Transport::send(int from, int to, std::uint64_t key, Tile tile) {
+  recorder_.record(from, to, static_cast<double>(tile.bytes()));
+  mailbox(to).deliver(key, std::move(tile));
+}
+
+}  // namespace bstc

@@ -1,0 +1,446 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "comm/transport.hpp"
+#include "plan/builder.hpp"
+#include "runtime/device.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/task_graph.hpp"
+#include "runtime/trace.hpp"
+#include "support/error.hpp"
+#include "support/timer.hpp"
+#include "tile/gemm.hpp"
+
+namespace bstc {
+namespace {
+
+std::uint64_t tile_key(std::uint32_t a, std::uint32_t b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+/// Device-resident data of one block while it is being processed.
+struct BlockResidence {
+  std::unordered_map<std::uint64_t, Tile> b;  ///< key (k, j)
+  std::unordered_map<std::uint64_t, Tile> c;  ///< key (i, j)
+  std::unordered_map<std::uint64_t, Tile> a;  ///< key (i, k)
+  std::mutex mutex;  ///< guards the maps (CPU staging vs device tasks)
+};
+
+/// Host-side state of one simulated rank.
+struct NodeState {
+  std::unique_ptr<OnDemandMatrix> b;  ///< per-node on-demand B (paper §4)
+  std::unordered_map<std::uint64_t, Tile> c_store;  ///< computed C tiles
+  std::unordered_set<std::uint64_t> a_received;     ///< A tiles fetched
+  std::mutex mutex;
+};
+
+}  // namespace
+
+EngineResult contract(const BlockSparseMatrix& a, const Shape& b_shape,
+                      const TileGenerator& b_generator, const Shape& c_shape,
+                      const BlockSparseMatrix* c_init,
+                      const MachineModel& machine, const EngineConfig& cfg) {
+  const ExecutionPlan plan =
+      build_plan(a.shape(), b_shape, c_shape, machine, cfg.plan);
+  return contract_with_plan(plan, a, b_shape, b_generator, c_shape, c_init,
+                            machine, cfg);
+}
+
+EngineResult contract_with_plan(const ExecutionPlan& plan,
+                                const BlockSparseMatrix& a,
+                                const Shape& b_shape,
+                                const TileGenerator& b_generator,
+                                const Shape& c_shape,
+                                const BlockSparseMatrix* c_init,
+                                const MachineModel& machine,
+                                const EngineConfig& cfg) {
+  BSTC_REQUIRE(a.shape().col_tiling() == b_shape.row_tiling(),
+               "inner tilings of A and B must agree");
+  if (c_init != nullptr) {
+    BSTC_REQUIRE(c_init->row_tiling() == a.row_tiling() &&
+                     c_init->col_tiling() == b_shape.col_tiling(),
+                 "C init tilings must match the product");
+  }
+
+  Timer timer;
+  const int num_nodes = plan.grid.nodes();
+  const CyclicDist2D a_dist{plan.grid.p, plan.grid.q};
+
+  // Queue layout: [0, num_nodes) are CPU queues (B generation), then one
+  // queue per device.
+  std::vector<std::uint32_t> device_queue_base(
+      static_cast<std::size_t>(num_nodes));
+  std::uint32_t next_queue = static_cast<std::uint32_t>(num_nodes);
+  for (int n = 0; n < num_nodes; ++n) {
+    device_queue_base[static_cast<std::size_t>(n)] = next_queue;
+    next_queue += static_cast<std::uint32_t>(
+        plan.gpus_of_node[static_cast<std::size_t>(n)]);
+  }
+  const std::uint32_t num_queues = next_queue;
+
+  // Per-device memory trackers (flattened in queue order).
+  std::vector<std::unique_ptr<DeviceMemory>> devices;
+  for (int n = 0; n < num_nodes; ++n) {
+    for (int g = 0; g < plan.gpus_of_node[static_cast<std::size_t>(n)]; ++g) {
+      devices.push_back(std::make_unique<DeviceMemory>(
+          "node" + std::to_string(n) + ".gpu" + std::to_string(g),
+          static_cast<std::size_t>(machine.node.gpu.memory_bytes)));
+    }
+  }
+  auto device_of = [&](int node, std::uint32_t gpu) -> DeviceMemory& {
+    return *devices[device_queue_base[static_cast<std::size_t>(node)] -
+                    static_cast<std::uint32_t>(num_nodes) + gpu];
+  };
+  auto device_queue = [&](int node, std::uint32_t gpu) {
+    return device_queue_base[static_cast<std::size_t>(node)] + gpu;
+  };
+
+  // Node state (per-rank on-demand B, C accumulation store).
+  std::vector<NodeState> node_states(static_cast<std::size_t>(num_nodes));
+  for (auto& ns : node_states) {
+    ns.b = std::make_unique<OnDemandMatrix>(b_shape, b_generator);
+  }
+
+  CommRecorder comm(num_nodes);
+  const double chunk_capacity =
+      plan.config.chunk_mem_fraction * machine.node.gpu.memory_bytes;
+
+  // Optional explicit message transport for remote A tiles: precompute,
+  // per consumer node, the unique remote tiles it needs; their home
+  // nodes get root send tasks.
+  std::unique_ptr<Transport> transport;
+  // (home node, consumer node, i, k) send list.
+  std::vector<std::tuple<int, int, std::uint32_t, std::uint32_t>> sends;
+  if (cfg.explicit_messages) {
+    transport = std::make_unique<Transport>(num_nodes);
+    for (int n = 0; n < num_nodes; ++n) {
+      std::unordered_set<std::uint64_t> needed;
+      for (const BlockPlan& block :
+           plan.nodes[static_cast<std::size_t>(n)].blocks) {
+        for (const Chunk& chunk : block.chunks) {
+          for (const auto& [i, k] : chunk.a_tiles) {
+            if (!needed.insert(tile_key(i, k)).second) continue;
+            const int home = a_dist.node_of(i, k);
+            if (home != n) sends.emplace_back(home, n, i, k);
+          }
+        }
+      }
+    }
+  }
+
+  // Residences, pre-sized so tasks can hold stable pointers.
+  std::vector<std::vector<BlockResidence>> residences(
+      static_cast<std::size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    residences[static_cast<std::size_t>(n)] =
+        std::vector<BlockResidence>(plan.nodes[static_cast<std::size_t>(n)]
+                                        .blocks.size());
+  }
+
+  TaskGraph graph;
+
+  // Root send tasks on the home ranks' CPU queues (the background
+  // broadcast of A along grid rows, paper §3.2.4).
+  for (const auto& [home, consumer, si, sk] : sends) {
+    graph.add_task(
+        "asend(" + std::to_string(si) + "," + std::to_string(sk) + "->n" +
+            std::to_string(consumer) + ")",
+        static_cast<std::uint32_t>(home),
+        [&transport, &a, home = home, consumer = consumer, si = si,
+         sk = sk] {
+          transport->send(home, consumer, tile_key(si, sk), a.tile(si, sk));
+        });
+  }
+
+  for (int n = 0; n < num_nodes; ++n) {
+    const NodePlan& node_plan = plan.nodes[static_cast<std::size_t>(n)];
+    NodeState& ns = node_states[static_cast<std::size_t>(n)];
+    const auto cpu_queue = static_cast<std::uint32_t>(n);
+
+    // Per GPU: the previous block's store task (for sequential-block
+    // control edges).
+    std::unordered_map<std::uint32_t, TaskId> prev_store_of_gpu;
+
+    for (std::size_t bi = 0; bi < node_plan.blocks.size(); ++bi) {
+      const BlockPlan& block = node_plan.blocks[bi];
+      BlockResidence& res = residences[static_cast<std::size_t>(n)][bi];
+      DeviceMemory& dev = device_of(n, block.gpu);
+      const std::uint32_t dq = device_queue(n, block.gpu);
+
+      // How much device memory the block leaves for A chunks decides the
+      // prefetch depth (2 = paper's 25% + 25% scheme).
+      const double spare =
+          machine.node.gpu.memory_bytes - block.bytes;
+      double max_chunk_bytes = 0.0;
+      for (const Chunk& chunk : block.chunks) {
+        max_chunk_bytes = std::max(max_chunk_bytes, chunk.a_bytes);
+      }
+      BSTC_REQUIRE(spare >= max_chunk_bytes,
+                   "block footprint leaves no room for any A chunk; the "
+                   "tiling is too coarse for this GPU memory");
+      const int prefetch_depth =
+          max_chunk_bytes > 0.0
+              ? std::max(1, std::min(plan.config.prefetch_depth,
+                                     static_cast<int>(spare /
+                                                      max_chunk_bytes)))
+              : 1;
+      (void)chunk_capacity;
+
+      // --- Piece tasks: generate on CPU, then stage on the device. ---
+      std::vector<TaskId> piece_loads;
+      for (std::size_t pi = 0; pi < block.pieces.size(); ++pi) {
+        const ColumnPiece& piece = block.pieces[pi];
+        const TaskId gen = graph.add_task(
+            "gen(n" + std::to_string(n) + ",b" + std::to_string(bi) + ",p" +
+                std::to_string(pi),
+            cpu_queue, [&ns, &piece] {
+              for (const std::uint32_t k : piece.ks) {
+                ns.b->acquire(k, piece.col);  // pin until staged
+              }
+            });
+        const TaskId load = graph.add_task(
+            "load(n" + std::to_string(n) + ",b" + std::to_string(bi) + ",p" +
+                std::to_string(pi),
+            dq,
+            [&ns, &res, &dev, &piece, &c_shape, n, &plan] {
+              dev.allocate(static_cast<std::size_t>(piece.bytes()));
+              std::lock_guard lock(res.mutex);
+              for (const std::uint32_t k : piece.ks) {
+                const Tile& host = ns.b->acquire(k, piece.col);
+                res.b.emplace(tile_key(k, piece.col), host);  // h2d copy
+                ns.b->release(k, piece.col);  // matching pin from gen
+                ns.b->release(k, piece.col);  // matching pin from acquire
+              }
+              // Stage C tiles of this column for the slice rows
+              // (zero-initialised; any initial C is added at assembly).
+              const int p = plan.grid.p;
+              for (std::size_t i = static_cast<std::size_t>(
+                       plan.nodes[static_cast<std::size_t>(n)].grid_row);
+                   i < c_shape.tile_rows(); i += static_cast<std::size_t>(p)) {
+                if (!c_shape.nonzero(i, piece.col)) continue;
+                const std::uint64_t key =
+                    tile_key(static_cast<std::uint32_t>(i), piece.col);
+                if (res.c.find(key) == res.c.end()) {
+                  res.c.emplace(
+                      key,
+                      Tile(c_shape.row_tiling().tile_extent(i),
+                           c_shape.col_tiling().tile_extent(piece.col)));
+                }
+              }
+            });
+        graph.add_edge(gen, load, EdgeKind::kData);
+        piece_loads.push_back(load);
+      }
+
+      // --- Chunk tasks: A loads, GEMMs, unloads. ---
+      std::vector<TaskId> chunk_loads, chunk_unloads;
+      std::vector<std::vector<TaskId>> chunk_gemms(block.chunks.size());
+      for (std::size_t ci = 0; ci < block.chunks.size(); ++ci) {
+        const Chunk& chunk = block.chunks[ci];
+        const TaskId load = graph.add_task(
+            "chunkload(n" + std::to_string(n) + ",b" + std::to_string(bi) +
+                "," + std::to_string(ci),
+            dq,
+            [&ns, &res, &dev, &chunk, &a, &a_dist, &comm, &transport, n] {
+              dev.allocate(static_cast<std::size_t>(chunk.a_bytes));
+              std::lock_guard lock(res.mutex);
+              for (const auto& [i, k] : chunk.a_tiles) {
+                const int home = a_dist.node_of(i, k);
+                const bool remote = home != n;
+                // Explicit transport: stall until the message arrived
+                // (the send tasks are dependence-free roots, so progress
+                // is guaranteed). Bytes are recorded by the transport.
+                const Tile& host =
+                    (transport && remote)
+                        ? transport->mailbox(n).wait(tile_key(i, k))
+                        : a.tile(i, k);
+                if (!transport && remote) {
+                  std::lock_guard node_lock(ns.mutex);
+                  if (ns.a_received.insert(tile_key(i, k)).second) {
+                    comm.record(home, n, static_cast<double>(host.bytes()));
+                  }
+                }
+                res.a.emplace(tile_key(i, k), host);  // h2d copy
+              }
+            });
+        chunk_loads.push_back(load);
+
+        for_each_gemm(block, chunk, c_shape, [&](const GemmTask& t) {
+          const TaskId g = graph.add_task(
+              "gemm(" + std::to_string(t.i) + "," + std::to_string(t.k) +
+                  "," + std::to_string(t.j) + ")",
+              dq, [&res, t] {
+                // Single-threaded device queue: no two GEMMs of this
+                // device run concurrently, so C accumulation is safe.
+                const Tile& at = res.a.at(tile_key(t.i, t.k));
+                const Tile& bt = res.b.at(tile_key(t.k, t.j));
+                Tile& ct = res.c.at(tile_key(t.i, t.j));
+                gemm(1.0, at, bt, 1.0, ct);
+              });
+          chunk_gemms[ci].push_back(g);
+        });
+
+        const TaskId unload = graph.add_task(
+            "chunkunload(n" + std::to_string(n) + ",b" + std::to_string(bi) +
+                "," + std::to_string(ci),
+            dq, [&res, &dev, &chunk] {
+              std::lock_guard lock(res.mutex);
+              for (const auto& [i, k] : chunk.a_tiles) {
+                res.a.erase(tile_key(i, k));
+              }
+              dev.release(static_cast<std::size_t>(chunk.a_bytes));
+            });
+        chunk_unloads.push_back(unload);
+
+        // Dataflow: load -> gemms -> unload (or load -> unload directly
+        // when the chunk drives no GEMM under the C screen).
+        if (chunk_gemms[ci].empty()) {
+          graph.add_edge(load, unload, EdgeKind::kData);
+        }
+        for (const TaskId g : chunk_gemms[ci]) {
+          graph.add_edge(load, g, EdgeKind::kData);
+          graph.add_edge(g, unload, EdgeKind::kData);
+        }
+        // Control: bounded prefetch — chunk ci may only start loading
+        // after chunk ci - prefetch_depth has been evicted.
+        if (ci >= static_cast<std::size_t>(prefetch_depth)) {
+          graph.add_edge(
+              chunk_unloads[ci - static_cast<std::size_t>(prefetch_depth)],
+              load, EdgeKind::kControl);
+        }
+      }
+
+      // Dataflow: every GEMM needs its piece staged. Piece loads feed the
+      // GEMMs that read the piece's column.
+      // (Connect at block granularity: GEMM(j) <- load of the piece that
+      // owns (k,j); cheaper and exact: find piece index per (k,j).)
+      {
+        // Map (k, j) -> piece index.
+        std::unordered_map<std::uint64_t, std::size_t> piece_of;
+        for (std::size_t pi = 0; pi < block.pieces.size(); ++pi) {
+          for (const std::uint32_t k : block.pieces[pi].ks) {
+            piece_of.emplace(tile_key(k, block.pieces[pi].col), pi);
+          }
+        }
+        for (std::size_t ci = 0; ci < block.chunks.size(); ++ci) {
+          std::size_t gi = 0;
+          for_each_gemm(block, block.chunks[ci], c_shape,
+                        [&](const GemmTask& t) {
+                          const auto it = piece_of.find(tile_key(t.k, t.j));
+                          BSTC_CHECK(it != piece_of.end());
+                          graph.add_edge(piece_loads[it->second],
+                                         chunk_gemms[ci][gi], EdgeKind::kData);
+                          ++gi;
+                        });
+        }
+      }
+
+      // --- Store task: flush C to the host store, free the block. ---
+      const TaskId store = graph.add_task(
+          "store(n" + std::to_string(n) + ",b" + std::to_string(bi),
+          dq, [&ns, &res, &dev, &block] {
+            std::lock_guard lock(res.mutex);
+            {
+              std::lock_guard node_lock(ns.mutex);
+              for (auto& [key, tile] : res.c) {
+                const auto it = ns.c_store.find(key);
+                if (it == ns.c_store.end()) {
+                  ns.c_store.emplace(key, std::move(tile));
+                } else {
+                  it->second.axpy(1.0, tile);  // segmented-column reduce
+                }
+              }
+            }
+            res.c.clear();
+            res.b.clear();
+            dev.release(static_cast<std::size_t>(block.bytes));
+          });
+      for (const auto& gemms : chunk_gemms) {
+        for (const TaskId g : gemms) graph.add_edge(g, store, EdgeKind::kData);
+      }
+      for (const TaskId u : chunk_unloads) {
+        graph.add_edge(u, store, EdgeKind::kData);
+      }
+      for (const TaskId l : piece_loads) {
+        graph.add_edge(l, store, EdgeKind::kData);
+      }
+
+      // Control: the next block of this GPU may only start loading after
+      // this block is flushed (blocks are streamed one at a time, §3.2.2),
+      // and its first chunks wait as well.
+      const auto prev = prev_store_of_gpu.find(block.gpu);
+      if (prev != prev_store_of_gpu.end()) {
+        for (const TaskId l : piece_loads) {
+          graph.add_edge(prev->second, l, EdgeKind::kControl);
+        }
+        for (std::size_t ci = 0;
+             ci < std::min<std::size_t>(chunk_loads.size(),
+                                        static_cast<std::size_t>(
+                                            prefetch_depth));
+             ++ci) {
+          graph.add_edge(prev->second, chunk_loads[ci], EdgeKind::kControl);
+        }
+      }
+      prev_store_of_gpu[block.gpu] = store;
+    }
+  }
+
+  BSTC_CHECK(graph.is_acyclic());
+  TraceRecorder trace;
+  const bool want_trace = !cfg.trace_path.empty();
+  const SchedulerStats sched =
+      run_graph(graph, num_queues, want_trace ? &trace : nullptr);
+  if (want_trace) trace.write_chrome_json(cfg.trace_path);
+
+  // --- Assemble the global C and count return traffic. ---
+  EngineResult result;
+  result.c = BlockSparseMatrix(c_shape);
+  for (int n = 0; n < num_nodes; ++n) {
+    NodeState& ns = node_states[static_cast<std::size_t>(n)];
+    const NodePlan& node_plan = plan.nodes[static_cast<std::size_t>(n)];
+    for (auto& [key, tile] : ns.c_store) {
+      const auto i = static_cast<std::uint32_t>(key >> 32);
+      const auto j = static_cast<std::uint32_t>(key & 0xffffffffu);
+      result.c.tile(i, j).axpy(1.0, tile);
+      const int home = a_dist.node_of(i, j);
+      if (home != plan.grid.node_id(node_plan.grid_row, node_plan.grid_col)) {
+        comm.record(plan.grid.node_id(node_plan.grid_row, node_plan.grid_col),
+                    home, static_cast<double>(tile.bytes()));
+        result.c_network_bytes += static_cast<double>(tile.bytes());
+      }
+    }
+    result.b_max_generations =
+        std::max(result.b_max_generations, ns.b->max_generation_count());
+    result.host_b_peak_bytes =
+        std::max(result.host_b_peak_bytes, ns.b->peak_cached_bytes());
+  }
+  if (c_init != nullptr) {
+    for (std::size_t i = 0; i < c_shape.tile_rows(); ++i) {
+      for (std::size_t j = 0; j < c_shape.tile_cols(); ++j) {
+        if (c_shape.nonzero(i, j) && c_init->has_tile(i, j)) {
+          result.c.tile(i, j).axpy(1.0, c_init->tile(i, j));
+        }
+      }
+    }
+  }
+
+  result.a_network_bytes = comm.total_bytes() - result.c_network_bytes;
+  if (transport) {
+    result.a_network_bytes += transport->recorder().total_bytes();
+  }
+  result.tasks_executed = sched.tasks_executed;
+  result.plan_stats = compute_stats(plan, a.shape(), b_shape, c_shape);
+  for (const auto& dev : devices) {
+    result.device_peak_bytes.push_back(dev->peak_used());
+  }
+  result.wall_seconds = timer.elapsed_s();
+  return result;
+}
+
+}  // namespace bstc

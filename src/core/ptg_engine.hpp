@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file ptg_engine.hpp
+/// The contraction expressed as a *generic Parameterized Task Graph* fed
+/// by the inspector's ExecutionPlan — the paper's actual §4 architecture:
+/// "an inspector phase computes first what tasks exist, and how the data
+/// must flow between them. Then, a generic PTG that takes as input an
+/// execution plan produced by this inspector phase, allows the runtime
+/// system to execute it."
+///
+/// Unlike core/engine.hpp (which unrolls the complete task DAG up front),
+/// this path defines six parameterized task classes —
+///
+///   gen(node, block, piece)        CPU: generate the B tiles of a piece
+///   load(node, block, piece)       device: stage the piece (B + C)
+///   chunkload(node, block, chunk)  device: stage a chunk of A tiles
+///   gemm(node, block, chunk, t, p) device: one tile GEMM
+///   unload(node, block, chunk)     device: evict the chunk
+///   store(node, block)             device: flush C, free the block
+///
+/// — whose dependences are *computed on demand* from the plan, so the
+/// runtime only ever materializes the active front of the DAG (PtgStats
+/// reports the peak). Control edges (bounded prefetch, sequential blocks
+/// per GPU) enter as extra dependence counts exactly as in the paper.
+///
+/// Numerics, memory budgets and the B at-most-once guarantee are
+/// identical to core/engine.hpp; tests cross-check the two executors.
+
+#include "bsm/block_sparse_matrix.hpp"
+#include "bsm/on_demand_matrix.hpp"
+#include "core/engine.hpp"
+
+namespace bstc {
+
+/// Result of a PTG-engine run.
+struct PtgEngineResult {
+  BlockSparseMatrix c;
+  std::size_t tasks_executed = 0;
+  std::size_t peak_pending_instances = 0;  ///< lazily-unrolled DAG front
+  std::size_t b_max_generations = 0;
+  std::vector<std::size_t> device_peak_bytes;
+  double wall_seconds = 0.0;
+};
+
+/// Execute C = A*B through the PTG runtime. Parameters as in contract().
+PtgEngineResult contract_ptg(const BlockSparseMatrix& a, const Shape& b_shape,
+                             const TileGenerator& b_generator,
+                             const Shape& c_shape, const MachineModel& machine,
+                             const EngineConfig& cfg);
+
+}  // namespace bstc

@@ -1,0 +1,70 @@
+#include "machine/machine.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace bstc {
+namespace {
+
+// Saturation half-point of the GEMM efficiency curve, calibrated so a
+// 728^3 GEMM reaches ~95% of practical peak (paper §5.2).
+constexpr double kGemmHalfDim = 270.0;
+
+}  // namespace
+
+double GpuSpec::gemm_efficiency(Index m, Index n, Index k) const {
+  if (m <= 0 || n <= 0 || k <= 0) return 1.0;
+  const double s3 = static_cast<double>(m) * static_cast<double>(n) *
+                    static_cast<double>(k);
+  const double h3 = kGemmHalfDim * kGemmHalfDim * kGemmHalfDim;
+  return s3 / (s3 + h3);
+}
+
+double GpuSpec::gemm_time(Index m, Index n, Index k) const {
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                       static_cast<double>(k);
+  const double eff = gemm_efficiency(m, n, k);
+  return kernel_latency_s + flops / (peak_gemm_flops * eff);
+}
+
+double GpuSpec::h2d_time(double bytes) const {
+  return transfer_latency_s + bytes / h2d_bandwidth;
+}
+
+double GpuSpec::d2d_time(double bytes) const {
+  return transfer_latency_s + bytes / d2d_bandwidth;
+}
+
+double GpuSpec::d2h_time(double bytes) const {
+  return transfer_latency_s + bytes / d2h_bandwidth;
+}
+
+double MachineModel::network_time(double bytes) const {
+  return internode_latency_s + bytes / internode_bandwidth;
+}
+
+int MachineModel::gpus_on_node(int n) const {
+  BSTC_REQUIRE(n >= 0 && n < nodes, "node index out of range");
+  const int before = n * node.gpus;
+  const int remaining = gpu_total - before;
+  return std::max(0, std::min(node.gpus, remaining));
+}
+
+MachineModel MachineModel::summit(int nodes) {
+  BSTC_REQUIRE(nodes > 0, "at least one node required");
+  MachineModel m;
+  m.nodes = nodes;
+  m.node = NodeSpec{};  // defaults are the Summit numbers
+  m.gpu_total = nodes * m.node.gpus;
+  return m;
+}
+
+MachineModel MachineModel::summit_gpus(int gpus) {
+  BSTC_REQUIRE(gpus > 0, "at least one GPU required");
+  MachineModel m = summit((gpus + 5) / 6);
+  m.gpu_total = gpus;
+  return m;
+}
+
+}  // namespace bstc

@@ -1,0 +1,98 @@
+#include "plan/column_assignment.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "support/error.hpp"
+
+namespace bstc {
+namespace {
+
+/// Column ids sorted by non-decreasing weight (stable for determinism).
+std::vector<std::uint32_t> sort_by_weight(std::span<const double> flops) {
+  std::vector<std::uint32_t> order(flops.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return flops[a] < flops[b];
+                   });
+  return order;
+}
+
+}  // namespace
+
+ColumnAssignment assign_columns_mirrored_cyclic(std::span<const double> flops,
+                                                int q) {
+  BSTC_REQUIRE(q > 0, "need at least one processor");
+  const std::size_t n = flops.size();
+  const std::vector<std::uint32_t> order = sort_by_weight(flops);
+
+  ColumnAssignment out;
+  out.columns_of.resize(static_cast<std::size_t>(q));
+  out.flops_of.assign(static_cast<std::size_t>(q), 0.0);
+
+  // Deal in mirrored-cyclic order: positions 0..q-1 go forward, positions
+  // q..2q-1 go backward, repeating with period 2q.
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const std::size_t phase = pos % (2 * static_cast<std::size_t>(q));
+    const std::size_t proc =
+        phase < static_cast<std::size_t>(q)
+            ? phase
+            : 2 * static_cast<std::size_t>(q) - 1 - phase;
+    const std::uint32_t col = order[pos];
+    out.columns_of[proc].push_back(col);
+    out.flops_of[proc] += flops[col];
+  }
+  return out;
+}
+
+ColumnAssignment assign_columns_cyclic(std::span<const double> flops, int q) {
+  BSTC_REQUIRE(q > 0, "need at least one processor");
+  const std::vector<std::uint32_t> order = sort_by_weight(flops);
+  ColumnAssignment out;
+  out.columns_of.resize(static_cast<std::size_t>(q));
+  out.flops_of.assign(static_cast<std::size_t>(q), 0.0);
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const std::size_t proc = pos % static_cast<std::size_t>(q);
+    out.columns_of[proc].push_back(order[pos]);
+    out.flops_of[proc] += flops[order[pos]];
+  }
+  return out;
+}
+
+ColumnAssignment assign_columns_lpt(std::span<const double> flops, int q) {
+  BSTC_REQUIRE(q > 0, "need at least one processor");
+  const std::vector<std::uint32_t> order = sort_by_weight(flops);
+  ColumnAssignment out;
+  out.columns_of.resize(static_cast<std::size_t>(q));
+  out.flops_of.assign(static_cast<std::size_t>(q), 0.0);
+  // Min-heap over (load, proc); heaviest columns first.
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (int p = 0; p < q; ++p) {
+    heap.emplace(0.0, static_cast<std::size_t>(p));
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    auto [load, proc] = heap.top();
+    heap.pop();
+    out.columns_of[proc].push_back(*it);
+    out.flops_of[proc] = load + flops[*it];
+    heap.emplace(out.flops_of[proc], proc);
+  }
+  return out;
+}
+
+double load_imbalance(const ColumnAssignment& assignment) {
+  if (assignment.flops_of.empty()) return 1.0;
+  double max_load = 0.0, total = 0.0;
+  for (double f : assignment.flops_of) {
+    max_load = std::max(max_load, f);
+    total += f;
+  }
+  if (total == 0.0) return 1.0;
+  const double mean_load = total / static_cast<double>(assignment.flops_of.size());
+  return max_load / mean_load;
+}
+
+}  // namespace bstc

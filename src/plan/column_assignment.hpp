@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file column_assignment.hpp
+/// Load-balanced assignment of B tile-columns to the q processors of one
+/// grid row (paper §3.2.1): columns are sorted by non-decreasing flop
+/// weight and dealt in a mirrored-cyclic (boustrophedon) order — forward
+/// across the q processors, then backward, repeating every 2q columns —
+/// so the imbalance of each forward pass is compensated by the mirrored
+/// pass.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bstc {
+
+/// Result of assigning columns to q processors.
+struct ColumnAssignment {
+  /// columns_of[proc] — global column ids assigned to processor `proc`,
+  /// in assignment order.
+  std::vector<std::vector<std::uint32_t>> columns_of;
+  /// total flop weight received by each processor.
+  std::vector<double> flops_of;
+};
+
+/// Assign columns 0..flops.size()-1 with weights `flops` to q processors
+/// by the mirrored-cyclic rule. Zero-weight columns (fully zero columns of
+/// the product) are still assigned — they carry no work.
+ColumnAssignment assign_columns_mirrored_cyclic(std::span<const double> flops,
+                                                int q);
+
+/// Ablation baseline: plain cyclic deal of the weight-sorted columns
+/// (no mirrored pass) — the forward-pass imbalance the mirroring exists
+/// to cancel is left in.
+ColumnAssignment assign_columns_cyclic(std::span<const double> flops, int q);
+
+/// Ablation alternative: greedy longest-processing-time — heaviest column
+/// first onto the least-loaded processor. Better balance than mirrored
+/// cyclic in the worst case, but loses the locality/determinism of the
+/// cyclic deal and costs a heap instead of a single pass.
+ColumnAssignment assign_columns_lpt(std::span<const double> flops, int q);
+
+/// Max/mean load ratio of an assignment (1.0 = perfect balance).
+double load_imbalance(const ColumnAssignment& assignment);
+
+}  // namespace bstc

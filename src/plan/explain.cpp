@@ -1,0 +1,90 @@
+#include "plan/explain.hpp"
+
+#include <algorithm>
+
+#include "plan/stats.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+namespace bstc {
+
+std::vector<GpuDigest> digest_plan(const ExecutionPlan& plan, const Shape& a,
+                                   const Shape& b, const Shape& c) {
+  std::vector<GpuDigest> digests;
+  for (std::size_t nid = 0; nid < plan.nodes.size(); ++nid) {
+    const NodePlan& node = plan.nodes[nid];
+    const int gpus = plan.gpus_of_node[nid];
+    std::vector<GpuDigest> per_gpu(static_cast<std::size_t>(gpus));
+    for (int g = 0; g < gpus; ++g) {
+      per_gpu[static_cast<std::size_t>(g)].node = static_cast<int>(nid);
+      per_gpu[static_cast<std::size_t>(g)].gpu =
+          static_cast<std::uint32_t>(g);
+    }
+    for (const BlockPlan& block : node.blocks) {
+      GpuDigest& d = per_gpu[block.gpu];
+      ++d.blocks;
+      d.max_block_bytes = std::max(d.max_block_bytes, block.bytes);
+      for (const ColumnPiece& piece : block.pieces) {
+        d.b_bytes += piece.b_bytes;
+        d.c_bytes += piece.c_bytes;
+      }
+      const GemmEnumerator enumerator(block);
+      for (const Chunk& chunk : block.chunks) {
+        ++d.chunks;
+        d.a_load_bytes += chunk.a_bytes;
+        enumerator.for_each(chunk, c, [&](const GemmTask& t) {
+          const double m =
+              static_cast<double>(a.row_tiling().tile_extent(t.i));
+          const double n =
+              static_cast<double>(b.col_tiling().tile_extent(t.j));
+          const double k =
+              static_cast<double>(a.col_tiling().tile_extent(t.k));
+          d.flops += 2.0 * m * n * k;
+          ++d.gemm_tasks;
+          // A bytes consumed by this GEMM.
+          d.a_reuse += 8.0 * m * k;
+        });
+      }
+    }
+    for (GpuDigest& d : per_gpu) {
+      d.a_reuse = d.a_load_bytes > 0.0 ? d.a_reuse / d.a_load_bytes : 0.0;
+      digests.push_back(d);
+    }
+  }
+  return digests;
+}
+
+std::string explain_plan(const ExecutionPlan& plan, const Shape& a,
+                         const Shape& b, const Shape& c) {
+  const std::vector<GpuDigest> digests = digest_plan(plan, a, b, c);
+  TextTable table({"node", "gpu", "blocks", "chunks", "GEMMs", "flops",
+                   "B staged", "C staged", "A loaded", "A reuse",
+                   "max block"});
+  for (const GpuDigest& d : digests) {
+    table.add_row({std::to_string(d.node), std::to_string(d.gpu),
+                   std::to_string(d.blocks), std::to_string(d.chunks),
+                   std::to_string(d.gemm_tasks), fmt_flop_count(d.flops),
+                   fmt_bytes(d.b_bytes), fmt_bytes(d.c_bytes),
+                   fmt_bytes(d.a_load_bytes), fmt_fixed(d.a_reuse, 1) + "x",
+                   fmt_bytes(d.max_block_bytes)});
+  }
+
+  const PlanStats st = compute_stats(plan, a, b, c);
+  std::string out = table.render();
+  out += "\ngrid " + std::to_string(plan.grid.p) + " x " +
+         std::to_string(plan.grid.q) + ", budgets " +
+         fmt_percent(plan.config.block_mem_fraction) + " block / " +
+         fmt_percent(plan.config.chunk_mem_fraction) + " chunk, prefetch " +
+         std::to_string(plan.config.prefetch_depth) + "\n";
+  out += "totals: " + std::to_string(st.blocks) + " blocks (" +
+         std::to_string(st.oversized_blocks) + " oversized), " +
+         std::to_string(st.chunks) + " chunks, " +
+         std::to_string(st.segmented_columns) + " segmented columns\n";
+  out += "A broadcast " + fmt_bytes(st.a_network_bytes) + ", C return " +
+         fmt_bytes(st.c_network_bytes) + ", B generated " +
+         fmt_bytes(st.b_generated_bytes) + "\n";
+  out += "GPU flop imbalance " + fmt_fixed(st.gpu_imbalance, 3) + "\n";
+  return out;
+}
+
+}  // namespace bstc

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file explain.hpp
+/// Human-readable reports of an ExecutionPlan: per-node and per-GPU
+/// summaries (blocks, footprints, flops, A-reuse) for understanding what
+/// the inspector decided — the analysis companion to validate_plan.
+
+#include <string>
+
+#include "plan/plan.hpp"
+#include "shape/shape.hpp"
+
+namespace bstc {
+
+/// Per-GPU digest of a plan.
+struct GpuDigest {
+  int node = 0;
+  std::uint32_t gpu = 0;
+  std::size_t blocks = 0;
+  std::size_t chunks = 0;
+  std::size_t gemm_tasks = 0;
+  double flops = 0.0;
+  double b_bytes = 0.0;       ///< B staged to this GPU
+  double c_bytes = 0.0;       ///< C staged
+  double a_load_bytes = 0.0;  ///< A transferred (re-loads included)
+  double max_block_bytes = 0.0;
+  /// A-reuse factor: GEMM bytes consumed from A per byte of A loaded
+  /// (higher = the chunking is amortizing transfers better).
+  double a_reuse = 0.0;
+};
+
+/// Compute one digest per (node, GPU).
+std::vector<GpuDigest> digest_plan(const ExecutionPlan& plan, const Shape& a,
+                                   const Shape& b, const Shape& c);
+
+/// Render the digests as an aligned text table, followed by plan-level
+/// totals (grid, policies, segmented columns, oversized blocks).
+std::string explain_plan(const ExecutionPlan& plan, const Shape& a,
+                         const Shape& b, const Shape& c);
+
+}  // namespace bstc

@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file plan.hpp
+/// Execution-plan data structures produced by the inspector (paper §3.2,
+/// §4: "an inspector phase computes first what tasks exist, and how the
+/// data must flow between them. Then a generic PTG that takes as input an
+/// execution plan produced by this inspector phase allows the runtime
+/// system to execute it").
+///
+/// Terminology (paper):
+///  * grid      — p x q process grid; A and C are 2D-cyclic over it; each
+///                grid row independently computes a horizontal slice of C
+///                against the whole (replicated) B.
+///  * column    — one tile-column of B together with the local C tiles in
+///                that column.
+///  * piece     — a column, or a k-segment of a column too large to ever
+///                fit the block budget (an extension over the paper, which
+///                leaves oversized columns unspecified; see DESIGN.md).
+///  * block     — a set of pieces that fits in 50% of one GPU's memory,
+///                streamed to its GPU as a unit and never flushed until
+///                complete.
+///  * chunk     — a set of A tiles fitting 25% of GPU memory, progressing
+///                through a block while the next chunk prefetches into the
+///                remaining 25%.
+
+#include <cstdint>
+#include <vector>
+
+#include "shape/shape.hpp"
+
+namespace bstc {
+
+/// Process grid: pq nodes arranged p x q, node (r, c) has linear id r*q+c.
+struct GridSpec {
+  int p = 1;  ///< grid rows (B replication factor)
+  int q = 1;  ///< grid columns (processors per grid row)
+
+  int nodes() const { return p * q; }
+  int node_id(int row, int col) const { return row * q + col; }
+};
+
+/// Column -> processor load-balancing policy (§3.2.1; alternatives are
+/// ablation baselines).
+enum class AssignmentPolicy : std::uint8_t {
+  kMirroredCyclic,  ///< the paper's boustrophedon deal
+  kCyclic,          ///< plain cyclic deal (no mirrored pass)
+  kLpt,             ///< greedy longest-processing-time
+};
+
+/// Piece -> block packing heuristic (§3.2.2; alternatives are ablation
+/// baselines).
+enum class PackingPolicy : std::uint8_t {
+  kWorstFit,  ///< the paper's choice: block with most remaining space
+  kFirstFit,  ///< first block that fits
+  kBestFit,   ///< block with least remaining space that fits
+};
+
+/// Inspector tuning knobs (defaults are the paper's choices).
+struct PlanConfig {
+  int p = 1;                        ///< grid rows
+  double block_mem_fraction = 0.5;  ///< block budget, fraction of GPU mem
+  double chunk_mem_fraction = 0.25; ///< chunk budget, fraction of GPU mem
+  AssignmentPolicy assignment = AssignmentPolicy::kMirroredCyclic;
+  PackingPolicy packing = PackingPolicy::kWorstFit;
+  /// Chunks of A resident per block: 2 = the paper's 25% working + 25%
+  /// prefetch scheme; 1 disables prefetch (ablation). Executor/simulator
+  /// additionally clamp the depth when a block leaves too little memory.
+  int prefetch_depth = 2;
+};
+
+/// A column of B (or a k-segment of one) assigned to a block.
+struct ColumnPiece {
+  std::uint32_t col = 0;            ///< global B tile-column index
+  std::vector<std::uint32_t> ks;    ///< nonzero B tile-rows in this piece
+  double b_bytes = 0.0;             ///< bytes of the B tiles of the piece
+  double c_bytes = 0.0;             ///< bytes of local C tiles of the column
+  bool segmented = false;           ///< true if the column was split
+
+  double bytes() const { return b_bytes + c_bytes; }
+};
+
+/// One chunk of A tiles (global tile coordinates into A).
+struct Chunk {
+  /// (tile row i, tile col k) of A, in load order (cyclic across rows).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> a_tiles;
+  double a_bytes = 0.0;
+};
+
+/// One block: pieces + the chunk schedule that sweeps A over them.
+struct BlockPlan {
+  std::uint32_t gpu = 0;  ///< local GPU index on the owning node
+  std::vector<ColumnPiece> pieces;
+  std::vector<Chunk> chunks;
+  double bytes = 0.0;      ///< sum of piece bytes (B + C footprint)
+  bool oversized = false;  ///< single piece alone exceeds the budget
+};
+
+/// Everything one node executes.
+struct NodePlan {
+  int grid_row = 0;
+  int grid_col = 0;
+  std::vector<std::uint32_t> columns;  ///< B tile-columns owned (assignment order)
+  double column_flops = 0.0;           ///< load-balance weight actually received
+  std::vector<BlockPlan> blocks;
+};
+
+/// The full inspector output.
+struct ExecutionPlan {
+  GridSpec grid;
+  PlanConfig config;
+  double gpu_memory_bytes = 0.0;       ///< per-GPU memory the plan assumed
+  std::vector<NodePlan> nodes;         ///< size grid.nodes()
+  std::vector<int> gpus_of_node;       ///< GPUs available per node
+
+  const NodePlan& node(int row, int col) const {
+    return nodes[static_cast<std::size_t>(grid.node_id(row, col))];
+  }
+};
+
+/// Tile rows of A handled by grid row `r` under the 2D-cyclic row
+/// distribution: every i with i % p == r, ascending.
+std::vector<std::uint32_t> slice_rows(std::size_t tile_rows, int p, int r);
+
+}  // namespace bstc

@@ -1,0 +1,176 @@
+#include "plan/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bstc {
+namespace {
+
+constexpr const char* kMagic = "BSTC-PLAN";
+constexpr int kVersion = 1;
+
+void expect_token(std::istream& in, const std::string& expected) {
+  std::string token;
+  in >> token;
+  BSTC_REQUIRE(in.good() || in.eof(), "truncated plan");
+  BSTC_REQUIRE(token == expected,
+               "malformed plan: expected '" + expected + "', got '" + token +
+                   "'");
+}
+
+template <typename T>
+T read_value(std::istream& in, const char* what) {
+  T value{};
+  in >> value;
+  BSTC_REQUIRE(!in.fail(), std::string("malformed plan: bad ") + what);
+  return value;
+}
+
+}  // namespace
+
+std::string serialize_plan(const ExecutionPlan& plan) {
+  std::ostringstream out;
+  out.precision(17);
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "grid " << plan.grid.p << ' ' << plan.grid.q << '\n';
+  out << "config " << plan.config.p << ' ' << plan.config.block_mem_fraction
+      << ' ' << plan.config.chunk_mem_fraction << ' '
+      << static_cast<int>(plan.config.assignment) << ' '
+      << static_cast<int>(plan.config.packing) << ' '
+      << plan.config.prefetch_depth << '\n';
+  out << "gpumem " << plan.gpu_memory_bytes << '\n';
+  out << "gpus " << plan.gpus_of_node.size();
+  for (const int g : plan.gpus_of_node) out << ' ' << g;
+  out << '\n';
+  for (const NodePlan& node : plan.nodes) {
+    out << "node " << node.grid_row << ' ' << node.grid_col << ' '
+        << node.column_flops << ' ' << node.columns.size() << ' '
+        << node.blocks.size() << '\n';
+    out << "cols";
+    for (const std::uint32_t c : node.columns) out << ' ' << c;
+    out << '\n';
+    for (const BlockPlan& block : node.blocks) {
+      out << "block " << block.gpu << ' ' << block.bytes << ' '
+          << (block.oversized ? 1 : 0) << ' ' << block.pieces.size() << ' '
+          << block.chunks.size() << '\n';
+      for (const ColumnPiece& piece : block.pieces) {
+        out << "piece " << piece.col << ' ' << piece.b_bytes << ' '
+            << piece.c_bytes << ' ' << (piece.segmented ? 1 : 0) << ' '
+            << piece.ks.size();
+        for (const std::uint32_t k : piece.ks) out << ' ' << k;
+        out << '\n';
+      }
+      for (const Chunk& chunk : block.chunks) {
+        out << "chunk " << chunk.a_bytes << ' ' << chunk.a_tiles.size();
+        for (const auto& [i, k] : chunk.a_tiles) out << ' ' << i << ' ' << k;
+        out << '\n';
+      }
+    }
+  }
+  return out.str();
+}
+
+ExecutionPlan deserialize_plan(const std::string& text) {
+  std::istringstream in(text);
+  expect_token(in, kMagic);
+  const int version = read_value<int>(in, "version");
+  BSTC_REQUIRE(version == kVersion,
+               "unsupported plan version " + std::to_string(version));
+
+  ExecutionPlan plan;
+  expect_token(in, "grid");
+  plan.grid.p = read_value<int>(in, "grid rows");
+  plan.grid.q = read_value<int>(in, "grid cols");
+  BSTC_REQUIRE(plan.grid.p > 0 && plan.grid.q > 0, "malformed plan: grid");
+
+  expect_token(in, "config");
+  plan.config.p = read_value<int>(in, "config p");
+  plan.config.block_mem_fraction = read_value<double>(in, "block fraction");
+  plan.config.chunk_mem_fraction = read_value<double>(in, "chunk fraction");
+  const int assignment = read_value<int>(in, "assignment policy");
+  BSTC_REQUIRE(assignment >= 0 && assignment <= 2,
+               "malformed plan: assignment policy");
+  plan.config.assignment = static_cast<AssignmentPolicy>(assignment);
+  const int packing = read_value<int>(in, "packing policy");
+  BSTC_REQUIRE(packing >= 0 && packing <= 2, "malformed plan: packing");
+  plan.config.packing = static_cast<PackingPolicy>(packing);
+  plan.config.prefetch_depth = read_value<int>(in, "prefetch depth");
+
+  expect_token(in, "gpumem");
+  plan.gpu_memory_bytes = read_value<double>(in, "gpu memory");
+
+  expect_token(in, "gpus");
+  const auto n_gpu_entries = read_value<std::size_t>(in, "gpu entry count");
+  BSTC_REQUIRE(n_gpu_entries == static_cast<std::size_t>(plan.grid.nodes()),
+               "malformed plan: gpu entry count");
+  plan.gpus_of_node.resize(n_gpu_entries);
+  for (int& g : plan.gpus_of_node) g = read_value<int>(in, "gpu count");
+
+  plan.nodes.resize(static_cast<std::size_t>(plan.grid.nodes()));
+  for (NodePlan& node : plan.nodes) {
+    expect_token(in, "node");
+    node.grid_row = read_value<int>(in, "node row");
+    node.grid_col = read_value<int>(in, "node col");
+    node.column_flops = read_value<double>(in, "node flops");
+    const auto n_cols = read_value<std::size_t>(in, "column count");
+    const auto n_blocks = read_value<std::size_t>(in, "block count");
+    expect_token(in, "cols");
+    node.columns.resize(n_cols);
+    for (std::uint32_t& c : node.columns) {
+      c = read_value<std::uint32_t>(in, "column id");
+    }
+    node.blocks.resize(n_blocks);
+    for (BlockPlan& block : node.blocks) {
+      expect_token(in, "block");
+      block.gpu = read_value<std::uint32_t>(in, "block gpu");
+      block.bytes = read_value<double>(in, "block bytes");
+      block.oversized = read_value<int>(in, "oversized flag") != 0;
+      const auto n_pieces = read_value<std::size_t>(in, "piece count");
+      const auto n_chunks = read_value<std::size_t>(in, "chunk count");
+      block.pieces.resize(n_pieces);
+      for (ColumnPiece& piece : block.pieces) {
+        expect_token(in, "piece");
+        piece.col = read_value<std::uint32_t>(in, "piece column");
+        piece.b_bytes = read_value<double>(in, "piece B bytes");
+        piece.c_bytes = read_value<double>(in, "piece C bytes");
+        piece.segmented = read_value<int>(in, "segmented flag") != 0;
+        const auto n_ks = read_value<std::size_t>(in, "piece k count");
+        piece.ks.resize(n_ks);
+        for (std::uint32_t& k : piece.ks) {
+          k = read_value<std::uint32_t>(in, "piece k");
+        }
+      }
+      block.chunks.resize(n_chunks);
+      for (Chunk& chunk : block.chunks) {
+        expect_token(in, "chunk");
+        chunk.a_bytes = read_value<double>(in, "chunk bytes");
+        const auto n_tiles = read_value<std::size_t>(in, "chunk tile count");
+        chunk.a_tiles.resize(n_tiles);
+        for (auto& [i, k] : chunk.a_tiles) {
+          i = read_value<std::uint32_t>(in, "chunk tile row");
+          k = read_value<std::uint32_t>(in, "chunk tile col");
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+void save_plan(const ExecutionPlan& plan, const std::string& path) {
+  std::ofstream out(path);
+  BSTC_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  out << serialize_plan(plan);
+  BSTC_REQUIRE(out.good(), "failed writing " + path);
+}
+
+ExecutionPlan load_plan(const std::string& path) {
+  std::ifstream in(path);
+  BSTC_REQUIRE(in.good(), "cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return deserialize_plan(buffer.str());
+}
+
+}  // namespace bstc

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file serialize.hpp
+/// Serialization of ExecutionPlans.
+///
+/// The paper's architecture separates the inspector from the executor:
+/// "a generic PTG that takes as input an execution plan produced by this
+/// inspector phase" (§4). Persisting plans makes that separation
+/// practical — inspect once, execute many iterations (the CCSD loop runs
+/// 10-20 contractions against the same V), or inspect offline on a
+/// front-end node.
+///
+/// The format is a versioned line-oriented text format (diff-able,
+/// inspectable); deserialization validates structure and throws
+/// bstc::Error on malformed input.
+
+#include <string>
+
+#include "plan/plan.hpp"
+
+namespace bstc {
+
+/// Serialize a plan. The output fully reconstructs the plan (grid,
+/// config, per-node columns, blocks, pieces and chunks).
+std::string serialize_plan(const ExecutionPlan& plan);
+
+/// Parse a serialized plan. Throws bstc::Error on version mismatch or
+/// malformed content.
+ExecutionPlan deserialize_plan(const std::string& text);
+
+/// Convenience file I/O. Throw bstc::Error on I/O failure.
+void save_plan(const ExecutionPlan& plan, const std::string& path);
+ExecutionPlan load_plan(const std::string& path);
+
+}  // namespace bstc

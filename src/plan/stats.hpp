@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file stats.hpp
+/// Work, transfer and communication statistics of an ExecutionPlan, plus
+/// GEMM-task enumeration shared by the executor and the simulator.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "plan/plan.hpp"
+#include "shape/shape.hpp"
+
+namespace bstc {
+
+/// One tile GEMM: C(i,j) += A(i,k) * B(k,j).
+struct GemmTask {
+  std::uint32_t i = 0;
+  std::uint32_t k = 0;
+  std::uint32_t j = 0;
+};
+
+/// Precomputed k -> pieces lookup for GEMM enumeration over one block.
+/// Building it once per block amortizes the map across chunks (executor
+/// and simulator enumerate millions of tasks through this path).
+class GemmEnumerator {
+ public:
+  explicit GemmEnumerator(const BlockPlan& block);
+
+  /// Visit the GEMM tasks of `chunk` (which must belong to the block this
+  /// enumerator was built from), in chunk load order, filtered by the C
+  /// shape. The callback is inlined — this is the hot path.
+  template <typename Fn>
+  void for_each(const Chunk& chunk, const Shape& c, Fn&& fn) const {
+    for (const auto& [i, k] : chunk.a_tiles) {
+      if (k >= k_to_pieces_.size()) continue;
+      for (const std::uint32_t pc : k_to_pieces_[k]) {
+        const std::uint32_t j = cols_[pc];
+        if (c.nonzero(i, j)) fn(GemmTask{i, k, j});
+      }
+    }
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> k_to_pieces_;
+  std::vector<std::uint32_t> cols_;  ///< piece index -> B column
+};
+
+/// Enumerate the GEMM tasks of one chunk of one block, in chunk load
+/// order. Convenience wrapper over GemmEnumerator (rebuilds the lookup
+/// per call — fine for single-chunk use, wasteful in loops).
+template <typename Fn>
+void for_each_gemm(const BlockPlan& block, const Chunk& chunk, const Shape& c,
+                   Fn&& fn) {
+  GemmEnumerator(block).for_each(chunk, c, std::forward<Fn>(fn));
+}
+
+/// Aggregated statistics of a plan against its problem shapes.
+struct PlanStats {
+  double total_flops = 0.0;
+  std::size_t gemm_tasks = 0;
+  std::size_t blocks = 0;
+  std::size_t chunks = 0;
+  std::size_t oversized_blocks = 0;
+  std::size_t segmented_columns = 0;
+
+  double a_h2d_bytes = 0.0;  ///< A tile bytes moved host->device (re-loads counted)
+  double b_h2d_bytes = 0.0;  ///< B bytes moved host->device (once per piece)
+  double c_h2d_bytes = 0.0;  ///< C bytes staged to device (once per piece)
+  double c_d2h_bytes = 0.0;  ///< C bytes returned to host (once per piece)
+
+  double a_network_bytes = 0.0;  ///< inter-node A broadcast volume
+  double c_network_bytes = 0.0;  ///< inter-node C return volume
+  double b_generated_bytes = 0.0;  ///< B bytes generated on demand (per node)
+
+  /// flops_per_gpu[node][gpu] — GEMM flops executed per device.
+  std::vector<std::vector<double>> flops_per_gpu;
+  /// max/mean flops over all GPUs (1.0 = perfect balance).
+  double gpu_imbalance = 1.0;
+};
+
+/// Compute the statistics of `plan` for the product defined by (a, b, c).
+PlanStats compute_stats(const ExecutionPlan& plan, const Shape& a,
+                        const Shape& b, const Shape& c);
+
+/// Check the structural invariants of a plan; returns human-readable
+/// violation descriptions (empty = valid). Verifies:
+///  * block footprints within budget unless flagged oversized;
+///  * oversized blocks hold exactly one piece;
+///  * chunk budgets respected except single-tile chunks;
+///  * no A tile appears twice within one block;
+///  * every B column with work is planned exactly once per grid row;
+///  * the planned GEMM tasks match contraction_stats(a, b, c) exactly.
+std::vector<std::string> validate_plan(const ExecutionPlan& plan,
+                                       const Shape& a, const Shape& b,
+                                       const Shape& c);
+
+}  // namespace bstc

@@ -1,0 +1,40 @@
+#include "runtime/device.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace bstc {
+
+DeviceMemory::DeviceMemory(std::string name, std::size_t capacity_bytes)
+    : name_(std::move(name)), capacity_(capacity_bytes) {
+  BSTC_REQUIRE(capacity_ > 0, "device must have memory");
+}
+
+void DeviceMemory::allocate(std::size_t bytes) {
+  std::lock_guard lock(mutex_);
+  BSTC_REQUIRE(used_ + bytes <= capacity_,
+               "device memory overflow on " + name_ + ": " +
+                   std::to_string(used_ + bytes) + " > " +
+                   std::to_string(capacity_));
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+}
+
+void DeviceMemory::release(std::size_t bytes) {
+  std::lock_guard lock(mutex_);
+  BSTC_REQUIRE(bytes <= used_, "freeing more than allocated on " + name_);
+  used_ -= bytes;
+}
+
+std::size_t DeviceMemory::used() const {
+  std::lock_guard lock(mutex_);
+  return used_;
+}
+
+std::size_t DeviceMemory::peak_used() const {
+  std::lock_guard lock(mutex_);
+  return peak_;
+}
+
+}  // namespace bstc

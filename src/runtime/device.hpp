@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file device.hpp
+/// Device-memory accounting for the real executor.
+///
+/// The correctness claim at the heart of the paper's §3.2.2–3.2.3 is that
+/// with blocks bounded by 50% and chunks by 25% of device memory, B and C
+/// tiles are never flushed mid-block and A transfers overlap compute.
+/// DeviceMemory enforces the capacity as a hard error so tests can prove
+/// the engine's control DAG keeps every schedule within budget.
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace bstc {
+
+/// Thread-safe allocator bookkeeping for one device.
+class DeviceMemory {
+ public:
+  DeviceMemory(std::string name, std::size_t capacity_bytes);
+
+  /// Reserve bytes; throws bstc::Error if the capacity would be exceeded
+  /// (the engine must never let this happen).
+  void allocate(std::size_t bytes);
+  /// Return bytes; throws if more is freed than is allocated.
+  void release(std::size_t bytes);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const;
+  std::size_t peak_used() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace bstc

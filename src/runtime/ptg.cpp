@@ -1,0 +1,184 @@
+#include "runtime/ptg.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace bstc {
+namespace {
+
+/// Key of a task instance.
+struct InstanceKey {
+  std::uint32_t task_class;
+  PtgParams params;
+
+  bool operator==(const InstanceKey& other) const {
+    return task_class == other.task_class && params == other.params;
+  }
+};
+
+struct InstanceKeyHash {
+  std::size_t operator()(const InstanceKey& key) const {
+    std::size_t h = key.task_class * 0x9E3779B97F4A7C15ull;
+    for (const std::int64_t p : key.params) {
+      h ^= static_cast<std::size_t>(p) + 0x9E3779B97F4A7C15ull + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+struct RunState {
+  explicit RunState(std::uint32_t queues) : ready(queues) {}
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::deque<InstanceKey>> ready;
+  /// Instances referenced but not yet released (remaining deps > 0).
+  std::unordered_map<InstanceKey, std::size_t, InstanceKeyHash> pending;
+  /// Instances that already became ready — used to detect over-release
+  /// (an instance released after its dependence count was satisfied).
+  std::unordered_set<InstanceKey, InstanceKeyHash> released;
+  std::size_t executed = 0;
+  std::size_t peak_pending = 0;
+  std::size_t in_flight = 0;   ///< tasks currently executing
+  std::size_t ready_count = 0; ///< tasks enqueued but not started
+  bool aborted = false;
+  std::exception_ptr error;
+};
+
+}  // namespace
+
+PtgStats run_ptg(const PtgProgram& program, std::uint32_t num_queues) {
+  BSTC_REQUIRE(num_queues > 0, "need at least one queue");
+  for (const TaskClass& tc : program.classes) {
+    BSTC_REQUIRE(tc.queue && tc.body && tc.dependence_count && tc.successors,
+                 "task class '" + tc.name + "' is missing a hook");
+  }
+
+  Timer timer;
+  RunState state(num_queues);
+
+  auto queue_of = [&program, num_queues](const InstanceKey& key) {
+    const std::uint32_t q =
+        program.classes[key.task_class].queue(key.params);
+    BSTC_REQUIRE(q < num_queues, "task bound to a non-existent queue");
+    return q;
+  };
+
+  {
+    std::lock_guard lock(state.mutex);
+    for (const PtgTaskRef& root : program.roots) {
+      BSTC_REQUIRE(root.task_class < program.classes.size(),
+                   "root references an unknown task class");
+      InstanceKey key{root.task_class, root.params};
+      state.ready[queue_of(key)].push_back(key);
+      ++state.ready_count;
+    }
+  }
+
+  // Releases one dependence of `key`, creating its pending entry on first
+  // reference. Returns true if the instance became ready.
+  auto release = [&program, &state, &queue_of](const InstanceKey& key) {
+    BSTC_REQUIRE(key.task_class < program.classes.size(),
+                 "flow references an unknown task class");
+    BSTC_REQUIRE(!state.released.contains(key),
+                 "instance released after its dependences were satisfied");
+    auto it = state.pending.find(key);
+    if (it == state.pending.end()) {
+      const std::size_t deps =
+          program.classes[key.task_class].dependence_count(key.params);
+      BSTC_REQUIRE(deps > 0,
+                   "released an instance that declares zero dependences");
+      it = state.pending.emplace(key, deps).first;
+      state.peak_pending = std::max(state.peak_pending, state.pending.size());
+    }
+    BSTC_REQUIRE(it->second > 0, "instance released too many times");
+    if (--it->second == 0) {
+      state.pending.erase(it);
+      state.released.insert(key);
+      state.ready[queue_of(key)].push_back(key);
+      ++state.ready_count;
+      return true;
+    }
+    return false;
+  };
+
+  auto worker = [&](std::uint32_t queue) {
+    std::unique_lock lock(state.mutex);
+    while (true) {
+      state.cv.wait(lock, [&] {
+        return state.aborted || !state.ready[queue].empty() ||
+               (state.ready_count == 0 && state.in_flight == 0);
+      });
+      if (state.aborted ||
+          (state.ready[queue].empty() && state.ready_count == 0 &&
+           state.in_flight == 0)) {
+        state.cv.notify_all();
+        return;
+      }
+      if (state.ready[queue].empty()) continue;
+      const InstanceKey key = state.ready[queue].front();
+      state.ready[queue].pop_front();
+      --state.ready_count;
+      ++state.in_flight;
+      lock.unlock();
+
+      std::vector<PtgTaskRef> next;
+      try {
+        const TaskClass& tc = program.classes[key.task_class];
+        tc.body(key.params);
+        next = tc.successors(key.params);
+      } catch (...) {
+        lock.lock();
+        if (!state.error) state.error = std::current_exception();
+        state.aborted = true;
+        state.cv.notify_all();
+        return;
+      }
+
+      lock.lock();
+      ++state.executed;
+      --state.in_flight;
+      try {
+        bool woke = false;
+        for (const PtgTaskRef& ref : next) {
+          woke |= release(InstanceKey{ref.task_class, ref.params});
+        }
+        if (woke || (state.ready_count == 0 && state.in_flight == 0)) {
+          state.cv.notify_all();
+        }
+      } catch (...) {
+        if (!state.error) state.error = std::current_exception();
+        state.aborted = true;
+        state.cv.notify_all();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_queues);
+  for (std::uint32_t q = 0; q < num_queues; ++q) threads.emplace_back(worker, q);
+  for (std::thread& t : threads) t.join();
+
+  if (state.error) std::rethrow_exception(state.error);
+  BSTC_REQUIRE(state.pending.empty(),
+               "PTG run finished with unsatisfied dependences (flow counts "
+               "inconsistent or graph disconnected)");
+
+  PtgStats stats;
+  stats.tasks_executed = state.executed;
+  stats.peak_pending = state.peak_pending;
+  stats.wall_seconds = timer.elapsed_s();
+  return stats;
+}
+
+}  // namespace bstc

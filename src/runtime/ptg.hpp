@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file ptg.hpp
+/// A miniature Parameterized Task Graph (PTG) runtime.
+///
+/// PaRSEC's PTG language (paper §4, [13]) defines "the DAG of tasks as a
+/// concise and parameterized collection of tasks that exchange data
+/// through flows. Tasks are defined using task classes (a rudimentary
+/// templating approach), and task classes express synthetic conditions to
+/// enable input and output flows". The DAG is never materialized up
+/// front: each task instance is identified by (class, parameters) and its
+/// dependences are evaluated from the class's flow conditions as
+/// execution progresses.
+///
+/// This module reproduces that model: a PtgProgram is a set of TaskClass
+/// definitions whose instances are addressed by an integer parameter
+/// vector; `successors` enumerates the outgoing flows of an instance and
+/// `dependence_count` gives its number of incoming flows. Instances are
+/// created lazily when first referenced — the memory footprint is the
+/// *active* front of the DAG, not the whole graph, which is exactly why
+/// the paper's irregular problems need an inspector to feed a generic
+/// PTG rather than a fully unrolled graph.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bstc {
+
+/// Parameter vector identifying one task instance within its class.
+using PtgParams = std::vector<std::int64_t>;
+
+/// Reference to a task instance of some class.
+struct PtgTaskRef {
+  std::uint32_t task_class = 0;
+  PtgParams params;
+};
+
+/// One parameterized task class.
+struct TaskClass {
+  std::string name;
+
+  /// Execution queue of an instance.
+  std::function<std::uint32_t(const PtgParams&)> queue;
+
+  /// Work of an instance.
+  std::function<void(const PtgParams&)> body;
+
+  /// Number of incoming flows of an instance (0 = ready at start).
+  std::function<std::size_t(const PtgParams&)> dependence_count;
+
+  /// Outgoing flows of an instance: the instances it releases.
+  std::function<std::vector<PtgTaskRef>(const PtgParams&)> successors;
+};
+
+/// A PTG program: task classes plus the initial (dependence-free) tasks.
+///
+/// Contract: for every instance reachable from the roots, the number of
+/// times it appears in its predecessors' `successors` lists must equal
+/// its `dependence_count`; violations are detected (executed count
+/// mismatch) and reported as errors at the end of the run.
+struct PtgProgram {
+  std::vector<TaskClass> classes;
+  std::vector<PtgTaskRef> roots;
+};
+
+/// Execution statistics.
+struct PtgStats {
+  std::size_t tasks_executed = 0;
+  std::size_t peak_pending = 0;  ///< max simultaneously-tracked instances
+  double wall_seconds = 0.0;
+};
+
+/// Execute a PTG program over `num_queues` worker threads. Throws
+/// bstc::Error on contract violations (a task released more often than
+/// its dependence count, or a dependence count that is never satisfied —
+/// i.e. the run ends with pending instances). Task-body exceptions
+/// propagate like in run_graph.
+PtgStats run_ptg(const PtgProgram& program, std::uint32_t num_queues);
+
+}  // namespace bstc

@@ -1,0 +1,51 @@
+#include "runtime/task_graph.hpp"
+
+#include <deque>
+
+#include "support/error.hpp"
+
+namespace bstc {
+
+TaskId TaskGraph::add_task(std::string name, std::uint32_t queue,
+                           std::function<void()> body) {
+  TaskNode node;
+  node.name = std::move(name);
+  node.queue = queue;
+  node.body = std::move(body);
+  tasks_.push_back(std::move(node));
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+void TaskGraph::add_edge(TaskId from, TaskId to, EdgeKind kind) {
+  BSTC_REQUIRE(from < tasks_.size() && to < tasks_.size(),
+               "edge endpoints must exist");
+  BSTC_REQUIRE(from != to, "self-edges are not allowed");
+  tasks_[from].successors.push_back(to);
+  ++tasks_[to].predecessors;
+  ++edges_;
+  if (kind == EdgeKind::kControl) {
+    ++tasks_[to].control_in;
+    ++control_edges_;
+  }
+}
+
+bool TaskGraph::is_acyclic() const {
+  std::vector<std::uint32_t> deps(tasks_.size());
+  std::deque<TaskId> ready;
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    deps[t] = tasks_[t].predecessors;
+    if (deps[t] == 0) ready.push_back(static_cast<TaskId>(t));
+  }
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const TaskId t = ready.front();
+    ready.pop_front();
+    ++visited;
+    for (const TaskId s : tasks_[t].successors) {
+      if (--deps[s] == 0) ready.push_back(s);
+    }
+  }
+  return visited == tasks_.size();
+}
+
+}  // namespace bstc

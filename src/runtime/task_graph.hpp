@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file task_graph.hpp
+/// Task DAG for the dataflow runtime.
+///
+/// The paper expresses its algorithm as the superposition of two DAGs over
+/// the same tasks (§4): a *dataflow* DAG (real data dependencies) and a
+/// *control* DAG (architecture-specific ordering constraints that keep the
+/// scheduler from thrashing GPU memory). Both kinds are ordinary edges
+/// here; the tag is kept so tools and tests can distinguish them.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bstc {
+
+using TaskId = std::uint32_t;
+
+/// Why an edge exists (purely informational for execution).
+enum class EdgeKind : std::uint8_t {
+  kData,     ///< consumer reads data the producer wrote
+  kControl,  ///< ordering constraint for memory-pressure control
+};
+
+/// A node of the DAG: a closure bound to an execution queue.
+struct TaskNode {
+  std::string name;            ///< debug label ("gemm(3,1,7)")
+  std::uint32_t queue = 0;     ///< execution queue (device / CPU stream)
+  std::function<void()> body;  ///< work to run
+  std::vector<TaskId> successors;
+  std::uint32_t predecessors = 0;
+  std::uint32_t control_in = 0;  ///< how many incoming edges are control
+};
+
+/// An append-only task DAG. Not thread-safe during construction; execution
+/// is handled by Scheduler.
+class TaskGraph {
+ public:
+  /// Add a task bound to `queue`; returns its id.
+  TaskId add_task(std::string name, std::uint32_t queue,
+                  std::function<void()> body);
+
+  /// Add an edge from -> to. Self-edges and duplicate edges are rejected
+  /// (duplicates would corrupt the dependence counters).
+  void add_edge(TaskId from, TaskId to, EdgeKind kind = EdgeKind::kData);
+
+  std::size_t size() const { return tasks_.size(); }
+  const TaskNode& task(TaskId id) const { return tasks_.at(id); }
+  TaskNode& task(TaskId id) { return tasks_.at(id); }
+
+  std::size_t edge_count() const { return edges_; }
+  std::size_t control_edge_count() const { return control_edges_; }
+
+  /// True if the DAG has no cycle (Kahn). The engine's construction is
+  /// cycle-free by design; tests call this on every built graph.
+  bool is_acyclic() const;
+
+ private:
+  std::vector<TaskNode> tasks_;
+  std::size_t edges_ = 0;
+  std::size_t control_edges_ = 0;
+};
+
+}  // namespace bstc

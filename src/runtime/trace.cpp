@@ -1,0 +1,70 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace bstc {
+
+void TraceRecorder::record(std::string name, std::uint32_t queue,
+                           double start_s, double end_s) {
+  std::lock_guard lock(mutex_);
+  events_.push_back({std::move(name), queue, start_s, end_s});
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  std::lock_guard lock(mutex_);
+  std::string out = "[\n";
+  char buf[256];
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    // Escape quotes/backslashes in the (library-generated) name.
+    std::string name;
+    for (const char ch : e.name) {
+      if (ch == '"' || ch == '\\') name += '\\';
+      name += ch;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%u,"
+                  "\"ts\":%.3f,\"dur\":%.3f}",
+                  name.c_str(), e.queue, e.start_s * 1e6,
+                  (e.end_s - e.start_s) * 1e6);
+    out += buf;
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path);
+  BSTC_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  out << to_chrome_json();
+  BSTC_REQUIRE(out.good(), "failed writing " + path);
+}
+
+std::vector<double> TraceRecorder::busy_per_queue() const {
+  std::lock_guard lock(mutex_);
+  std::uint32_t max_queue = 0;
+  for (const TraceEvent& e : events_) max_queue = std::max(max_queue, e.queue);
+  std::vector<double> busy(events_.empty() ? 0 : max_queue + 1, 0.0);
+  for (const TraceEvent& e : events_) {
+    busy[e.queue] += e.end_s - e.start_s;
+  }
+  return busy;
+}
+
+}  // namespace bstc

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file trace.hpp
+/// Execution tracing for the runtime: records per-task (queue, start, end)
+/// and exports Chrome-tracing JSON (chrome://tracing, Perfetto), the same
+/// kind of timeline view PaRSEC developers use to diagnose schedules.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bstc {
+
+/// One executed task instance.
+struct TraceEvent {
+  std::string name;
+  std::uint32_t queue = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+/// Thread-safe collector of task execution spans.
+class TraceRecorder {
+ public:
+  /// Record one span (times relative to the run start).
+  void record(std::string name, std::uint32_t queue, double start_s,
+              double end_s);
+
+  std::size_t size() const;
+  /// Snapshot of all events (copy; safe after the run has finished).
+  std::vector<TraceEvent> events() const;
+
+  /// Serialize as a Chrome-tracing JSON array (each queue is a "thread").
+  std::string to_chrome_json() const;
+  /// Write to_chrome_json() to a file. Throws bstc::Error on I/O failure.
+  void write_chrome_json(const std::string& path) const;
+
+  /// Total busy time per queue, seconds.
+  std::vector<double> busy_per_queue() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace bstc

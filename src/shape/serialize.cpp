@@ -1,0 +1,135 @@
+#include "shape/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bstc {
+namespace {
+
+constexpr const char* kTilingMagic = "BSTC-TILING";
+constexpr const char* kShapeMagic = "BSTC-SHAPE";
+constexpr int kVersion = 1;
+
+void expect_token(std::istream& in, const std::string& expected) {
+  std::string token;
+  in >> token;
+  BSTC_REQUIRE(token == expected, "malformed input: expected '" + expected +
+                                      "', got '" + token + "'");
+}
+
+template <typename T>
+T read_value(std::istream& in, const char* what) {
+  T value{};
+  in >> value;
+  BSTC_REQUIRE(!in.fail(), std::string("malformed input: bad ") + what);
+  return value;
+}
+
+void write_tiling_body(std::ostream& out, const Tiling& tiling) {
+  out << tiling.num_tiles();
+  for (std::size_t t = 0; t < tiling.num_tiles(); ++t) {
+    out << ' ' << tiling.tile_extent(t);
+  }
+  out << '\n';
+}
+
+Tiling read_tiling_body(std::istream& in) {
+  const auto n = read_value<std::size_t>(in, "tile count");
+  std::vector<Index> extents(n);
+  for (Index& e : extents) e = read_value<Index>(in, "tile extent");
+  return Tiling::from_extents(extents);
+}
+
+}  // namespace
+
+std::string serialize_tiling(const Tiling& tiling) {
+  std::ostringstream out;
+  out << kTilingMagic << ' ' << kVersion << '\n';
+  write_tiling_body(out, tiling);
+  return out.str();
+}
+
+Tiling deserialize_tiling(const std::string& text) {
+  std::istringstream in(text);
+  expect_token(in, kTilingMagic);
+  const int version = read_value<int>(in, "version");
+  BSTC_REQUIRE(version == kVersion, "unsupported tiling version");
+  return read_tiling_body(in);
+}
+
+std::string serialize_shape(const Shape& shape) {
+  std::ostringstream out;
+  out << kShapeMagic << ' ' << kVersion << '\n';
+  write_tiling_body(out, shape.row_tiling());
+  write_tiling_body(out, shape.col_tiling());
+  // Run-length encode each tile row: alternating run lengths of zeros and
+  // nonzeros, starting with zeros.
+  for (std::size_t r = 0; r < shape.tile_rows(); ++r) {
+    std::vector<std::size_t> runs;
+    bool current = false;  // runs start counting zeros
+    std::size_t length = 0;
+    for (std::size_t c = 0; c < shape.tile_cols(); ++c) {
+      const bool nz = shape.nonzero(r, c);
+      if (nz == current) {
+        ++length;
+      } else {
+        runs.push_back(length);
+        current = nz;
+        length = 1;
+      }
+    }
+    runs.push_back(length);
+    out << "row " << runs.size();
+    for (const std::size_t run : runs) out << ' ' << run;
+    out << '\n';
+  }
+  return out.str();
+}
+
+Shape deserialize_shape(const std::string& text) {
+  std::istringstream in(text);
+  expect_token(in, kShapeMagic);
+  const int version = read_value<int>(in, "version");
+  BSTC_REQUIRE(version == kVersion, "unsupported shape version");
+  const Tiling rows = read_tiling_body(in);
+  const Tiling cols = read_tiling_body(in);
+  Shape shape(rows, cols);
+  for (std::size_t r = 0; r < shape.tile_rows(); ++r) {
+    expect_token(in, "row");
+    const auto n_runs = read_value<std::size_t>(in, "run count");
+    std::size_t c = 0;
+    bool current = false;
+    for (std::size_t run = 0; run < n_runs; ++run) {
+      const auto length = read_value<std::size_t>(in, "run length");
+      BSTC_REQUIRE(c + length <= shape.tile_cols(),
+                   "malformed shape: runs exceed the row width");
+      if (current) {
+        for (std::size_t i = 0; i < length; ++i) shape.set(r, c + i);
+      }
+      c += length;
+      current = !current;
+    }
+    BSTC_REQUIRE(c == shape.tile_cols(),
+                 "malformed shape: runs do not cover the row");
+  }
+  return shape;
+}
+
+void save_shape(const Shape& shape, const std::string& path) {
+  std::ofstream out(path);
+  BSTC_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  out << serialize_shape(shape);
+  BSTC_REQUIRE(out.good(), "failed writing " + path);
+}
+
+Shape load_shape(const std::string& path) {
+  std::ifstream in(path);
+  BSTC_REQUIRE(in.good(), "cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return deserialize_shape(buffer.str());
+}
+
+}  // namespace bstc

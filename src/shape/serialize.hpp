@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file serialize.hpp (shape)
+/// Serialization of Tilings and Shapes — so that a problem (the input of
+/// the inspector) can be saved alongside an ExecutionPlan and re-executed
+/// later, and so the CLI can exchange problems between invocations.
+///
+/// Format: versioned line-oriented text; the sparsity bitmap is run-length
+/// encoded per tile row (block-sparse rows are long runs, so RLE is
+/// compact even for matricized V with millions of tile entries).
+
+#include <string>
+
+#include "shape/shape.hpp"
+#include "tiling/tiling.hpp"
+
+namespace bstc {
+
+std::string serialize_tiling(const Tiling& tiling);
+Tiling deserialize_tiling(const std::string& text);
+
+std::string serialize_shape(const Shape& shape);
+Shape deserialize_shape(const std::string& text);
+
+/// File helpers; throw bstc::Error on I/O failure.
+void save_shape(const Shape& shape, const std::string& path);
+Shape load_shape(const std::string& path);
+
+}  // namespace bstc

@@ -1,0 +1,143 @@
+#include "shape/shape.hpp"
+
+#include <bit>
+
+#include "support/error.hpp"
+
+namespace bstc {
+
+Shape::Shape(Tiling rows, Tiling cols)
+    : rows_(std::move(rows)),
+      cols_(std::move(cols)),
+      words_per_row_((cols_.num_tiles() + 63) / 64),
+      bits_(rows_.num_tiles() * words_per_row_, 0) {}
+
+Shape Shape::dense(Tiling rows, Tiling cols) {
+  Shape s(std::move(rows), std::move(cols));
+  for (std::size_t r = 0; r < s.tile_rows(); ++r) {
+    for (std::size_t c = 0; c < s.tile_cols(); ++c) s.set(r, c);
+  }
+  return s;
+}
+
+Shape Shape::random(Tiling rows, Tiling cols, double density, Rng& rng) {
+  BSTC_REQUIRE(density > 0.0 && density <= 1.0,
+               "density must be in (0, 1]");
+  Shape s = dense(std::move(rows), std::move(cols));
+  const auto total =
+      static_cast<double>(s.row_tiling().extent()) *
+      static_cast<double>(s.col_tiling().extent());
+  if (total == 0.0) return s;
+
+  // List of currently-nonzero tiles for uniform selection.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> alive;
+  alive.reserve(s.tile_rows() * s.tile_cols());
+  for (std::size_t r = 0; r < s.tile_rows(); ++r) {
+    for (std::size_t c = 0; c < s.tile_cols(); ++c) {
+      alive.emplace_back(static_cast<std::uint32_t>(r),
+                         static_cast<std::uint32_t>(c));
+    }
+  }
+
+  double nnz = total;
+  // Eliminate uniformly-chosen nonzero tiles while the *next* elimination
+  // keeps the element-wise density at or above the threshold (paper §5.1:
+  // "until eliminating another tile would draw the density of the matrix
+  // under the threshold").
+  while (!alive.empty()) {
+    const std::size_t pick = rng.uniform_index(alive.size());
+    const auto [r, c] = alive[pick];
+    const double area =
+        static_cast<double>(s.row_tiling().tile_extent(r)) *
+        static_cast<double>(s.col_tiling().tile_extent(c));
+    if ((nnz - area) / total < density) break;
+    s.set(r, c, false);
+    nnz -= area;
+    alive[pick] = alive.back();
+    alive.pop_back();
+  }
+  return s;
+}
+
+void Shape::set(std::size_t r, std::size_t c, bool nz) {
+  BSTC_REQUIRE(r < tile_rows() && c < tile_cols(), "tile index out of range");
+  auto& w = bits_[r * words_per_row_ + c / 64];
+  const std::uint64_t mask = std::uint64_t{1} << bit(c);
+  if (nz) {
+    w |= mask;
+  } else {
+    w &= ~mask;
+  }
+}
+
+std::size_t Shape::nnz_tiles() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : bits_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t Shape::nnz_in_row(std::size_t r) const {
+  BSTC_REQUIRE(r < tile_rows(), "tile row out of range");
+  std::size_t n = 0;
+  const std::uint64_t* row = row_bits(r);
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    n += static_cast<std::size_t>(std::popcount(row[w]));
+  }
+  return n;
+}
+
+std::size_t Shape::nnz_in_col(std::size_t c) const {
+  BSTC_REQUIRE(c < tile_cols(), "tile column out of range");
+  std::size_t n = 0;
+  for (std::size_t r = 0; r < tile_rows(); ++r) n += nonzero(r, c) ? 1 : 0;
+  return n;
+}
+
+Index Shape::nnz_elements() const {
+  Index total = 0;
+  for (std::size_t r = 0; r < tile_rows(); ++r) {
+    const Index re = rows_.tile_extent(r);
+    const std::uint64_t* row = row_bits(r);
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      std::uint64_t bitsw = row[w];
+      while (bitsw) {
+        const auto c = w * 64 + static_cast<std::size_t>(std::countr_zero(bitsw));
+        total += re * cols_.tile_extent(c);
+        bitsw &= bitsw - 1;
+      }
+    }
+  }
+  return total;
+}
+
+double Shape::density() const {
+  const double total = static_cast<double>(rows_.extent()) *
+                       static_cast<double>(cols_.extent());
+  if (total == 0.0) return 0.0;
+  return static_cast<double>(nnz_elements()) / total;
+}
+
+Index Shape::col_row_weight(std::size_t c) const {
+  BSTC_REQUIRE(c < tile_cols(), "tile column out of range");
+  Index w = 0;
+  for (std::size_t r = 0; r < tile_rows(); ++r) {
+    if (nonzero(r, c)) w += rows_.tile_extent(r);
+  }
+  return w;
+}
+
+void Shape::or_row(std::size_t r, const Shape& other, std::size_t r2) {
+  BSTC_REQUIRE(other.tile_cols() == tile_cols(),
+               "column tile counts must agree for or_row");
+  BSTC_REQUIRE(r < tile_rows() && r2 < other.tile_rows(),
+               "row index out of range");
+  std::uint64_t* dst = bits_.data() + r * words_per_row_;
+  const std::uint64_t* src = other.row_bits(r2);
+  for (std::size_t w = 0; w < words_per_row_; ++w) dst[w] |= src[w];
+}
+
+bool Shape::operator==(const Shape& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ && bits_ == other.bits_;
+}
+
+}  // namespace bstc

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file shape.hpp
+/// Block-sparsity structure ("shape") of a tiled matrix.
+///
+/// A Shape records, for a pair of (row, column) tilings, which tiles are
+/// nonzero. Tiles are either zero or fully dense (paper §3.1 item 2), so a
+/// bitmap is the exact representation. Rows are stored as packed 64-bit
+/// words so shape algebra (contraction closure, task counting) runs as
+/// word-wide bit operations; matricized V in the paper has ~18M tiles and
+/// these operations are on the inspector's critical path.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "tiling/tiling.hpp"
+
+namespace bstc {
+
+/// Block-sparsity bitmap over a row tiling x column tiling grid.
+class Shape {
+ public:
+  /// Empty shape over empty tilings.
+  Shape() : Shape(Tiling{}, Tiling{}) {}
+
+  /// All-zero shape over the given tilings.
+  Shape(Tiling rows, Tiling cols);
+
+  /// Fully dense shape.
+  static Shape dense(Tiling rows, Tiling cols);
+
+  /// Random block-sparse shape with *element-wise* density `density`:
+  /// starting dense, nonzero tiles are eliminated uniformly at random until
+  /// removing one more tile would drop the element-wise density below the
+  /// threshold (the paper's iterative elimination procedure, §5.1).
+  static Shape random(Tiling rows, Tiling cols, double density, Rng& rng);
+
+  const Tiling& row_tiling() const { return rows_; }
+  const Tiling& col_tiling() const { return cols_; }
+  std::size_t tile_rows() const { return rows_.num_tiles(); }
+  std::size_t tile_cols() const { return cols_.num_tiles(); }
+
+  bool nonzero(std::size_t r, std::size_t c) const {
+    return (word(r, c) >> bit(c)) & 1u;
+  }
+  void set(std::size_t r, std::size_t c, bool nz = true);
+
+  /// Number of nonzero tiles.
+  std::size_t nnz_tiles() const;
+  /// Number of nonzero tiles in one tile-row / tile-column.
+  std::size_t nnz_in_row(std::size_t r) const;
+  std::size_t nnz_in_col(std::size_t c) const;
+
+  /// Sum of elements over nonzero tiles.
+  Index nnz_elements() const;
+  /// Element-wise density: nnz_elements / (M*N). 0 for an empty matrix.
+  double density() const;
+  /// Bytes required to store the nonzero tiles (doubles).
+  double nnz_bytes() const { return 8.0 * static_cast<double>(nnz_elements()); }
+
+  /// Sum of *row extents* of nonzero tiles in tile-column c
+  /// (i.e. Σ_i rows(i)·[nonzero(i,c)]), used for flop weights.
+  Index col_row_weight(std::size_t c) const;
+
+  /// Direct access to a packed row (tile_cols bits, little-endian within
+  /// each word). Word count per row is words_per_row().
+  const std::uint64_t* row_bits(std::size_t r) const {
+    return bits_.data() + r * words_per_row_;
+  }
+  std::size_t words_per_row() const { return words_per_row_; }
+
+  /// OR another shape's row r2 into this shape's row r (tilings of the
+  /// column dimension must agree in tile count).
+  void or_row(std::size_t r, const Shape& other, std::size_t r2);
+
+  bool operator==(const Shape& other) const;
+
+ private:
+  std::uint64_t word(std::size_t r, std::size_t c) const {
+    return bits_[r * words_per_row_ + c / 64];
+  }
+  static std::size_t bit(std::size_t c) { return c % 64; }
+
+  Tiling rows_;
+  Tiling cols_;
+  std::size_t words_per_row_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace bstc

@@ -1,0 +1,181 @@
+#include "shape/shape_algebra.hpp"
+
+#include <bit>
+
+#include "support/error.hpp"
+
+namespace bstc {
+namespace {
+
+/// Visit every set bit of A's row r as a column index.
+template <typename Fn>
+void for_each_nonzero_in_row(const Shape& s, std::size_t r, Fn&& fn) {
+  const std::uint64_t* row = s.row_bits(r);
+  for (std::size_t w = 0; w < s.words_per_row(); ++w) {
+    std::uint64_t bits = row[w];
+    while (bits) {
+      fn(w * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+    }
+  }
+}
+
+void check_conformance(const Shape& a, const Shape& b) {
+  BSTC_REQUIRE(a.col_tiling() == b.row_tiling(),
+               "inner tilings of A and B must agree");
+}
+
+}  // namespace
+
+Shape contract_shape(const Shape& a, const Shape& b) {
+  check_conformance(a, b);
+  Shape c(a.row_tiling(), b.col_tiling());
+  for (std::size_t i = 0; i < a.tile_rows(); ++i) {
+    for_each_nonzero_in_row(a, i, [&](std::size_t k) { c.or_row(i, b, k); });
+  }
+  return c;
+}
+
+ContractionStats contraction_stats(const Shape& a, const Shape& b) {
+  check_conformance(a, b);
+  ContractionStats stats;
+  // flops = sum over nonzero B(k,j) of 2*n_j*k_k*(rows of nonzero A(.,k));
+  // tasks = sum over nonzero B(k,j) of nnz in A column k.
+  std::vector<Index> col_weight(a.tile_cols());
+  std::vector<std::size_t> col_count(a.tile_cols());
+  for (std::size_t k = 0; k < a.tile_cols(); ++k) {
+    col_weight[k] = a.col_row_weight(k);
+    col_count[k] = a.nnz_in_col(k);
+  }
+  for (std::size_t k = 0; k < b.tile_rows(); ++k) {
+    const auto k_ext = static_cast<double>(b.row_tiling().tile_extent(k));
+    for_each_nonzero_in_row(b, k, [&](std::size_t j) {
+      const auto n_ext = static_cast<double>(b.col_tiling().tile_extent(j));
+      stats.flops += 2.0 * n_ext * k_ext * static_cast<double>(col_weight[k]);
+      stats.gemm_tasks += col_count[k];
+    });
+  }
+  return stats;
+}
+
+ContractionStats contraction_stats(const Shape& a, const Shape& b,
+                                   const Shape& c_filter) {
+  check_conformance(a, b);
+  BSTC_REQUIRE(c_filter.tile_rows() == a.tile_rows() &&
+                   c_filter.tile_cols() == b.tile_cols(),
+               "C filter must be conformant with the product");
+  ContractionStats stats;
+  const std::size_t words = b.words_per_row();
+  for (std::size_t i = 0; i < a.tile_rows(); ++i) {
+    const auto m_ext = static_cast<double>(a.row_tiling().tile_extent(i));
+    const std::uint64_t* c_row = c_filter.row_bits(i);
+    for_each_nonzero_in_row(a, i, [&](std::size_t k) {
+      const auto k_ext = static_cast<double>(a.col_tiling().tile_extent(k));
+      const std::uint64_t* b_row = b.row_bits(k);
+      for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t both = b_row[w] & c_row[w];
+        while (both) {
+          const auto j =
+              w * 64 + static_cast<std::size_t>(std::countr_zero(both));
+          const auto n_ext =
+              static_cast<double>(b.col_tiling().tile_extent(j));
+          stats.flops += 2.0 * m_ext * n_ext * k_ext;
+          ++stats.gemm_tasks;
+          both &= both - 1;
+        }
+      }
+    });
+  }
+  return stats;
+}
+
+std::vector<double> column_flops(const Shape& a, const Shape& b) {
+  check_conformance(a, b);
+  std::vector<Index> col_weight(a.tile_cols());
+  for (std::size_t k = 0; k < a.tile_cols(); ++k) {
+    col_weight[k] = a.col_row_weight(k);
+  }
+  std::vector<double> flops(b.tile_cols(), 0.0);
+  for (std::size_t k = 0; k < b.tile_rows(); ++k) {
+    const auto k_ext = static_cast<double>(b.row_tiling().tile_extent(k));
+    for_each_nonzero_in_row(b, k, [&](std::size_t j) {
+      const auto n_ext = static_cast<double>(b.col_tiling().tile_extent(j));
+      flops[j] += 2.0 * n_ext * k_ext * static_cast<double>(col_weight[k]);
+    });
+  }
+  return flops;
+}
+
+double arithmetic_intensity(const Shape& a, const Shape& b, const Shape& c) {
+  const double bytes = a.nnz_bytes() + b.nnz_bytes() + c.nnz_bytes();
+  if (bytes == 0.0) return 0.0;
+  return contraction_stats(a, b).flops / bytes;
+}
+
+Shape transpose(const Shape& s) {
+  Shape out(s.col_tiling(), s.row_tiling());
+  for (std::size_t r = 0; r < s.tile_rows(); ++r) {
+    for_each_nonzero_in_row(s, r, [&](std::size_t c) { out.set(c, r); });
+  }
+  return out;
+}
+
+namespace {
+
+void check_same_tilings(const Shape& a, const Shape& b) {
+  BSTC_REQUIRE(a.row_tiling() == b.row_tiling() &&
+                   a.col_tiling() == b.col_tiling(),
+               "shapes must share both tilings");
+}
+
+}  // namespace
+
+Shape shape_union(const Shape& a, const Shape& b) {
+  check_same_tilings(a, b);
+  Shape out = a;
+  for (std::size_t r = 0; r < b.tile_rows(); ++r) out.or_row(r, b, r);
+  return out;
+}
+
+Shape shape_intersection(const Shape& a, const Shape& b) {
+  check_same_tilings(a, b);
+  Shape out(a.row_tiling(), a.col_tiling());
+  for (std::size_t r = 0; r < a.tile_rows(); ++r) {
+    const std::uint64_t* ra = a.row_bits(r);
+    const std::uint64_t* rb = b.row_bits(r);
+    for (std::size_t w = 0; w < a.words_per_row(); ++w) {
+      std::uint64_t both = ra[w] & rb[w];
+      while (both) {
+        out.set(r, w * 64 + static_cast<std::size_t>(std::countr_zero(both)));
+        both &= both - 1;
+      }
+    }
+  }
+  return out;
+}
+
+bool shape_subset(const Shape& inner, const Shape& outer) {
+  check_same_tilings(inner, outer);
+  for (std::size_t r = 0; r < inner.tile_rows(); ++r) {
+    const std::uint64_t* ri = inner.row_bits(r);
+    const std::uint64_t* ro = outer.row_bits(r);
+    for (std::size_t w = 0; w < inner.words_per_row(); ++w) {
+      if ((ri[w] & ~ro[w]) != 0) return false;
+    }
+  }
+  return true;
+}
+
+double column_nnz_bytes(const Shape& s, std::size_t col) {
+  BSTC_REQUIRE(col < s.tile_cols(), "column out of range");
+  const auto n_ext = static_cast<double>(s.col_tiling().tile_extent(col));
+  double bytes = 0.0;
+  for (std::size_t r = 0; r < s.tile_rows(); ++r) {
+    if (s.nonzero(r, col)) {
+      bytes += 8.0 * n_ext * static_cast<double>(s.row_tiling().tile_extent(r));
+    }
+  }
+  return bytes;
+}
+
+}  // namespace bstc

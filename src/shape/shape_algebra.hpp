@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file shape_algebra.hpp
+/// Shape-level algebra for the block-sparse product C <- C + A*B:
+/// contraction closure (the sparse "shape" of R from the shapes of T and V,
+/// as in Calvin/Lewis/Valeev [10]), flop and GEMM-task counting, per-column
+/// flop weights (input to the load balancer) and arithmetic intensity
+/// (paper Figure 3).
+
+#include <cstddef>
+#include <vector>
+
+#include "shape/shape.hpp"
+
+namespace bstc {
+
+/// Work statistics of a block-sparse product.
+struct ContractionStats {
+  double flops = 0.0;          ///< 2*m*n*k summed over all tile GEMMs
+  std::size_t gemm_tasks = 0;  ///< number of (i,j,k) tile triples
+};
+
+/// Shape of C = A*B: C(i,j) nonzero iff exists k with A(i,k) and B(k,j)
+/// nonzero. Row tiling of C is A's, column tiling is B's.
+Shape contract_shape(const Shape& a, const Shape& b);
+
+/// Flops / task counts of the product with all contributing triples.
+ContractionStats contraction_stats(const Shape& a, const Shape& b);
+
+/// Same, but only count triples whose output tile is nonzero in
+/// `c_filter` — the paper's "(opt.)" numbers in Table 1, where products
+/// into screened-out tiles of R are skipped.
+ContractionStats contraction_stats(const Shape& a, const Shape& b,
+                                   const Shape& c_filter);
+
+/// Per-tile-column-of-B flop weight f_j (paper §3.2.1): the flops of all
+/// tile GEMMs that touch column j. Sum over j equals
+/// contraction_stats(a,b).flops.
+std::vector<double> column_flops(const Shape& a, const Shape& b);
+
+/// Maximum arithmetic intensity of the product in flop/byte:
+/// flops / bytes(A + B + C), an upper bound realized only if every matrix
+/// is loaded to the device exactly once (paper Figure 3).
+double arithmetic_intensity(const Shape& a, const Shape& b, const Shape& c);
+
+/// Bytes of the nonzero tiles of one tile-column of a shape (doubles).
+double column_nnz_bytes(const Shape& s, std::size_t col);
+
+/// Transpose of a shape (tile (r, c) -> (c, r)).
+Shape transpose(const Shape& s);
+
+/// Element-wise union / intersection of two shapes over identical
+/// tilings (throws otherwise). Union is the shape of A + B; intersection
+/// implements screening (the "(opt.)" restriction of Table 1).
+Shape shape_union(const Shape& a, const Shape& b);
+Shape shape_intersection(const Shape& a, const Shape& b);
+
+/// True if every nonzero tile of `inner` is nonzero in `outer`.
+bool shape_subset(const Shape& inner, const Shape& outer);
+
+}  // namespace bstc

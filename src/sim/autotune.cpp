@@ -1,0 +1,59 @@
+#include "sim/autotune.hpp"
+
+#include "plan/builder.hpp"
+#include "support/error.hpp"
+
+namespace bstc {
+
+GridSearchResult autotune_grid(const Shape& a, const Shape& b, const Shape& c,
+                               const MachineModel& machine,
+                               const PlanConfig& base,
+                               const SimConfig& sim_cfg) {
+  GridSearchResult result;
+  for (int p = 1; p <= machine.nodes; ++p) {
+    if (machine.nodes % p != 0) continue;
+    PlanConfig cfg = base;
+    cfg.p = p;
+    const ExecutionPlan plan = build_plan(a, b, c, machine, cfg);
+    const SimResult sim = simulate(plan, a, b, c, machine, sim_cfg);
+
+    GridCandidate candidate;
+    candidate.p = p;
+    candidate.q = plan.grid.q;
+    candidate.makespan_s = sim.makespan_s;
+    candidate.a_network_bytes = sim.plan_stats.a_network_bytes;
+    candidate.b_generated_bytes = sim.plan_stats.b_generated_bytes;
+    // Host feasibility: each node caches the B columns it owns; the
+    // per-node average footprint must fit host memory (§3.1: replication
+    // "puts pressure on CPU memory, but not on GPU memory").
+    const double per_node_b =
+        candidate.b_generated_bytes / static_cast<double>(machine.nodes);
+    candidate.feasible = per_node_b <= machine.node.host_memory_bytes;
+    result.candidates.push_back(candidate);
+  }
+  BSTC_CHECK(!result.candidates.empty());
+
+  // Best feasible; fall back to the overall fastest if nothing fits.
+  result.best = 0;
+  bool have_feasible = false;
+  for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+    const GridCandidate& cand = result.candidates[i];
+    if (cand.feasible &&
+        (!have_feasible ||
+         cand.makespan_s < result.candidates[result.best].makespan_s)) {
+      result.best = i;
+      have_feasible = true;
+    }
+  }
+  if (!have_feasible) {
+    for (std::size_t i = 1; i < result.candidates.size(); ++i) {
+      if (result.candidates[i].makespan_s <
+          result.candidates[result.best].makespan_s) {
+        result.best = i;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace bstc

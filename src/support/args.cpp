@@ -1,0 +1,94 @@
+#include "support/args.hpp"
+
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace bstc {
+
+Args::Args(int argc, const char* const* argv) {
+  BSTC_REQUIRE(argc >= 1, "argv must contain the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--flag" followed by a value, or a bare boolean flag when the next
+    // token is another option / absent.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[body] = argv[++i];
+    } else {
+      options_[body] = "true";
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const {
+  queried_[key] = true;
+  return options_.count(key) > 0;
+}
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  queried_[key] = true;
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key,
+                           std::int64_t fallback) const {
+  queried_[key] = true;
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  BSTC_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+               "option --" + key + " expects an integer, got '" +
+                   it->second + "'");
+  return v;
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  queried_[key] = true;
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  BSTC_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+               "option --" + key + " expects a number, got '" + it->second +
+                   "'");
+  return v;
+}
+
+bool Args::get_bool(const std::string& key, bool fallback) const {
+  queried_[key] = true;
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  if (it->second == "true" || it->second == "1" || it->second == "yes") {
+    return true;
+  }
+  if (it->second == "false" || it->second == "0" || it->second == "no") {
+    return false;
+  }
+  throw Error("option --" + key + " expects a boolean, got '" + it->second +
+              "'");
+}
+
+std::vector<std::string> Args::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : options_) {
+    (void)value;
+    if (!queried_.count(key)) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace bstc

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file args.hpp
+/// Minimal command-line argument parsing for the tools and benches:
+/// `--key value` / `--key=value` options plus positional arguments, with
+/// typed accessors and an auto-generated usage string.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bstc {
+
+/// Parsed command line.
+class Args {
+ public:
+  /// Parse argv. Throws bstc::Error on a malformed option (`--key` with
+  /// no value at the end).
+  Args(int argc, const char* const* argv);
+
+  const std::string& program() const { return program_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& key) const;
+
+  /// Typed accessors with defaults; throw bstc::Error if the value does
+  /// not parse.
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Keys that were provided but never queried — typo detection.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bstc

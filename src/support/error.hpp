@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file error.hpp
+/// Error handling primitives for the BSTC library.
+///
+/// Library code throws `bstc::Error` (a `std::runtime_error`) on contract
+/// violations detected at runtime. The `BSTC_CHECK`/`BSTC_REQUIRE` macros
+/// capture the failing expression and source location.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bstc {
+
+/// Exception type thrown on all library-detected failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "BSTC check failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace bstc
+
+/// Check a precondition; throws bstc::Error with expression + location on
+/// failure. Always enabled (these guard user-facing API contracts).
+#define BSTC_REQUIRE(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::bstc::detail::throw_check_failure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                        \
+  } while (0)
+
+/// Internal-invariant check. Same behaviour as BSTC_REQUIRE; kept as a
+/// distinct macro so invariants can be compiled out later if ever needed.
+#define BSTC_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::bstc::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                      \
+  } while (0)

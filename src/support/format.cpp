@@ -1,0 +1,80 @@
+#include "support/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bstc {
+namespace {
+
+std::string scaled(double v, const char* const* units, int nunits,
+                   double base, const char* suffix) {
+  int u = 0;
+  double x = v;
+  while (std::abs(x) >= base && u + 1 < nunits) {
+    x /= base;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s%s", x, units[u], suffix);
+  return buf;
+}
+
+}  // namespace
+
+std::string fmt_bytes(double bytes) {
+  static const char* units[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  return scaled(bytes, units, 6, 1000.0, "");
+}
+
+std::string fmt_flops(double flops_per_s) {
+  static const char* units[] = {"flop/s", "Kflop/s", "Mflop/s",
+                                "Gflop/s", "Tflop/s", "Pflop/s"};
+  return scaled(flops_per_s, units, 6, 1000.0, "");
+}
+
+std::string fmt_flop_count(double flops) {
+  static const char* units[] = {"flop", "Kflop", "Mflop",
+                                "Gflop", "Tflop", "Pflop"};
+  return scaled(flops, units, 6, 1000.0, "");
+}
+
+std::string fmt_duration(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+std::string fmt_fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_group(std::int64_t v) {
+  char plain[32];
+  std::snprintf(plain, sizeof(plain), "%lld", static_cast<long long>(v));
+  std::string s = plain;
+  const bool neg = !s.empty() && s[0] == '-';
+  std::string digits = neg ? s.substr(1) : s;
+  std::string out;
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return neg ? "-" + out : out;
+}
+
+std::string fmt_percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace bstc

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file format.hpp
+/// Human-readable number formatting (bytes, flop rates, durations) used by
+/// logs, examples and the benchmark harness.
+
+#include <cstdint>
+#include <string>
+
+namespace bstc {
+
+/// "1.50 GB", "312.00 MB", ... (binary-free decimal units as in the paper).
+std::string fmt_bytes(double bytes);
+
+/// "1.24 Tflop/s", "876.50 Gflop/s", ...
+std::string fmt_flops(double flops_per_s);
+
+/// "877 Tflop", "1.24 Pflop", ... (a work amount, not a rate).
+std::string fmt_flop_count(double flops);
+
+/// "34.9 s", "272 ms", ...
+std::string fmt_duration(double seconds);
+
+/// Fixed-precision double → string.
+std::string fmt_fixed(double v, int digits = 2);
+
+/// Integer with thousands separators: 2 464 900 → "2464900" stays plain;
+/// use fmt_group for "2,464,900".
+std::string fmt_group(std::int64_t v);
+
+/// Percentage with one decimal: 0.098 → "9.8%".
+std::string fmt_percent(double fraction);
+
+}  // namespace bstc

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file geometry.hpp
+/// Small 3-D geometry helpers for molecular workloads: points and
+/// axis-aligned bounding boxes with box-to-box distances (used for tile
+/// screening of general — not just quasi-1-D — molecules).
+
+#include <algorithm>
+#include <cmath>
+
+namespace bstc {
+
+/// A point in 3-D space (Angstrom).
+struct Point3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Point3 operator+(const Point3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Point3 operator-(const Point3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Point3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  bool operator==(const Point3& o) const = default;
+};
+
+/// Euclidean distance.
+inline double distance(const Point3& a, const Point3& b) {
+  const Point3 d = a - b;
+  return std::sqrt(d.x * d.x + d.y * d.y + d.z * d.z);
+}
+
+/// Axis-aligned bounding box. Default-constructed empty (inverted).
+struct Aabb {
+  Point3 lo{1e300, 1e300, 1e300};
+  Point3 hi{-1e300, -1e300, -1e300};
+
+  bool empty() const { return lo.x > hi.x; }
+
+  void expand(const Point3& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+
+  void expand(const Aabb& other) {
+    if (other.empty()) return;
+    expand(other.lo);
+    expand(other.hi);
+  }
+
+  Point3 center() const {
+    return {(lo.x + hi.x) * 0.5, (lo.y + hi.y) * 0.5, (lo.z + hi.z) * 0.5};
+  }
+
+  /// Minimum distance between two boxes (0 when they overlap). An empty
+  /// box is infinitely far from everything.
+  double distance_to(const Aabb& other) const {
+    if (empty() || other.empty()) return 1e300;
+    const double dx = std::max({0.0, other.lo.x - hi.x, lo.x - other.hi.x});
+    const double dy = std::max({0.0, other.lo.y - hi.y, lo.y - other.hi.y});
+    const double dz = std::max({0.0, other.lo.z - hi.z, lo.z - other.hi.z});
+    return std::sqrt(dx * dx + dy * dy + dz * dz);
+  }
+};
+
+}  // namespace bstc

@@ -1,0 +1,58 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace bstc {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  BSTC_REQUIRE(bins > 0, "histogram needs at least one bin");
+  BSTC_REQUIRE(hi > lo, "histogram range must be non-empty");
+}
+
+void Histogram::add(double x) {
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  BSTC_REQUIRE(bin < counts_.size(), "bin index out of range");
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::density(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t max_bar) const {
+  const std::size_t peak = counts_.empty()
+                               ? 0
+                               : *std::max_element(counts_.begin(), counts_.end());
+  std::string out;
+  char line[160];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t len =
+        peak == 0 ? 0 : counts_[b] * max_bar / std::max<std::size_t>(peak, 1);
+    std::snprintf(line, sizeof(line), "[%10.2f, %10.2f) |", bin_lo(b),
+                  bin_lo(b) + width_);
+    out += line;
+    out.append(len, '#');
+    std::snprintf(line, sizeof(line), " %zu\n", counts_[b]);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace bstc

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Fixed-width histogram with text rendering, used to reproduce the
+/// tile-size distribution plots (paper Figure 6).
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bstc {
+
+/// Equal-width binned histogram over [lo, hi].
+class Histogram {
+ public:
+  /// Construct with `bins` equal-width bins covering [lo, hi].
+  /// Throws if bins == 0 or hi <= lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Add one sample; values outside [lo, hi] are clamped to the edge bins.
+  void add(double x);
+
+  /// Add every sample of a range.
+  void add_all(std::span<const double> xs);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  /// Inclusive-lower edge of a bin.
+  double bin_lo(std::size_t bin) const;
+  double bin_width() const { return width_; }
+
+  /// Fraction of samples in a bin (0 when empty histogram).
+  double density(std::size_t bin) const;
+
+  /// Render as rows of `lo..hi | #### count` suitable for terminal output.
+  std::string render(std::size_t max_bar = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace bstc

@@ -1,0 +1,65 @@
+#include "support/pgm.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace bstc {
+
+GrayImage::GrayImage(std::size_t width, std::size_t height, std::uint8_t fill)
+    : width_(width), height_(height), pixels_(width * height, fill) {
+  BSTC_REQUIRE(width > 0 && height > 0, "image must be non-empty");
+}
+
+std::uint8_t GrayImage::at(std::size_t x, std::size_t y) const {
+  BSTC_REQUIRE(x < width_ && y < height_, "pixel out of bounds");
+  return pixels_[y * width_ + x];
+}
+
+void GrayImage::set(std::size_t x, std::size_t y, std::uint8_t v) {
+  BSTC_REQUIRE(x < width_ && y < height_, "pixel out of bounds");
+  pixels_[y * width_ + x] = v;
+}
+
+void GrayImage::fill_rect(std::size_t x0, std::size_t y0, std::size_t x1,
+                          std::size_t y1, std::uint8_t v) {
+  x1 = std::min(x1, width_);
+  y1 = std::min(y1, height_);
+  for (std::size_t y = y0; y < y1; ++y) {
+    std::fill(pixels_.begin() + static_cast<std::ptrdiff_t>(y * width_ + x0),
+              pixels_.begin() + static_cast<std::ptrdiff_t>(y * width_ + x1),
+              v);
+  }
+}
+
+void GrayImage::write_pgm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  BSTC_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  out << "P5\n" << width_ << ' ' << height_ << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pixels_.data()),
+            static_cast<std::streamsize>(pixels_.size()));
+  BSTC_REQUIRE(out.good(), "failed writing " + path);
+}
+
+std::string GrayImage::ascii(std::size_t max_cols) const {
+  const std::size_t step = std::max<std::size_t>(1, width_ / max_cols);
+  std::string out;
+  for (std::size_t y = 0; y < height_; y += step) {
+    for (std::size_t x = 0; x < width_; x += step) {
+      // Downsample by taking the darkest pixel in the cell so sparse
+      // nonzeros stay visible.
+      std::uint8_t darkest = 255;
+      for (std::size_t yy = y; yy < std::min(y + step, height_); ++yy) {
+        for (std::size_t xx = x; xx < std::min(x + step, width_); ++xx) {
+          darkest = std::min(darkest, pixels_[yy * width_ + xx]);
+        }
+      }
+      out += darkest < 128 ? '#' : '.';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bstc

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file pgm.hpp
+/// Minimal grayscale image (PGM) writer, used to render the block-sparsity
+/// pictures of paper Figure 5 without any external imaging dependency.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bstc {
+
+/// An 8-bit grayscale raster. (0 = black, 255 = white.)
+class GrayImage {
+ public:
+  GrayImage(std::size_t width, std::size_t height, std::uint8_t fill = 255);
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+
+  std::uint8_t at(std::size_t x, std::size_t y) const;
+  void set(std::size_t x, std::size_t y, std::uint8_t v);
+
+  /// Fill the axis-aligned rectangle [x0,x1) x [y0,y1), clamped to bounds.
+  void fill_rect(std::size_t x0, std::size_t y0, std::size_t x1,
+                 std::size_t y1, std::uint8_t v);
+
+  /// Write binary PGM (P5). Throws bstc::Error on I/O failure.
+  void write_pgm(const std::string& path) const;
+
+  /// Render as ASCII art ('#' dark, '.' light), downsampling to at most
+  /// `max_cols` columns; for quick terminal inspection.
+  std::string ascii(std::size_t max_cols = 80) const;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<std::uint8_t> pixels_;
+};
+
+}  // namespace bstc

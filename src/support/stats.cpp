@@ -1,0 +1,56 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace bstc {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double quantile(std::span<const double> xs, double p) {
+  BSTC_REQUIRE(!xs.empty(), "quantile of empty sample");
+  BSTC_REQUIRE(p >= 0.0 && p <= 1.0, "quantile order must be in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+TukeySummary tukey_summary(std::span<const double> xs) {
+  BSTC_REQUIRE(!xs.empty(), "tukey_summary of empty sample");
+  TukeySummary s;
+  s.n = xs.size();
+  s.q1 = quantile(xs, 0.25);
+  s.median = quantile(xs, 0.50);
+  s.q3 = quantile(xs, 0.75);
+  const double iqr = s.q3 - s.q1;
+  s.lo_fence = s.q1 - 1.5 * iqr;
+  s.hi_fence = s.q3 + 1.5 * iqr;
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  for (double x : xs) {
+    if (x < s.lo_fence || x > s.hi_fence) s.outliers.push_back(x);
+  }
+  return s;
+}
+
+}  // namespace bstc

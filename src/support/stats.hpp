@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file stats.hpp
+/// Small descriptive-statistics helpers used by the benchmark harness.
+///
+/// The paper reports each measurement point as a Tukey box plot over 5-10
+/// repetitions; `TukeySummary` reproduces the same five-number summary plus
+/// outlier fences.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bstc {
+
+/// Five-number summary with Tukey fences (1.5 IQR).
+struct TukeySummary {
+  double min = 0.0;       ///< smallest sample
+  double q1 = 0.0;        ///< first quartile
+  double median = 0.0;    ///< second quartile
+  double q3 = 0.0;        ///< third quartile
+  double max = 0.0;       ///< largest sample
+  double lo_fence = 0.0;  ///< q1 - 1.5*IQR
+  double hi_fence = 0.0;  ///< q3 + 1.5*IQR
+  std::size_t n = 0;      ///< sample count
+  std::vector<double> outliers;  ///< samples outside the fences
+};
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stddev(std::span<const double> xs);
+
+/// p-th quantile (0 <= p <= 1) with linear interpolation between order
+/// statistics. Input need not be sorted. Throws on empty input.
+double quantile(std::span<const double> xs, double p);
+
+/// Full Tukey box-plot summary. Throws on empty input.
+TukeySummary tukey_summary(std::span<const double> xs);
+
+}  // namespace bstc

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file table.hpp
+/// Column-aligned text tables and CSV emission for the benchmark harness.
+/// Every reproduced paper table/figure prints both a human-readable table
+/// and (optionally) machine-readable CSV rows.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bstc {
+
+/// A simple table: a header row plus data rows of strings. Cells are
+/// stringified by the caller (see `fmt_*` helpers in format.hpp).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return header_.size(); }
+
+  /// Render with column alignment and a separator under the header.
+  std::string render() const;
+
+  /// Render as CSV (RFC-4180-ish: quotes cells containing separators).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bstc

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing helper.
+
+#include <chrono>
+
+namespace bstc {
+
+/// Monotonic wall-clock stopwatch. Starts at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Seconds since construction or the last reset().
+  double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bstc

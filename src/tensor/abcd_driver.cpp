@@ -1,0 +1,44 @@
+#include "tensor/abcd_driver.hpp"
+
+#include <memory>
+
+#include "support/error.hpp"
+
+namespace bstc {
+
+AbcdResult contract_abcd(const BlockSparseTensor4& t,
+                         const Tensor4Shape& v_shape,
+                         const TileGenerator& v_generator,
+                         const Tensor4Shape& r_shape,
+                         const MachineModel& machine,
+                         const EngineConfig& cfg) {
+  BSTC_REQUIRE(t.shape().matricized().col_tiling() ==
+                   v_shape.matricized().row_tiling(),
+               "T's (c,d) tiling must equal V's (c,d) tiling");
+  BSTC_REQUIRE(r_shape.matricized().row_tiling() ==
+                       t.shape().matricized().row_tiling() &&
+                   r_shape.matricized().col_tiling() ==
+                       v_shape.matricized().col_tiling(),
+               "R's tilings must match T's rows and V's columns");
+
+  const BlockSparseMatrix a = matricize(t);
+  EngineResult engine = contract(a, v_shape.matricized(), v_generator,
+                                 r_shape.matricized(), nullptr, machine, cfg);
+  BlockSparseTensor4 r = unmatricize(engine.c, r_shape);
+  return AbcdResult{std::move(r), std::move(engine)};
+}
+
+AbcdResult contract_abcd(const BlockSparseTensor4& t,
+                         const BlockSparseTensor4& v,
+                         const Tensor4Shape& r_shape,
+                         const MachineModel& machine,
+                         const EngineConfig& cfg) {
+  // Wrap the materialized V in a generator backed by its matricization.
+  auto v_matrix = std::make_shared<BlockSparseMatrix>(matricize(v));
+  TileGenerator generator = [v_matrix](std::size_t row, std::size_t col) {
+    return v_matrix->tile(row, col);
+  };
+  return contract_abcd(t, v.shape(), generator, r_shape, machine, cfg);
+}
+
+}  // namespace bstc

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file abcd_driver.hpp
+/// Tensor-level front door for the paper's contraction:
+///
+///   R^{ij}_{ab} += sum_{cd} T^{ij}_{cd} V^{cd}_{ab}
+///
+/// matricizes the operands (paper §2), runs the distributed block-sparse
+/// engine, and folds R back into tensor form. V may be supplied either as
+/// a materialized tensor or — as in the paper, where it is far too large
+/// to store — as an on-demand tile generator over its matricized shape.
+
+#include "core/engine.hpp"
+#include "tensor/tensor4.hpp"
+
+namespace bstc {
+
+/// Result of a tensor contraction: R plus the engine's run report.
+struct AbcdResult {
+  BlockSparseTensor4 r;
+  EngineResult engine;
+};
+
+/// R(ij,ab) = sum_{cd} T(ij,cd) * V(cd,ab), V generated on demand.
+/// `v_generator` produces tiles of V's *matricized* form (tile row = fused
+/// (c,d), tile column = fused (a,b)). R's shape selects which output
+/// blocks are computed (screening); it must be conformant with T and V.
+AbcdResult contract_abcd(const BlockSparseTensor4& t,
+                         const Tensor4Shape& v_shape,
+                         const TileGenerator& v_generator,
+                         const Tensor4Shape& r_shape,
+                         const MachineModel& machine,
+                         const EngineConfig& cfg);
+
+/// Same with a materialized V.
+AbcdResult contract_abcd(const BlockSparseTensor4& t,
+                         const BlockSparseTensor4& v,
+                         const Tensor4Shape& r_shape,
+                         const MachineModel& machine,
+                         const EngineConfig& cfg);
+
+}  // namespace bstc

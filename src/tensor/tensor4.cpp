@@ -1,0 +1,187 @@
+#include "tensor/tensor4.hpp"
+
+#include "support/error.hpp"
+
+namespace bstc {
+
+Tensor4Shape::Tensor4Shape(Tiling t0, Tiling t1, Tiling t2, Tiling t3)
+    : t0_(std::move(t0)),
+      t1_(std::move(t1)),
+      t2_(std::move(t2)),
+      t3_(std::move(t3)),
+      matricized_(fuse(t0_, t1_), fuse(t2_, t3_)) {}
+
+const Tiling& Tensor4Shape::mode_tiling(int mode) const {
+  switch (mode) {
+    case 0:
+      return t0_;
+    case 1:
+      return t1_;
+    case 2:
+      return t2_;
+    case 3:
+      return t3_;
+    default:
+      throw Error("tensor mode must be 0..3");
+  }
+}
+
+std::size_t Tensor4Shape::row_tile(std::size_t a, std::size_t b) const {
+  BSTC_REQUIRE(a < t0_.num_tiles() && b < t1_.num_tiles(),
+               "tensor tile index out of range");
+  return a * t1_.num_tiles() + b;
+}
+
+std::size_t Tensor4Shape::col_tile(std::size_t c, std::size_t d) const {
+  BSTC_REQUIRE(c < t2_.num_tiles() && d < t3_.num_tiles(),
+               "tensor tile index out of range");
+  return c * t3_.num_tiles() + d;
+}
+
+BlockSparseTensor4::BlockSparseTensor4(Tensor4Shape shape)
+    : shape_(std::move(shape)) {
+  for (std::size_t a = 0; a < shape_.tiles(0); ++a) {
+    for (std::size_t b = 0; b < shape_.tiles(1); ++b) {
+      for (std::size_t c = 0; c < shape_.tiles(2); ++c) {
+        for (std::size_t d = 0; d < shape_.tiles(3); ++d) {
+          if (!shape_.nonzero(a, b, c, d)) continue;
+          tiles_.emplace(
+              key(a, b, c, d),
+              Tile(shape_.mode_tiling(0).tile_extent(a) *
+                       shape_.mode_tiling(1).tile_extent(b),
+                   shape_.mode_tiling(2).tile_extent(c) *
+                       shape_.mode_tiling(3).tile_extent(d)));
+        }
+      }
+    }
+  }
+}
+
+BlockSparseTensor4 BlockSparseTensor4::random(Tensor4Shape shape, Rng& rng) {
+  BlockSparseTensor4 t(std::move(shape));
+  for (auto& [k, tile] : t.tiles_) {
+    (void)k;
+    tile.fill_random(rng);
+  }
+  return t;
+}
+
+std::uint64_t BlockSparseTensor4::key(std::size_t a, std::size_t b,
+                                      std::size_t c, std::size_t d) const {
+  return static_cast<std::uint64_t>(shape_.row_tile(a, b)) *
+             shape_.matricized().tile_cols() +
+         shape_.col_tile(c, d);
+}
+
+Tile& BlockSparseTensor4::tile(std::size_t a, std::size_t b, std::size_t c,
+                               std::size_t d) {
+  const auto it = tiles_.find(key(a, b, c, d));
+  BSTC_REQUIRE(it != tiles_.end(), "accessing a zero tensor block");
+  return it->second;
+}
+
+const Tile& BlockSparseTensor4::tile(std::size_t a, std::size_t b,
+                                     std::size_t c, std::size_t d) const {
+  const auto it = tiles_.find(key(a, b, c, d));
+  BSTC_REQUIRE(it != tiles_.end(), "accessing a zero tensor block");
+  return it->second;
+}
+
+namespace {
+
+struct TileCoord {
+  std::size_t tile;
+  Index local;
+};
+
+TileCoord locate(const Tiling& tiling, Index i) {
+  const std::size_t t = tiling.tile_of(i);
+  return {t, i - tiling.tile_offset(t)};
+}
+
+}  // namespace
+
+double BlockSparseTensor4::at(Index i, Index j, Index k, Index l) const {
+  const TileCoord ci = locate(shape_.mode_tiling(0), i);
+  const TileCoord cj = locate(shape_.mode_tiling(1), j);
+  const TileCoord ck = locate(shape_.mode_tiling(2), k);
+  const TileCoord cl = locate(shape_.mode_tiling(3), l);
+  if (!shape_.nonzero(ci.tile, cj.tile, ck.tile, cl.tile)) return 0.0;
+  const Tile& t = tile(ci.tile, cj.tile, ck.tile, cl.tile);
+  const Index row =
+      ci.local * shape_.mode_tiling(1).tile_extent(cj.tile) + cj.local;
+  const Index col =
+      ck.local * shape_.mode_tiling(3).tile_extent(cl.tile) + cl.local;
+  return t.at(row, col);
+}
+
+void BlockSparseTensor4::set_at(Index i, Index j, Index k, Index l,
+                                double v) {
+  const TileCoord ci = locate(shape_.mode_tiling(0), i);
+  const TileCoord cj = locate(shape_.mode_tiling(1), j);
+  const TileCoord ck = locate(shape_.mode_tiling(2), k);
+  const TileCoord cl = locate(shape_.mode_tiling(3), l);
+  BSTC_REQUIRE(shape_.nonzero(ci.tile, cj.tile, ck.tile, cl.tile),
+               "writing into a zero tensor block");
+  Tile& t = tile(ci.tile, cj.tile, ck.tile, cl.tile);
+  const Index row =
+      ci.local * shape_.mode_tiling(1).tile_extent(cj.tile) + cj.local;
+  const Index col =
+      ck.local * shape_.mode_tiling(3).tile_extent(cl.tile) + cl.local;
+  t.at(row, col) = v;
+}
+
+std::size_t BlockSparseTensor4::bytes() const {
+  std::size_t total = 0;
+  for (const auto& [k, tile] : tiles_) {
+    (void)k;
+    total += tile.bytes();
+  }
+  return total;
+}
+
+BlockSparseMatrix matricize(const BlockSparseTensor4& tensor) {
+  const Tensor4Shape& shape = tensor.shape();
+  BlockSparseMatrix m(shape.matricized());
+  for (std::size_t a = 0; a < shape.tiles(0); ++a) {
+    for (std::size_t b = 0; b < shape.tiles(1); ++b) {
+      for (std::size_t c = 0; c < shape.tiles(2); ++c) {
+        for (std::size_t d = 0; d < shape.tiles(3); ++d) {
+          if (!shape.nonzero(a, b, c, d)) continue;
+          m.tile(shape.row_tile(a, b), shape.col_tile(c, d)) =
+              tensor.tile(a, b, c, d);
+        }
+      }
+    }
+  }
+  return m;
+}
+
+BlockSparseTensor4 unmatricize(const BlockSparseMatrix& matrix,
+                               const Tensor4Shape& shape) {
+  BSTC_REQUIRE(matrix.row_tiling() == shape.matricized().row_tiling() &&
+                   matrix.col_tiling() == shape.matricized().col_tiling(),
+               "matrix tilings must equal the fused tensor tilings");
+  BlockSparseTensor4 t(shape);
+  for (std::size_t a = 0; a < shape.tiles(0); ++a) {
+    for (std::size_t b = 0; b < shape.tiles(1); ++b) {
+      for (std::size_t c = 0; c < shape.tiles(2); ++c) {
+        for (std::size_t d = 0; d < shape.tiles(3); ++d) {
+          const std::size_t rt = shape.row_tile(a, b);
+          const std::size_t ct = shape.col_tile(c, d);
+          if (shape.nonzero(a, b, c, d)) {
+            BSTC_REQUIRE(matrix.has_tile(rt, ct),
+                         "matrix misses a tile the tensor shape requires");
+            t.tile(a, b, c, d) = matrix.tile(rt, ct);
+          } else if (matrix.has_tile(rt, ct)) {
+            BSTC_REQUIRE(matrix.tile(rt, ct).norm() == 0.0,
+                         "matrix has data outside the tensor shape");
+          }
+        }
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace bstc

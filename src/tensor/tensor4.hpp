@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file tensor4.hpp
+/// Order-4 block-sparse tensors and their matricization.
+///
+/// The paper's contraction R^{ij}_{ab} = sum_{cd} T^{ij}_{cd} V^{cd}_{ab}
+/// is evaluated "as is typically done" by viewing each tensor as a matrix
+/// with fused index pairs (§2): T with rows (i,j) and columns (c,d), V
+/// with rows (c,d) and columns (a,b). This module provides the 4-index
+/// containers and the exact fused-index matricization so users can work
+/// at the tensor level and hand matrices to the contraction engine.
+///
+/// Conventions: fused *tile* coordinates are row-major pairs
+/// (a, b) -> a*T1 + b. Within a tile, elements fuse row-major over the
+/// local indices ((ii, jj) -> ii*extent_j + jj). The global fused element
+/// ordering is therefore tile-blocked — a fixed permutation of the naive
+/// i*J + j fusion. Both sides of a contraction use the same ordering, so
+/// results are exact; only the row/column *numbering* of the matricized
+/// form differs from the naive fusion.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "bsm/block_sparse_matrix.hpp"
+#include "shape/shape.hpp"
+#include "tile/tile.hpp"
+#include "tiling/tiling.hpp"
+
+namespace bstc {
+
+/// Block-sparsity structure of an order-4 tensor with tiled modes
+/// (m0, m1, m2, m3). Stored as the Shape of the (m0 x m1) x (m2 x m3)
+/// matricization, with 4-index accessors on top.
+class Tensor4Shape {
+ public:
+  Tensor4Shape(Tiling t0, Tiling t1, Tiling t2, Tiling t3);
+
+  const Tiling& mode_tiling(int mode) const;
+  /// Tile counts per mode.
+  std::size_t tiles(int mode) const { return mode_tiling(mode).num_tiles(); }
+
+  bool nonzero(std::size_t a, std::size_t b, std::size_t c,
+               std::size_t d) const {
+    return matricized_.nonzero(row_tile(a, b), col_tile(c, d));
+  }
+  void set(std::size_t a, std::size_t b, std::size_t c, std::size_t d,
+           bool nz = true) {
+    matricized_.set(row_tile(a, b), col_tile(c, d), nz);
+  }
+
+  std::size_t nnz_tiles() const { return matricized_.nnz_tiles(); }
+  double density() const { return matricized_.density(); }
+
+  /// The underlying fused-pair matrix shape ((m0 x m1) x (m2 x m3)).
+  const Shape& matricized() const { return matricized_; }
+
+  /// Fused tile coordinates.
+  std::size_t row_tile(std::size_t a, std::size_t b) const;
+  std::size_t col_tile(std::size_t c, std::size_t d) const;
+
+ private:
+  Tiling t0_, t1_, t2_, t3_;
+  Shape matricized_;
+};
+
+/// Owning order-4 block-sparse tensor: dense tiles for nonzero blocks.
+class BlockSparseTensor4 {
+ public:
+  explicit BlockSparseTensor4(Tensor4Shape shape);
+
+  /// All nonzero tiles filled with uniform random values in [-1, 1).
+  static BlockSparseTensor4 random(Tensor4Shape shape, Rng& rng);
+
+  const Tensor4Shape& shape() const { return shape_; }
+
+  bool has_tile(std::size_t a, std::size_t b, std::size_t c,
+                std::size_t d) const {
+    return shape_.nonzero(a, b, c, d);
+  }
+
+  /// A tile is a dense 4-d block stored as a matrix of its fused pairs:
+  /// rows = (extent(a-tile) * extent(b-tile)), columns likewise, with the
+  /// same row-major pair fusion as the matricization.
+  Tile& tile(std::size_t a, std::size_t b, std::size_t c, std::size_t d);
+  const Tile& tile(std::size_t a, std::size_t b, std::size_t c,
+                   std::size_t d) const;
+
+  /// Element access over global indices (zero blocks read as 0).
+  double at(Index i, Index j, Index k, Index l) const;
+  /// Set an element; its block must be nonzero.
+  void set_at(Index i, Index j, Index k, Index l, double v);
+
+  std::size_t bytes() const;
+
+ private:
+  std::uint64_t key(std::size_t a, std::size_t b, std::size_t c,
+                    std::size_t d) const;
+
+  Tensor4Shape shape_;
+  std::unordered_map<std::uint64_t, Tile> tiles_;
+};
+
+/// Matricize: the fused-pair BlockSparseMatrix view (rows (m0, m1),
+/// columns (m2, m3)). Because tensor tiles are stored in matricized
+/// layout already, this is a tile-for-tile copy.
+BlockSparseMatrix matricize(const BlockSparseTensor4& tensor);
+
+/// Inverse of matricize: fold a fused-pair matrix back into a tensor of
+/// the given shape. The matrix's tilings must equal the fused tilings of
+/// `shape`; tiles absent from `shape` must be zero in the matrix.
+BlockSparseTensor4 unmatricize(const BlockSparseMatrix& matrix,
+                               const Tensor4Shape& shape);
+
+}  // namespace bstc

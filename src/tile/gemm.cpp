@@ -1,0 +1,128 @@
+#include "tile/gemm.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace bstc {
+namespace {
+
+void check_conformance(const Tile& a, const Tile& b, const Tile& c) {
+  BSTC_REQUIRE(a.cols() == b.rows(), "GEMM inner dimensions must agree");
+  BSTC_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(),
+               "GEMM output dimensions must agree");
+}
+
+// Cache-blocking parameters: KC*MR and KC*NR panels stay in L1, the
+// MC x KC block of A in L2.
+constexpr Index kMR = 4;
+constexpr Index kNR = 4;
+constexpr Index kMC = 128;
+constexpr Index kKC = 256;
+constexpr Index kNC = 512;
+
+/// 4x4 register micro-kernel over a KC-long rank-1 update chain.
+/// A panel: column-major (lda), B panel: column-major (ldb).
+void micro_kernel(Index kc, double alpha, const double* a, Index lda,
+                  const double* b, Index ldb, double* c, Index ldc) {
+  double acc[kMR][kNR] = {};
+  for (Index k = 0; k < kc; ++k) {
+    const double a0 = a[0 + k * lda];
+    const double a1 = a[1 + k * lda];
+    const double a2 = a[2 + k * lda];
+    const double a3 = a[3 + k * lda];
+    for (Index j = 0; j < kNR; ++j) {
+      const double bj = b[k + j * ldb];
+      acc[0][j] += a0 * bj;
+      acc[1][j] += a1 * bj;
+      acc[2][j] += a2 * bj;
+      acc[3][j] += a3 * bj;
+    }
+  }
+  for (Index j = 0; j < kNR; ++j) {
+    for (Index i = 0; i < kMR; ++i) {
+      c[i + j * ldc] += alpha * acc[i][j];
+    }
+  }
+}
+
+/// Generic edge kernel for fringe blocks smaller than MR x NR.
+void edge_kernel(Index mr, Index nr, Index kc, double alpha, const double* a,
+                 Index lda, const double* b, Index ldb, double* c, Index ldc) {
+  for (Index j = 0; j < nr; ++j) {
+    for (Index i = 0; i < mr; ++i) {
+      double acc = 0.0;
+      for (Index k = 0; k < kc; ++k) {
+        acc += a[i + k * lda] * b[k + j * ldb];
+      }
+      c[i + j * ldc] += alpha * acc;
+    }
+  }
+}
+
+void scale(double beta, Tile& c) {
+  if (beta == 1.0) return;
+  if (beta == 0.0) {
+    c.fill(0.0);
+    return;
+  }
+  double* p = c.data();
+  const auto n = static_cast<std::size_t>(c.size());
+  for (std::size_t i = 0; i < n; ++i) p[i] *= beta;
+}
+
+}  // namespace
+
+void gemm_naive(double alpha, const Tile& a, const Tile& b, double beta,
+                Tile& c) {
+  check_conformance(a, b, c);
+  scale(beta, c);
+  const Index m = a.rows(), n = b.cols(), k = a.cols();
+  for (Index j = 0; j < n; ++j) {
+    for (Index l = 0; l < k; ++l) {
+      const double blj = alpha * b.at(l, j);
+      for (Index i = 0; i < m; ++i) {
+        c.at(i, j) += a.at(i, l) * blj;
+      }
+    }
+  }
+}
+
+void gemm(double alpha, const Tile& a, const Tile& b, double beta, Tile& c) {
+  check_conformance(a, b, c);
+  scale(beta, c);
+  if (alpha == 0.0 || a.size() == 0 || b.size() == 0) return;
+
+  const Index m = a.rows(), n = b.cols(), k = a.cols();
+  const double* ap = a.data();
+  const double* bp = b.data();
+  double* cp = c.data();
+  const Index lda = a.ld(), ldb = b.ld(), ldc = c.ld();
+
+  for (Index jc = 0; jc < n; jc += kNC) {
+    const Index nc = std::min(kNC, n - jc);
+    for (Index pc = 0; pc < k; pc += kKC) {
+      const Index kc = std::min(kKC, k - pc);
+      for (Index ic = 0; ic < m; ic += kMC) {
+        const Index mc = std::min(kMC, m - ic);
+        // Macro block: C[ic:, jc:] += A[ic:, pc:] * B[pc:, jc:]
+        for (Index jr = 0; jr < nc; jr += kNR) {
+          const Index nr = std::min(kNR, nc - jr);
+          for (Index ir = 0; ir < mc; ir += kMR) {
+            const Index mr = std::min(kMR, mc - ir);
+            const double* ablk = ap + (ic + ir) + pc * lda;
+            const double* bblk = bp + pc + (jc + jr) * ldb;
+            double* cblk = cp + (ic + ir) + (jc + jr) * ldc;
+            if (mr == kMR && nr == kNR) {
+              micro_kernel(kc, alpha, ablk, lda, bblk, ldb, cblk, ldc);
+            } else {
+              edge_kernel(mr, nr, kc, alpha, ablk, lda, bblk, ldb, cblk, ldc);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace bstc

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file gemm.hpp
+/// Dense GEMM kernels for tile-level products.
+///
+/// The paper runs tile GEMMs through cuBLAS on V100s; here the kernel is a
+/// cache-blocked CPU implementation (no BLAS is available in this
+/// environment). A naive triple loop is kept as the correctness reference.
+
+#include "tile/tile.hpp"
+
+namespace bstc {
+
+/// C <- alpha*A*B + beta*C, reference triple-loop implementation.
+void gemm_naive(double alpha, const Tile& a, const Tile& b, double beta,
+                Tile& c);
+
+/// C <- alpha*A*B + beta*C, cache-blocked implementation with a
+/// register-tiled micro-kernel. Dimensions: A is MxK, B is KxN, C is MxN.
+void gemm(double alpha, const Tile& a, const Tile& b, double beta, Tile& c);
+
+/// Flops of one tile GEMM (2*m*n*k).
+inline double gemm_flops(const Tile& a, const Tile& b) {
+  return 2.0 * static_cast<double>(a.rows()) * static_cast<double>(b.cols()) *
+         static_cast<double>(a.cols());
+}
+
+}  // namespace bstc

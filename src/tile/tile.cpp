@@ -1,0 +1,52 @@
+#include "tile/tile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace bstc {
+
+Tile::Tile(Index rows, Index cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows * cols), 0.0) {
+  BSTC_REQUIRE(rows >= 0 && cols >= 0, "tile dimensions must be non-negative");
+}
+
+std::size_t Tile::index(Index r, Index c) const {
+  BSTC_REQUIRE(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+               "tile element out of range");
+  return static_cast<std::size_t>(c * rows_ + r);
+}
+
+void Tile::fill_random(Rng& rng) {
+  for (double& v : data_) v = rng.uniform(-1.0, 1.0);
+}
+
+void Tile::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tile::axpy(double alpha, const Tile& other) {
+  BSTC_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+               "axpy requires equal tile dimensions");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+double Tile::max_abs_diff(const Tile& other) const {
+  BSTC_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+               "diff requires equal tile dimensions");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+double Tile::norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+}  // namespace bstc

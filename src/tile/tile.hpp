@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file tile.hpp
+/// Dense tile of a block-sparse matrix.
+///
+/// Nonzero tiles are fully dense (paper §3.1), stored column-major
+/// (BLAS convention) in a contiguous buffer of doubles.
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "tiling/tiling.hpp"
+
+namespace bstc {
+
+/// A dense rows x cols matrix of doubles, column-major.
+class Tile {
+ public:
+  /// Empty 0x0 tile.
+  Tile() = default;
+
+  /// Zero-initialised rows x cols tile.
+  Tile(Index rows, Index cols);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index size() const { return rows_ * cols_; }
+  std::size_t bytes() const {
+    return static_cast<std::size_t>(size()) * sizeof(double);
+  }
+  bool empty() const { return size() == 0; }
+
+  double& at(Index r, Index c) { return data_[index(r, c)]; }
+  double at(Index r, Index c) const { return data_[index(r, c)]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Leading dimension (== rows for a packed column-major tile).
+  Index ld() const { return rows_; }
+
+  /// Fill with uniform random values in [-1, 1).
+  void fill_random(Rng& rng);
+  /// Fill every element with v.
+  void fill(double v);
+
+  /// this += alpha * other (same dimensions required).
+  void axpy(double alpha, const Tile& other);
+
+  /// max_ij |this(i,j) - other(i,j)| (same dimensions required).
+  double max_abs_diff(const Tile& other) const;
+
+  /// Frobenius norm.
+  double norm() const;
+
+ private:
+  std::size_t index(Index r, Index c) const;
+
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace bstc

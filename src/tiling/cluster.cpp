@@ -1,0 +1,224 @@
+#include "tiling/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace bstc {
+
+Clustering kmeans_1d(std::span<const double> points, std::size_t k, Rng& rng,
+                     std::size_t max_iter) {
+  BSTC_REQUIRE(!points.empty(), "kmeans over empty point set");
+  BSTC_REQUIRE(k > 0, "kmeans needs at least one cluster");
+
+  std::vector<double> sorted(points.begin(), points.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+
+  std::size_t distinct = 1;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (sorted[i] != sorted[i - 1]) ++distinct;
+  }
+  k = std::min(k, distinct);
+
+  // Quasirandom initial centroids: jittered uniform quantiles.
+  std::vector<double> centroids(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double q = (static_cast<double>(c) + 0.25 + 0.5 * rng.uniform()) /
+                     static_cast<double>(k);
+    const auto idx = std::min(n - 1, static_cast<std::size_t>(q * static_cast<double>(n)));
+    centroids[c] = sorted[idx];
+  }
+  std::sort(centroids.begin(), centroids.end());
+
+  // In 1-D, each cluster is the contiguous run of points closest to its
+  // centroid; the boundary between clusters c and c+1 is the centroid
+  // midpoint.
+  std::vector<std::size_t> bounds(k + 1);  // bounds[c]..bounds[c+1] in sorted
+  for (std::size_t iter = 0; iter < max_iter; ++iter) {
+    bounds[0] = 0;
+    bounds[k] = n;
+    for (std::size_t c = 0; c + 1 < k; ++c) {
+      const double mid = 0.5 * (centroids[c] + centroids[c + 1]);
+      const auto it = std::lower_bound(sorted.begin(), sorted.end(), mid);
+      bounds[c + 1] = static_cast<std::size_t>(it - sorted.begin());
+    }
+    // Keep clusters non-empty: push an empty cluster's boundary forward.
+    for (std::size_t c = 1; c <= k; ++c) {
+      bounds[c] = std::max(bounds[c], bounds[c - 1] + 1);
+    }
+    bounds[k] = n;
+    for (std::size_t c = k; c-- > 1;) {
+      bounds[c] = std::min(bounds[c], bounds[c + 1] - 1);
+    }
+
+    bool moved = false;
+    for (std::size_t c = 0; c < k; ++c) {
+      double sum = 0.0;
+      for (std::size_t i = bounds[c]; i < bounds[c + 1]; ++i) sum += sorted[i];
+      const double next =
+          sum / static_cast<double>(bounds[c + 1] - bounds[c]);
+      if (std::abs(next - centroids[c]) > 1e-12) moved = true;
+      centroids[c] = next;
+    }
+    if (!moved) break;
+  }
+
+  Clustering out;
+  out.centroids = centroids;
+  out.assignment.resize(n);
+  out.sizes.assign(k, 0);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+      out.assignment[i] = c;
+    }
+    out.sizes[c] = bounds[c + 1] - bounds[c];
+    BSTC_CHECK(out.sizes[c] > 0);
+  }
+  return out;
+}
+
+Clustering3 kmeans_points(std::span<const Point3> points, std::size_t k,
+                          std::size_t max_iter) {
+  BSTC_REQUIRE(!points.empty(), "kmeans over empty point set");
+  BSTC_REQUIRE(k > 0, "kmeans needs at least one cluster");
+  const std::size_t n = points.size();
+
+  // Clamp k to the number of distinct points.
+  {
+    std::size_t distinct = 0;
+    std::vector<Point3> seen;
+    for (const Point3& p : points) {
+      if (std::find(seen.begin(), seen.end(), p) == seen.end()) {
+        seen.push_back(p);
+        if (++distinct >= k) break;
+      }
+    }
+    k = std::min(k, distinct);
+  }
+
+  // Deterministic farthest-point (k-center) seeding from point 0.
+  std::vector<Point3> centroids;
+  centroids.push_back(points[0]);
+  std::vector<double> nearest(n, 1e300);
+  while (centroids.size() < k) {
+    std::size_t far = 0;
+    double far_d = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      nearest[i] = std::min(nearest[i], distance(points[i], centroids.back()));
+      if (nearest[i] > far_d) {
+        far_d = nearest[i];
+        far = i;
+      }
+    }
+    centroids.push_back(points[far]);
+  }
+
+  std::vector<std::size_t> assignment(n, 0);
+  for (std::size_t iter = 0; iter < max_iter; ++iter) {
+    // Assign each point to its nearest centroid (lowest index on ties).
+    bool moved = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t best = 0;
+      double best_d = 1e300;
+      for (std::size_t c = 0; c < centroids.size(); ++c) {
+        const double d = distance(points[i], centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        moved = true;
+      }
+    }
+
+    // Recompute centroids; reseed empty clusters at the point farthest
+    // from its current centroid.
+    std::vector<Point3> sums(centroids.size());
+    std::vector<std::size_t> counts(centroids.size(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      sums[assignment[i]] = sums[assignment[i]] + points[i];
+      ++counts[assignment[i]];
+    }
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      if (counts[c] > 0) {
+        centroids[c] = sums[c] * (1.0 / static_cast<double>(counts[c]));
+        continue;
+      }
+      std::size_t far = 0;
+      double far_d = -1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (counts[assignment[i]] <= 1) continue;  // keep donors non-empty
+        const double d = distance(points[i], centroids[assignment[i]]);
+        if (d > far_d) {
+          far_d = d;
+          far = i;
+        }
+      }
+      centroids[c] = points[far];
+      moved = true;
+    }
+    if (!moved && iter > 0) break;
+  }
+
+  // Final assignment pass + repair any remaining empty clusters by
+  // stealing the point farthest from them (from a donor that stays
+  // non-empty).
+  Clustering3 out;
+  out.centroids = centroids;
+  out.assignment.assign(n, 0);
+  out.sizes.assign(centroids.size(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t best = 0;
+    double best_d = 1e300;
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      const double d = distance(points[i], centroids[c]);
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    out.assignment[i] = best;
+    ++out.sizes[best];
+  }
+  for (std::size_t c = 0; c < out.sizes.size(); ++c) {
+    if (out.sizes[c] > 0) continue;
+    std::size_t donor_point = 0;
+    double near_d = 1e300;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (out.sizes[out.assignment[i]] <= 1) continue;
+      const double d = distance(points[i], out.centroids[c]);
+      if (d < near_d) {
+        near_d = d;
+        donor_point = i;
+      }
+    }
+    --out.sizes[out.assignment[donor_point]];
+    out.assignment[donor_point] = c;
+    ++out.sizes[c];
+  }
+
+  out.boxes.assign(out.sizes.size(), Aabb{});
+  for (std::size_t i = 0; i < n; ++i) {
+    out.boxes[out.assignment[i]].expand(points[i]);
+  }
+  for (const std::size_t s : out.sizes) BSTC_CHECK(s > 0);
+  return out;
+}
+
+Tiling tiling_from_clusters(const Clustering& clustering,
+                            std::span<const Index> weights) {
+  BSTC_REQUIRE(weights.size() == clustering.assignment.size(),
+               "one weight per clustered point required");
+  std::vector<Index> extents(clustering.sizes.size(), 0);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    BSTC_REQUIRE(weights[i] > 0, "weights must be positive");
+    extents[clustering.assignment[i]] += weights[i];
+  }
+  return Tiling::from_extents(extents);
+}
+
+}  // namespace bstc

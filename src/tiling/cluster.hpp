@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file cluster.hpp
+/// 1-D k-means clustering of orbital centers.
+///
+/// The paper tiles index ranges by clustering spatially-close orbitals
+/// together with a (quasirandom) k-means procedure [29]; the cluster sizes
+/// then define the nonuniform tiling of that range. For the quasi-linear
+/// molecules considered here the orbital centers are essentially points on
+/// a line, so a 1-D k-means is the faithful substitute.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/geometry.hpp"
+#include "support/rng.hpp"
+#include "tiling/tiling.hpp"
+
+namespace bstc {
+
+/// Result of a 1-D k-means run over sorted points.
+struct Clustering {
+  /// cluster id (0..k-1, increasing along the axis) for each input point,
+  /// in the order of the *sorted* points.
+  std::vector<std::size_t> assignment;
+  /// cluster centroids, increasing.
+  std::vector<double> centroids;
+  /// number of points per cluster (all positive).
+  std::vector<std::size_t> sizes;
+};
+
+/// Lloyd's algorithm specialised for 1-D: points are sorted, clusters are
+/// contiguous runs, and each iteration just moves the run boundaries.
+/// `k` is clamped to the number of distinct points. Initial centroids are
+/// drawn quasirandomly (uniformly-spaced quantiles with jitter), matching
+/// the paper's remark that the clustering "is quasirandom and cannot
+/// ensure uniform tiling".
+Clustering kmeans_1d(std::span<const double> points, std::size_t k, Rng& rng,
+                     std::size_t max_iter = 64);
+
+/// Turn a clustering of `weights[i]`-sized items (e.g. basis functions per
+/// atom) into a Tiling: tile t's extent is the sum of the weights of the
+/// points in cluster t. With unit weights this is just the cluster sizes.
+Tiling tiling_from_clusters(const Clustering& clustering,
+                            std::span<const Index> weights);
+
+/// Result of a general k-means over 3-D points.
+struct Clustering3 {
+  /// cluster id for each input point, in *input* order.
+  std::vector<std::size_t> assignment;
+  /// cluster centroids.
+  std::vector<Point3> centroids;
+  /// number of points per cluster (all positive).
+  std::vector<std::size_t> sizes;
+  /// bounding box of each cluster's members.
+  std::vector<Aabb> boxes;
+};
+
+/// Lloyd's algorithm over 3-D points with deterministic farthest-point
+/// seeding (no rng: reproducible workloads) and non-empty-cluster repair
+/// (an empty cluster is reseeded at the point farthest from its current
+/// centroid assignment). `k` is clamped to the number of distinct points.
+/// Generalizes the quasi-1-D clustering to arbitrary molecular shapes —
+/// the paper's stated future direction of "more complex molecular
+/// structures".
+Clustering3 kmeans_points(std::span<const Point3> points, std::size_t k,
+                          std::size_t max_iter = 64);
+
+}  // namespace bstc

@@ -1,0 +1,70 @@
+/// Tests for the command-line argument parser.
+
+#include <gtest/gtest.h>
+
+#include "support/args.hpp"
+#include "support/error.hpp"
+
+namespace bstc {
+namespace {
+
+Args parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, PositionalAndOptions) {
+  const Args args =
+      parse({"prog", "simulate", "--m", "48000", "--density=0.5", "--flag"});
+  EXPECT_EQ(args.program(), "prog");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "simulate");
+  EXPECT_EQ(args.get_int("m", 0), 48000);
+  EXPECT_DOUBLE_EQ(args.get_double("density", 0.0), 0.5);
+  EXPECT_TRUE(args.get_bool("flag", false));
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const Args args = parse({"prog"});
+  EXPECT_EQ(args.get("name", "fallback"), "fallback");
+  EXPECT_EQ(args.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("d", 2.5), 2.5);
+  EXPECT_FALSE(args.get_bool("b", false));
+  EXPECT_FALSE(args.has("n"));
+}
+
+TEST(Args, TypedParsingErrors) {
+  const Args args = parse({"prog", "--n", "abc", "--b", "maybe"});
+  EXPECT_THROW(args.get_int("n", 0), Error);
+  EXPECT_THROW(args.get_bool("b", false), Error);
+}
+
+TEST(Args, ScientificNotationDoubles) {
+  const Args args = parse({"prog", "--gpu-mem", "5e5"});
+  EXPECT_DOUBLE_EQ(args.get_double("gpu-mem", 0.0), 5e5);
+}
+
+TEST(Args, BooleanSpellings) {
+  const Args args =
+      parse({"prog", "--a", "yes", "--b", "0", "--c=false", "--d", "1"});
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_FALSE(args.get_bool("c", true));
+  EXPECT_TRUE(args.get_bool("d", false));
+}
+
+TEST(Args, UnusedDetection) {
+  const Args args = parse({"prog", "--used", "1", "--typo", "2"});
+  EXPECT_EQ(args.get_int("used", 0), 1);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Args, NegativeNumbersAsValues) {
+  const Args args = parse({"prog", "--offset", "-5"});
+  EXPECT_EQ(args.get_int("offset", 0), -5);
+}
+
+}  // namespace
+}  // namespace bstc

@@ -1,0 +1,123 @@
+/// Tests for the DBCSR-style Cannon baseline and the CPU reference model.
+
+#include <gtest/gtest.h>
+
+#include "baseline/cpu_reference.hpp"
+#include "baseline/dbcsr.hpp"
+#include "shape/shape_algebra.hpp"
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+
+namespace bstc {
+namespace {
+
+struct Problem {
+  Problem(Index m, Index k, Index n, double density, std::uint64_t seed)
+      : rng(seed),
+        mt(Tiling::random_uniform(m, 512, 2048, rng)),
+        kt(Tiling::random_uniform(k, 512, 2048, rng)),
+        nt(Tiling::random_uniform(n, 512, 2048, rng)),
+        a(Shape::random(mt, kt, density, rng)),
+        b(Shape::random(kt, nt, density, rng)),
+        c(contract_shape(a, b)) {}
+
+  Rng rng;
+  Tiling mt, kt, nt;
+  Shape a, b, c;
+};
+
+TEST(Dbcsr, PaperFailingConfigurationRunsOutOfMemory) {
+  // Paper §5.1: dense problems of size (48k, 192k, 192k) or more fail on
+  // 96 GPUs with CUDA allocation errors.
+  Problem p(48000, 192000, 192000, 1.0, 3);
+  const MachineModel machine = MachineModel::summit(16);
+  const DbcsrResult r = simulate_dbcsr_best(p.a, p.b, p.c, machine);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.failure.find("allocation"), std::string::npos);
+}
+
+TEST(Dbcsr, SquareDenseProblemIsFeasibleAndSlowerThanParsec) {
+  // Paper §5.1: at M=N=K=48k dense, PaRSEC (203 Tflop/s) outperforms
+  // libDBCSR (109 Tflop/s) by about a factor 2.
+  Problem p(48000, 48000, 48000, 1.0, 5);
+  const MachineModel machine = MachineModel::summit(16);
+  const DbcsrResult dbcsr = simulate_dbcsr_best(p.a, p.b, p.c, machine);
+  ASSERT_TRUE(dbcsr.feasible) << dbcsr.failure;
+
+  PlanConfig cfg;
+  cfg.p = 2;
+  const SimResult parsec = simulate_contraction(p.a, p.b, p.c, machine, cfg);
+  EXPECT_GT(parsec.performance, dbcsr.performance);
+  const double ratio = parsec.performance / dbcsr.performance;
+  EXPECT_GT(ratio, 1.3);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(Dbcsr, LowerDensityExtendsCapacity) {
+  // Paper: "As the density gets lower, larger problems can be treated,
+  // but they all eventually reach a limit of capacity."
+  const MachineModel machine = MachineModel::summit(16);
+  Problem dense(48000, 192000, 192000, 1.0, 7);
+  Problem sparse(48000, 192000, 192000, 0.1, 7);
+  EXPECT_FALSE(simulate_dbcsr_best(dense.a, dense.b, dense.c, machine).feasible);
+  EXPECT_TRUE(
+      simulate_dbcsr_best(sparse.a, sparse.b, sparse.c, machine).feasible);
+  Problem huge_sparse(48000, 960000, 960000, 0.1, 9);
+  EXPECT_FALSE(
+      simulate_dbcsr_best(huge_sparse.a, huge_sparse.b, huge_sparse.c, machine)
+          .feasible);
+}
+
+TEST(Dbcsr, BestGridSearchPicksFeasibleGrid) {
+  Problem p(24000, 48000, 48000, 0.5, 11);
+  const MachineModel machine = MachineModel::summit(16);
+  const DbcsrResult r = simulate_dbcsr_best(p.a, p.b, p.c, machine);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.grid_rows * r.grid_cols, 96);
+  EXPECT_GT(r.performance, 0.0);
+}
+
+TEST(Dbcsr, InvalidGridThrows) {
+  Problem p(4000, 8000, 8000, 1.0, 13);
+  const MachineModel machine = MachineModel::summit(1);
+  EXPECT_THROW(simulate_dbcsr(p.a, p.b, p.c, machine, 0, 4), Error);
+  EXPECT_THROW(simulate_dbcsr(p.a, p.b, p.c, machine, 7, 1), Error);
+}
+
+TEST(CpuReference, ReproducesPaperTimings) {
+  // Paper §5.2: ~877 Tflop (tiling v1) on {8,16} nodes took {308,158} s.
+  // Construct a stand-in shape with that flop count: the model only reads
+  // contraction_stats, so use a dense problem of equivalent flops.
+  // 2*m*n*k = 877e12 -> m = 877e12 / (2 * 48000 * 48000) ~ 190.
+  Problem p(48000, 48000, 48000, 1.0, 17);
+  const double flops = contraction_stats(p.a, p.b, p.c).flops;
+  const MachineModel m16 = MachineModel::summit(16);
+  const CpuRefResult r16 = simulate_cpu_reference(p.a, p.b, p.c, m16);
+  EXPECT_NEAR(r16.time_s, flops / (16 * 2.0e12 * 0.17), 1e-6);
+  const MachineModel m8 = MachineModel::summit(8);
+  const CpuRefResult r8 = simulate_cpu_reference(p.a, p.b, p.c, m8);
+  EXPECT_NEAR(r8.time_s / r16.time_s, 2.0, 1e-9);  // linear in nodes
+}
+
+TEST(CpuReference, GpuBeatsItByAboutTenX) {
+  // The headline §5.2 claim: GPUs on the same nodes are ~10x faster.
+  Problem p(24000, 96000, 96000, 0.25, 19);
+  const MachineModel machine = MachineModel::summit(8);
+  const CpuRefResult cpu = simulate_cpu_reference(p.a, p.b, p.c, machine);
+  PlanConfig cfg;
+  const SimResult gpu = simulate_contraction(p.a, p.b, p.c, machine, cfg);
+  const double speedup = cpu.time_s / gpu.makespan_s;
+  EXPECT_GT(speedup, 3.0);
+  EXPECT_LT(speedup, 40.0);
+}
+
+TEST(CpuReference, InvalidEfficiencyThrows) {
+  Problem p(4000, 8000, 8000, 1.0, 23);
+  const MachineModel machine = MachineModel::summit(1);
+  CpuRefConfig cfg;
+  cfg.efficiency = 0.0;
+  EXPECT_THROW(simulate_cpu_reference(p.a, p.b, p.c, machine, cfg), Error);
+}
+
+}  // namespace
+}  // namespace bstc

@@ -1,0 +1,157 @@
+/// Tests for BlockSparseMatrix, the reference multiply and on-demand
+/// (generator-backed) matrices.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bsm/block_sparse_matrix.hpp"
+#include "bsm/on_demand_matrix.hpp"
+#include "shape/shape_algebra.hpp"
+#include "support/error.hpp"
+
+namespace bstc {
+namespace {
+
+Tiling tiles(std::initializer_list<Index> extents) {
+  return Tiling::from_extents(std::vector<Index>(extents));
+}
+
+TEST(BlockSparseMatrix, AllocatesExactlyNonzeroTiles) {
+  Shape s(tiles({2, 3}), tiles({4, 5}));
+  s.set(0, 1);
+  s.set(1, 0);
+  const BlockSparseMatrix m(s);
+  EXPECT_TRUE(m.has_tile(0, 1));
+  EXPECT_FALSE(m.has_tile(0, 0));
+  EXPECT_EQ(m.bytes(), (2u * 5 + 3u * 4) * 8);
+  EXPECT_THROW(m.tile(0, 0), Error);
+  EXPECT_EQ(m.tile(0, 1).rows(), 2);
+  EXPECT_EQ(m.tile(0, 1).cols(), 5);
+}
+
+TEST(BlockSparseMatrix, ElementAccessTreatsZeroBlocksAsZero) {
+  Shape s(tiles({2, 2}), tiles({2, 2}));
+  s.set(1, 1);
+  BlockSparseMatrix m(s);
+  m.tile(1, 1).at(0, 1) = 9.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);   // zero block
+  EXPECT_DOUBLE_EQ(m.at(2, 3), 9.0);   // tile (1,1) local (0,1)
+}
+
+TEST(BlockSparseMatrix, MaxAbsDiffAcrossDifferentPatterns) {
+  Shape s1(tiles({2}), tiles({2}));
+  s1.set(0, 0);
+  Shape s2(tiles({2}), tiles({2}));
+  BlockSparseMatrix m1(s1);
+  const BlockSparseMatrix m2(s2);  // empty
+  m1.tile(0, 0).at(1, 1) = -4.0;
+  EXPECT_DOUBLE_EQ(m1.max_abs_diff(m2), 4.0);
+  EXPECT_DOUBLE_EQ(m2.max_abs_diff(m1), 4.0);
+}
+
+TEST(BlockSparseMatrix, ReferenceMultiplyMatchesElementwiseDense) {
+  Rng rng(31);
+  const Tiling mt = tiles({3, 2});
+  const Tiling kt = tiles({2, 4});
+  const Tiling nt = tiles({3, 3});
+  const BlockSparseMatrix a =
+      BlockSparseMatrix::random(Shape::dense(mt, kt), rng);
+  const BlockSparseMatrix b =
+      BlockSparseMatrix::random(Shape::dense(kt, nt), rng);
+  BlockSparseMatrix c(Shape::dense(mt, nt));
+  multiply_reference(a, b, c);
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = 0; j < 6; ++j) {
+      double expect = 0.0;
+      for (Index k = 0; k < 6; ++k) expect += a.at(i, k) * b.at(k, j);
+      EXPECT_NEAR(c.at(i, j), expect, 1e-12);
+    }
+  }
+}
+
+TEST(BlockSparseMatrix, ReferenceMultiplySparsePatterns) {
+  Rng rng(37);
+  const Tiling mt = Tiling::uniform(40, 10);
+  const Tiling kt = Tiling::uniform(60, 15);
+  const Tiling nt = Tiling::uniform(50, 10);
+  const Shape sa = Shape::random(mt, kt, 0.5, rng);
+  const Shape sb = Shape::random(kt, nt, 0.5, rng);
+  const BlockSparseMatrix a = BlockSparseMatrix::random(sa, rng);
+  const BlockSparseMatrix b = BlockSparseMatrix::random(sb, rng);
+  BlockSparseMatrix c(contract_shape(sa, sb));
+  multiply_reference(a, b, c);
+  // Spot-check against element-wise accumulation.
+  for (Index i = 0; i < 40; i += 7) {
+    for (Index j = 0; j < 50; j += 11) {
+      double expect = 0.0;
+      for (Index k = 0; k < 60; ++k) expect += a.at(i, k) * b.at(k, j);
+      EXPECT_NEAR(c.at(i, j), expect, 1e-11);
+    }
+  }
+}
+
+TEST(OnDemandMatrix, GeneratesOnFirstAcquire) {
+  const Shape s = Shape::dense(tiles({2, 3}), tiles({4}));
+  OnDemandMatrix m(s, random_tile_generator(s, 99));
+  EXPECT_EQ(m.generation_count(0, 0), 0u);
+  const Tile& t = m.acquire(0, 0);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(m.generation_count(0, 0), 1u);
+  // Second acquire while pinned does not regenerate.
+  m.acquire(0, 0);
+  EXPECT_EQ(m.generation_count(0, 0), 1u);
+  m.release(0, 0);
+  m.release(0, 0);
+}
+
+TEST(OnDemandMatrix, DiscardedAfterLastReleaseAndRegenerated) {
+  const Shape s = Shape::dense(tiles({2}), tiles({2}));
+  OnDemandMatrix m(s, random_tile_generator(s, 1));
+  const Tile& t1 = m.acquire(0, 0);
+  const double v = t1.at(0, 0);
+  m.release(0, 0);
+  EXPECT_EQ(m.cached_bytes(), 0u);
+  const Tile& t2 = m.acquire(0, 0);
+  EXPECT_EQ(m.generation_count(0, 0), 2u);
+  // Deterministic generator: regenerated content is identical.
+  EXPECT_DOUBLE_EQ(t2.at(0, 0), v);
+  m.release(0, 0);
+}
+
+TEST(OnDemandMatrix, PersistentTilesSurviveRelease) {
+  const Shape s = Shape::dense(tiles({2}), tiles({2}));
+  OnDemandMatrix m(s, random_tile_generator(s, 2));
+  m.acquire_persistent(0, 0);
+  EXPECT_GT(m.cached_bytes(), 0u);
+  const Tile& again = m.acquire(0, 0);
+  m.release(0, 0);
+  EXPECT_GT(m.cached_bytes(), 0u);  // persistent: still cached
+  (void)again;
+  EXPECT_EQ(m.generation_count(0, 0), 1u);
+}
+
+TEST(OnDemandMatrix, ZeroBlockAcquireThrows) {
+  Shape s(tiles({2}), tiles({2, 2}));
+  s.set(0, 0);
+  OnDemandMatrix m(s, random_tile_generator(s, 3));
+  EXPECT_THROW(m.acquire(0, 1), Error);
+}
+
+TEST(OnDemandMatrix, ReleaseWithoutAcquireThrows) {
+  const Shape s = Shape::dense(tiles({2}), tiles({2}));
+  OnDemandMatrix m(s, random_tile_generator(s, 4));
+  EXPECT_THROW(m.release(0, 0), Error);
+}
+
+TEST(OnDemandMatrix, GeneratorContentIsPositionDependent) {
+  const Shape s = Shape::dense(tiles({2, 2}), tiles({2, 2}));
+  OnDemandMatrix m(s, random_tile_generator(s, 5));
+  const Tile& a = m.acquire_persistent(0, 0);
+  const Tile& b = m.acquire_persistent(1, 1);
+  EXPECT_NE(a.at(0, 0), b.at(0, 0));  // overwhelmingly likely
+}
+
+}  // namespace
+}  // namespace bstc

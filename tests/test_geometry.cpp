@@ -1,0 +1,141 @@
+/// Tests for 3-D geometry primitives and the general k-means clustering.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/geometry.hpp"
+#include "tiling/cluster.hpp"
+
+namespace bstc {
+namespace {
+
+TEST(Geometry, PointArithmetic) {
+  const Point3 a{1, 2, 3}, b{4, 6, 3};
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+  EXPECT_EQ((a + b).x, 5.0);
+  EXPECT_EQ((b - a).y, 4.0);
+  EXPECT_EQ((a * 2.0).z, 6.0);
+}
+
+TEST(Geometry, AabbExpandAndCenter) {
+  Aabb box;
+  EXPECT_TRUE(box.empty());
+  box.expand(Point3{1, 2, 3});
+  EXPECT_FALSE(box.empty());
+  box.expand(Point3{-1, 4, 3});
+  EXPECT_DOUBLE_EQ(box.center().x, 0.0);
+  EXPECT_DOUBLE_EQ(box.center().y, 3.0);
+  EXPECT_DOUBLE_EQ(box.lo.x, -1.0);
+  EXPECT_DOUBLE_EQ(box.hi.y, 4.0);
+}
+
+TEST(Geometry, AabbDistanceOverlappingIsZero) {
+  Aabb a, b;
+  a.expand(Point3{0, 0, 0});
+  a.expand(Point3{2, 2, 2});
+  b.expand(Point3{1, 1, 1});
+  b.expand(Point3{3, 3, 3});
+  EXPECT_DOUBLE_EQ(a.distance_to(b), 0.0);
+}
+
+TEST(Geometry, AabbDistanceSeparated) {
+  Aabb a, b;
+  a.expand(Point3{0, 0, 0});
+  b.expand(Point3{3, 4, 0});
+  EXPECT_DOUBLE_EQ(a.distance_to(b), 5.0);
+  EXPECT_DOUBLE_EQ(b.distance_to(a), 5.0);
+  // Separated along one axis only.
+  Aabb c;
+  c.expand(Point3{0, 10, 0});
+  c.expand(Point3{100, 12, 0});
+  EXPECT_DOUBLE_EQ(a.distance_to(c), 10.0);
+}
+
+TEST(Geometry, EmptyAabbIsFar) {
+  Aabb a, empty;
+  a.expand(Point3{0, 0, 0});
+  EXPECT_GT(a.distance_to(empty), 1e200);
+}
+
+TEST(KMeansPoints, SeparatedGroupsSplitExactly) {
+  std::vector<Point3> pts;
+  for (int i = 0; i < 10; ++i) pts.push_back({0.01 * i, 0, 0});
+  for (int i = 0; i < 7; ++i) pts.push_back({100, 0.01 * i, 0});
+  for (int i = 0; i < 5; ++i) pts.push_back({0, 0, 100 + 0.01 * i});
+  const Clustering3 c = kmeans_points(pts, 3);
+  ASSERT_EQ(c.sizes.size(), 3u);
+  std::vector<std::size_t> sizes(c.sizes);
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{5, 7, 10}));
+  // All points of one group share a cluster.
+  for (int i = 1; i < 10; ++i) EXPECT_EQ(c.assignment[i], c.assignment[0]);
+}
+
+TEST(KMeansPoints, AllClustersNonEmptyAndCovering) {
+  std::vector<Point3> pts;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.uniform(0, 10), rng.uniform(0, 10), rng.uniform(0, 10)});
+  }
+  for (const std::size_t k : {1u, 2u, 5u, 17u, 64u}) {
+    const Clustering3 c = kmeans_points(pts, k);
+    ASSERT_EQ(c.sizes.size(), k);
+    std::size_t total = 0;
+    for (std::size_t s : c.sizes) {
+      EXPECT_GT(s, 0u);
+      total += s;
+    }
+    EXPECT_EQ(total, pts.size());
+    // Boxes contain their members.
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const Aabb& box = c.boxes[c.assignment[i]];
+      EXPECT_LE(box.lo.x, pts[i].x);
+      EXPECT_GE(box.hi.x, pts[i].x);
+    }
+  }
+}
+
+TEST(KMeansPoints, CollinearReducesToOneD) {
+  // On a line the clusters must be contiguous intervals.
+  std::vector<Point3> pts;
+  for (int i = 0; i < 100; ++i) pts.push_back({1.0 * i, 0, 0});
+  const Clustering3 c = kmeans_points(pts, 8);
+  ASSERT_EQ(c.sizes.size(), 8u);
+  // Walk along the line: cluster id changes at most 7 times and never
+  // returns to an earlier cluster.
+  std::vector<bool> closed(8, false);
+  std::size_t current = c.assignment[0];
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (c.assignment[i] != current) {
+      closed[current] = true;
+      current = c.assignment[i];
+      EXPECT_FALSE(closed[current]) << "cluster revisited along the line";
+    }
+  }
+}
+
+TEST(KMeansPoints, KClampedToDistinctPoints) {
+  const std::vector<Point3> pts{{1, 1, 1}, {1, 1, 1}, {2, 2, 2}};
+  const Clustering3 c = kmeans_points(pts, 10);
+  EXPECT_LE(c.sizes.size(), 2u);
+}
+
+TEST(KMeansPoints, Deterministic) {
+  std::vector<Point3> pts;
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({rng.uniform(0, 5), rng.uniform(0, 5), 0});
+  }
+  const Clustering3 a = kmeans_points(pts, 6);
+  const Clustering3 b = kmeans_points(pts, 6);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(KMeansPoints, EmptyInputThrows) {
+  EXPECT_THROW(kmeans_points({}, 3), Error);
+}
+
+}  // namespace
+}  // namespace bstc

@@ -1,0 +1,76 @@
+/// Tests for the Summit machine model.
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hpp"
+#include "support/error.hpp"
+
+namespace bstc {
+namespace {
+
+TEST(Machine, SummitPresetMatchesPaperNumbers) {
+  const MachineModel m = MachineModel::summit(16);
+  EXPECT_EQ(m.nodes, 16);
+  EXPECT_EQ(m.node.gpus, 6);
+  EXPECT_EQ(m.total_gpus(), 96);
+  EXPECT_DOUBLE_EQ(m.node.gpu.peak_gemm_flops, 7.2e12);
+  // Aggregate peak quoted by the paper for Figure 2: ~672 Tflop/s
+  // (16 x 6 x 7 Tflop/s); our practical-peak model gives 691.2.
+  EXPECT_NEAR(m.aggregate_gpu_peak(), 691.2e12, 1e9);
+}
+
+TEST(Machine, PartialNodeGpuCounts) {
+  const MachineModel m3 = MachineModel::summit_gpus(3);
+  EXPECT_EQ(m3.nodes, 1);
+  EXPECT_EQ(m3.total_gpus(), 3);
+  EXPECT_EQ(m3.gpus_on_node(0), 3);
+
+  const MachineModel m9 = MachineModel::summit_gpus(9);
+  EXPECT_EQ(m9.nodes, 2);
+  EXPECT_EQ(m9.gpus_on_node(0), 6);
+  EXPECT_EQ(m9.gpus_on_node(1), 3);
+
+  const MachineModel m108 = MachineModel::summit_gpus(108);
+  EXPECT_EQ(m108.nodes, 18);
+  EXPECT_EQ(m108.total_gpus(), 108);
+  EXPECT_EQ(m108.gpus_on_node(17), 6);
+}
+
+TEST(Machine, GemmEfficiencySaturates) {
+  const GpuSpec gpu;
+  // Paper: peak attainable around 728^3 tiles.
+  EXPECT_GT(gpu.gemm_efficiency(728, 728, 728), 0.90);
+  EXPECT_GT(gpu.gemm_efficiency(2048, 2048, 2048), 0.99);
+  // Small kernels are far from peak.
+  EXPECT_LT(gpu.gemm_efficiency(64, 64, 64), 0.05);
+  // Monotone in size.
+  EXPECT_LT(gpu.gemm_efficiency(128, 128, 128),
+            gpu.gemm_efficiency(512, 512, 512));
+}
+
+TEST(Machine, GemmTimeIncludesLaunchLatency) {
+  const GpuSpec gpu;
+  EXPECT_GE(gpu.gemm_time(1, 1, 1), gpu.kernel_latency_s);
+  // A big GEMM approaches flops/peak.
+  const double t = gpu.gemm_time(4096, 4096, 4096);
+  const double ideal = 2.0 * 4096.0 * 4096.0 * 4096.0 / gpu.peak_gemm_flops;
+  EXPECT_GT(t, ideal);
+  EXPECT_LT(t, 1.1 * ideal);
+}
+
+TEST(Machine, TransferTimes) {
+  const GpuSpec gpu;
+  EXPECT_NEAR(gpu.h2d_time(50.0e9), 1.0, 1e-3);  // 50 GB at 50 GB/s
+  const MachineModel m = MachineModel::summit(2);
+  EXPECT_NEAR(m.network_time(25.0e9), 1.0, 1e-3);
+}
+
+TEST(Machine, InvalidConfigurationsThrow) {
+  EXPECT_THROW(MachineModel::summit(0), Error);
+  EXPECT_THROW(MachineModel::summit_gpus(0), Error);
+  const MachineModel m = MachineModel::summit(2);
+  EXPECT_THROW(m.gpus_on_node(2), Error);
+}
+
+}  // namespace
+}  // namespace bstc

@@ -1,0 +1,126 @@
+/// Tests for ExecutionPlan serialization: round trips, file I/O and
+/// malformed-input rejection.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "plan/builder.hpp"
+#include "plan/serialize.hpp"
+#include "plan/stats.hpp"
+#include "shape/shape_algebra.hpp"
+#include "support/error.hpp"
+
+namespace bstc {
+namespace {
+
+struct Fixture {
+  Fixture() : rng(7) {
+    mt = Tiling::random_uniform(300, 20, 60, rng);
+    kt = Tiling::random_uniform(1000, 20, 60, rng);
+    nt = Tiling::random_uniform(1000, 20, 60, rng);
+    a = Shape::random(mt, kt, 0.4, rng);
+    b = Shape::random(kt, nt, 0.3, rng);
+    c = contract_shape(a, b);
+  }
+
+  Rng rng;
+  Tiling mt, kt, nt;
+  Shape a, b, c;
+};
+
+bool plans_equal(const ExecutionPlan& x, const ExecutionPlan& y) {
+  if (x.grid.p != y.grid.p || x.grid.q != y.grid.q) return false;
+  if (x.gpu_memory_bytes != y.gpu_memory_bytes) return false;
+  if (x.gpus_of_node != y.gpus_of_node) return false;
+  if (x.nodes.size() != y.nodes.size()) return false;
+  for (std::size_t n = 0; n < x.nodes.size(); ++n) {
+    const NodePlan& nx = x.nodes[n];
+    const NodePlan& ny = y.nodes[n];
+    if (nx.columns != ny.columns || nx.blocks.size() != ny.blocks.size()) {
+      return false;
+    }
+    for (std::size_t bi = 0; bi < nx.blocks.size(); ++bi) {
+      const BlockPlan& bx = nx.blocks[bi];
+      const BlockPlan& by = ny.blocks[bi];
+      if (bx.gpu != by.gpu || bx.bytes != by.bytes ||
+          bx.oversized != by.oversized ||
+          bx.pieces.size() != by.pieces.size() ||
+          bx.chunks.size() != by.chunks.size()) {
+        return false;
+      }
+      for (std::size_t pi = 0; pi < bx.pieces.size(); ++pi) {
+        if (bx.pieces[pi].col != by.pieces[pi].col ||
+            bx.pieces[pi].ks != by.pieces[pi].ks ||
+            bx.pieces[pi].b_bytes != by.pieces[pi].b_bytes) {
+          return false;
+        }
+      }
+      for (std::size_t ci = 0; ci < bx.chunks.size(); ++ci) {
+        if (bx.chunks[ci].a_tiles != by.chunks[ci].a_tiles) return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(PlanSerialize, RoundTripPreservesEverything) {
+  Fixture f;
+  const MachineModel machine = MachineModel::summit(4);
+  PlanConfig cfg;
+  cfg.p = 2;
+  cfg.assignment = AssignmentPolicy::kLpt;
+  cfg.packing = PackingPolicy::kBestFit;
+  cfg.prefetch_depth = 1;
+  const ExecutionPlan plan = build_plan(f.a, f.b, f.c, machine, cfg);
+  const std::string text = serialize_plan(plan);
+  const ExecutionPlan back = deserialize_plan(text);
+  EXPECT_TRUE(plans_equal(plan, back));
+  EXPECT_EQ(back.config.assignment, AssignmentPolicy::kLpt);
+  EXPECT_EQ(back.config.packing, PackingPolicy::kBestFit);
+  EXPECT_EQ(back.config.prefetch_depth, 1);
+
+  // The reloaded plan validates and produces identical statistics.
+  EXPECT_TRUE(validate_plan(back, f.a, f.b, f.c).empty());
+  const PlanStats sx = compute_stats(plan, f.a, f.b, f.c);
+  const PlanStats sy = compute_stats(back, f.a, f.b, f.c);
+  EXPECT_EQ(sx.gemm_tasks, sy.gemm_tasks);
+  EXPECT_DOUBLE_EQ(sx.total_flops, sy.total_flops);
+  EXPECT_DOUBLE_EQ(sx.a_h2d_bytes, sy.a_h2d_bytes);
+}
+
+TEST(PlanSerialize, FileRoundTrip) {
+  Fixture f;
+  const MachineModel machine = MachineModel::summit(2);
+  const ExecutionPlan plan = build_plan(f.a, f.b, f.c, machine, PlanConfig{});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bstc_plan.txt").string();
+  save_plan(plan, path);
+  const ExecutionPlan back = load_plan(path);
+  EXPECT_TRUE(plans_equal(plan, back));
+  std::filesystem::remove(path);
+}
+
+TEST(PlanSerialize, MalformedInputRejected) {
+  EXPECT_THROW(deserialize_plan(""), Error);
+  EXPECT_THROW(deserialize_plan("NOT-A-PLAN 1"), Error);
+  EXPECT_THROW(deserialize_plan("BSTC-PLAN 99\ngrid 1 1\n"), Error);
+  EXPECT_THROW(deserialize_plan("BSTC-PLAN 1\ngrid 0 1\n"), Error);
+  EXPECT_THROW(deserialize_plan("BSTC-PLAN 1\ngrid 1 1\nconfig 1 0.5"),
+               Error);
+}
+
+TEST(PlanSerialize, TruncatedPlanRejected) {
+  Fixture f;
+  const MachineModel machine = MachineModel::summit(1);
+  const ExecutionPlan plan = build_plan(f.a, f.b, f.c, machine, PlanConfig{});
+  const std::string text = serialize_plan(plan);
+  EXPECT_THROW(deserialize_plan(text.substr(0, text.size() / 2)), Error);
+}
+
+TEST(PlanSerialize, LoadMissingFileThrows) {
+  EXPECT_THROW(load_plan("/nonexistent/path/plan.txt"), Error);
+}
+
+}  // namespace
+}  // namespace bstc

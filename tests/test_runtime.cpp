@@ -1,0 +1,158 @@
+/// Tests for the task graph, the multi-queue scheduler and device-memory
+/// accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "runtime/device.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/task_graph.hpp"
+#include "support/error.hpp"
+
+namespace bstc {
+namespace {
+
+TEST(TaskGraph, BasicConstruction) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", 0, [] {});
+  const TaskId b = g.add_task("b", 0, [] {});
+  g.add_edge(a, b);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.control_edge_count(), 0u);
+  EXPECT_EQ(g.task(b).predecessors, 1u);
+  EXPECT_TRUE(g.is_acyclic());
+}
+
+TEST(TaskGraph, ControlEdgesCounted) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", 0, [] {});
+  const TaskId b = g.add_task("b", 0, [] {});
+  g.add_edge(a, b, EdgeKind::kControl);
+  EXPECT_EQ(g.control_edge_count(), 1u);
+  EXPECT_EQ(g.task(b).control_in, 1u);
+}
+
+TEST(TaskGraph, SelfEdgeRejected) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", 0, [] {});
+  EXPECT_THROW(g.add_edge(a, a), Error);
+  EXPECT_THROW(g.add_edge(a, 5), Error);
+}
+
+TEST(TaskGraph, CycleDetected) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", 0, [] {});
+  const TaskId b = g.add_task("b", 0, [] {});
+  const TaskId c = g.add_task("c", 0, [] {});
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.add_edge(c, a);
+  EXPECT_FALSE(g.is_acyclic());
+}
+
+TEST(Scheduler, ExecutesInDependenceOrder) {
+  TaskGraph g;
+  std::vector<int> log;
+  std::mutex m;
+  auto push = [&](int v) {
+    std::lock_guard lock(m);
+    log.push_back(v);
+  };
+  const TaskId a = g.add_task("a", 0, [&] { push(1); });
+  const TaskId b = g.add_task("b", 1, [&] { push(2); });
+  const TaskId c = g.add_task("c", 0, [&] { push(3); });
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  const SchedulerStats st = run_graph(g, 2);
+  EXPECT_EQ(st.tasks_executed, 3u);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, FanOutFanIn) {
+  TaskGraph g;
+  std::atomic<int> counter{0};
+  std::atomic<int> final_seen{-1};
+  const TaskId src = g.add_task("src", 0, [&] { counter = 0; });
+  std::vector<TaskId> mids;
+  for (int i = 0; i < 50; ++i) {
+    const TaskId t = g.add_task("mid", static_cast<std::uint32_t>(i % 4),
+                                [&] { ++counter; });
+    g.add_edge(src, t);
+    mids.push_back(t);
+  }
+  const TaskId sink = g.add_task("sink", 3, [&] { final_seen = counter.load(); });
+  for (const TaskId t : mids) g.add_edge(t, sink);
+  run_graph(g, 4);
+  EXPECT_EQ(final_seen.load(), 50);
+}
+
+TEST(Scheduler, CyclicGraphRejected) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", 0, [] {});
+  const TaskId b = g.add_task("b", 0, [] {});
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  EXPECT_THROW(run_graph(g, 1), Error);
+}
+
+TEST(Scheduler, TaskExceptionPropagates) {
+  TaskGraph g;
+  g.add_task("boom", 0, [] { throw Error("task failed"); });
+  g.add_task("other", 1, [] {});
+  EXPECT_THROW(run_graph(g, 2), Error);
+}
+
+TEST(Scheduler, QueueBindingEnforced) {
+  TaskGraph g;
+  g.add_task("a", 5, [] {});
+  EXPECT_THROW(run_graph(g, 2), Error);
+}
+
+TEST(Scheduler, PerQueueCountsSumToTotal) {
+  TaskGraph g;
+  for (int i = 0; i < 20; ++i) {
+    g.add_task("t", static_cast<std::uint32_t>(i % 3), [] {});
+  }
+  const SchedulerStats st = run_graph(g, 3);
+  EXPECT_EQ(st.tasks_executed, 20u);
+  EXPECT_EQ(st.per_queue.size(), 3u);
+  EXPECT_EQ(st.per_queue[0] + st.per_queue[1] + st.per_queue[2], 20u);
+  EXPECT_EQ(st.per_queue[0], 7u);  // tasks 0,3,...,18
+}
+
+TEST(Scheduler, EmptyGraphCompletes) {
+  TaskGraph g;
+  const SchedulerStats st = run_graph(g, 2);
+  EXPECT_EQ(st.tasks_executed, 0u);
+}
+
+TEST(DeviceMemory, TracksUsageAndPeak) {
+  DeviceMemory dev("gpu0", 100);
+  dev.allocate(60);
+  EXPECT_EQ(dev.used(), 60u);
+  dev.allocate(40);
+  EXPECT_EQ(dev.used(), 100u);
+  dev.release(70);
+  EXPECT_EQ(dev.used(), 30u);
+  EXPECT_EQ(dev.peak_used(), 100u);
+}
+
+TEST(DeviceMemory, OverflowThrows) {
+  DeviceMemory dev("gpu0", 100);
+  dev.allocate(80);
+  EXPECT_THROW(dev.allocate(21), Error);
+  EXPECT_EQ(dev.used(), 80u);  // failed allocation does not leak
+}
+
+TEST(DeviceMemory, OverFreeThrows) {
+  DeviceMemory dev("gpu0", 100);
+  dev.allocate(10);
+  EXPECT_THROW(dev.release(11), Error);
+}
+
+}  // namespace
+}  // namespace bstc

@@ -1,0 +1,114 @@
+/// Tests for shape/tiling serialization and the plan explain report.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "plan/builder.hpp"
+#include "plan/explain.hpp"
+#include "shape/serialize.hpp"
+#include "shape/shape_algebra.hpp"
+#include "support/error.hpp"
+
+namespace bstc {
+namespace {
+
+TEST(ShapeSerialize, TilingRoundTrip) {
+  Rng rng(3);
+  const Tiling t = Tiling::random_uniform(5000, 64, 256, rng);
+  const Tiling back = deserialize_tiling(serialize_tiling(t));
+  EXPECT_EQ(t, back);
+}
+
+TEST(ShapeSerialize, ShapeRoundTripAcrossDensities) {
+  Rng rng(5);
+  const Tiling rt = Tiling::random_uniform(2000, 32, 128, rng);
+  const Tiling ct = Tiling::random_uniform(3000, 32, 128, rng);
+  for (const double density : {0.05, 0.3, 0.9, 1.0}) {
+    const Shape s = Shape::random(rt, ct, density, rng);
+    const Shape back = deserialize_shape(serialize_shape(s));
+    EXPECT_EQ(s, back) << "density " << density;
+  }
+}
+
+TEST(ShapeSerialize, EmptyShapeRoundTrip) {
+  const Shape s(Tiling::uniform(100, 10), Tiling::uniform(100, 10));
+  EXPECT_EQ(s, deserialize_shape(serialize_shape(s)));
+}
+
+TEST(ShapeSerialize, RleIsCompactForBandedShapes) {
+  // A banded shape compresses far below one token per tile.
+  const Tiling t = Tiling::uniform(10000, 10);  // 1000 tiles per side
+  Shape s(t, t);
+  for (std::size_t r = 0; r < s.tile_rows(); ++r) {
+    for (std::size_t c = r > 3 ? r - 3 : 0;
+         c < std::min(s.tile_cols(), r + 4); ++c) {
+      s.set(r, c);
+    }
+  }
+  const std::string text = serialize_shape(s);
+  // One million tiles; the banded RLE must stay well under 100 KB.
+  EXPECT_LT(text.size(), 100000u);
+  EXPECT_EQ(s, deserialize_shape(text));
+}
+
+TEST(ShapeSerialize, FileRoundTripAndErrors) {
+  Rng rng(7);
+  const Shape s = Shape::random(Tiling::uniform(200, 20),
+                                Tiling::uniform(200, 20), 0.5, rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bstc_shape.txt").string();
+  save_shape(s, path);
+  EXPECT_EQ(s, load_shape(path));
+  std::filesystem::remove(path);
+  EXPECT_THROW(load_shape(path), Error);
+  EXPECT_THROW(deserialize_shape("garbage"), Error);
+  EXPECT_THROW(deserialize_shape("BSTC-SHAPE 1\n1 10\n1 10\nrow 1 5\n"),
+               Error);  // runs do not cover the row
+}
+
+TEST(Explain, DigestsAccountAllWork) {
+  Rng rng(11);
+  const Tiling mt = Tiling::random_uniform(300, 20, 60, rng);
+  const Tiling kt = Tiling::random_uniform(900, 20, 60, rng);
+  const Tiling nt = Tiling::random_uniform(900, 20, 60, rng);
+  const Shape a = Shape::random(mt, kt, 0.4, rng);
+  const Shape b = Shape::random(kt, nt, 0.4, rng);
+  const Shape c = contract_shape(a, b);
+  const MachineModel machine = MachineModel::summit(2);
+  PlanConfig cfg;
+  cfg.p = 2;
+  const ExecutionPlan plan = build_plan(a, b, c, machine, cfg);
+  const auto digests = digest_plan(plan, a, b, c);
+  ASSERT_EQ(digests.size(), 12u);  // 2 nodes x 6 gpus
+  double flops = 0.0;
+  std::size_t gemms = 0;
+  for (const GpuDigest& d : digests) {
+    flops += d.flops;
+    gemms += d.gemm_tasks;
+    if (d.gemm_tasks > 0) {
+      EXPECT_GE(d.a_reuse, 1.0 - 1e-9);
+    }
+  }
+  const ContractionStats expected = contraction_stats(a, b, c);
+  EXPECT_NEAR(flops, expected.flops, 1e-6 * expected.flops);
+  EXPECT_EQ(gemms, expected.gemm_tasks);
+}
+
+TEST(Explain, ReportMentionsKeyQuantities) {
+  Rng rng(13);
+  const Tiling t = Tiling::uniform(400, 40);
+  const Shape a = Shape::random(t, t, 0.6, rng);
+  const Shape b = Shape::random(t, t, 0.6, rng);
+  const Shape c = contract_shape(a, b);
+  const ExecutionPlan plan =
+      build_plan(a, b, c, MachineModel::summit(1), PlanConfig{});
+  const std::string report = explain_plan(plan, a, b, c);
+  EXPECT_NE(report.find("grid 1 x 1"), std::string::npos);
+  EXPECT_NE(report.find("A broadcast"), std::string::npos);
+  EXPECT_NE(report.find("imbalance"), std::string::npos);
+  EXPECT_NE(report.find("blocks"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bstc

@@ -1,0 +1,194 @@
+/// Tests for the block-sparsity Shape and its contraction algebra.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "shape/shape.hpp"
+#include "shape/shape_algebra.hpp"
+#include "support/error.hpp"
+
+namespace bstc {
+namespace {
+
+Tiling tiles(std::initializer_list<Index> extents) {
+  return Tiling::from_extents(std::vector<Index>(extents));
+}
+
+TEST(Shape, DefaultAllZero) {
+  const Shape s(tiles({2, 3}), tiles({4, 5, 6}));
+  EXPECT_EQ(s.nnz_tiles(), 0u);
+  EXPECT_EQ(s.nnz_elements(), 0);
+  EXPECT_DOUBLE_EQ(s.density(), 0.0);
+  EXPECT_FALSE(s.nonzero(1, 2));
+}
+
+TEST(Shape, SetAndClear) {
+  Shape s(tiles({2, 3}), tiles({4, 5}));
+  s.set(1, 1);
+  EXPECT_TRUE(s.nonzero(1, 1));
+  EXPECT_EQ(s.nnz_tiles(), 1u);
+  EXPECT_EQ(s.nnz_elements(), 15);
+  s.set(1, 1, false);
+  EXPECT_EQ(s.nnz_tiles(), 0u);
+}
+
+TEST(Shape, DenseCountsEverything) {
+  const Shape s = Shape::dense(tiles({2, 3}), tiles({4, 5}));
+  EXPECT_EQ(s.nnz_tiles(), 4u);
+  EXPECT_EQ(s.nnz_elements(), 5 * 9);
+  EXPECT_DOUBLE_EQ(s.density(), 1.0);
+  EXPECT_DOUBLE_EQ(s.nnz_bytes(), 8.0 * 45);
+}
+
+TEST(Shape, RowColCountsAndWeights) {
+  Shape s(tiles({2, 3, 7}), tiles({4, 5}));
+  s.set(0, 0);
+  s.set(2, 0);
+  s.set(2, 1);
+  EXPECT_EQ(s.nnz_in_row(2), 2u);
+  EXPECT_EQ(s.nnz_in_col(0), 2u);
+  EXPECT_EQ(s.col_row_weight(0), 2 + 7);
+  EXPECT_EQ(s.col_row_weight(1), 7);
+}
+
+TEST(Shape, WideShapesCrossWordBoundaries) {
+  // >64 tile columns exercises multi-word rows.
+  const Tiling cols = Tiling::uniform(200, 1);
+  Shape s(tiles({1}), cols);
+  s.set(0, 63);
+  s.set(0, 64);
+  s.set(0, 199);
+  EXPECT_TRUE(s.nonzero(0, 63));
+  EXPECT_TRUE(s.nonzero(0, 64));
+  EXPECT_TRUE(s.nonzero(0, 199));
+  EXPECT_FALSE(s.nonzero(0, 65));
+  EXPECT_EQ(s.nnz_tiles(), 3u);
+}
+
+TEST(Shape, RandomHitsElementDensityFromAbove) {
+  Rng rng(17);
+  const Tiling rt = Tiling::uniform(1000, 100);
+  const Tiling ct = Tiling::uniform(1000, 100);
+  for (double target : {0.1, 0.25, 0.5, 0.75}) {
+    const Shape s = Shape::random(rt, ct, target, rng);
+    // Element-wise density is >= target and within one tile area above.
+    EXPECT_GE(s.density(), target);
+    EXPECT_LE(s.density(), target + 0.011);
+  }
+}
+
+TEST(Shape, RandomFullDensityStaysDense) {
+  Rng rng(3);
+  const Shape s = Shape::random(Tiling::uniform(100, 10),
+                                Tiling::uniform(100, 10), 1.0, rng);
+  EXPECT_DOUBLE_EQ(s.density(), 1.0);
+}
+
+TEST(ShapeAlgebra, ContractShapeClosure) {
+  // A: 2x2 tiles with A(0,0), A(1,1); B: 2x2 with B(0,1), B(1,0).
+  Shape a(tiles({2, 2}), tiles({3, 3}));
+  a.set(0, 0);
+  a.set(1, 1);
+  Shape b(tiles({3, 3}), tiles({4, 4}));
+  b.set(0, 1);
+  b.set(1, 0);
+  const Shape c = contract_shape(a, b);
+  EXPECT_TRUE(c.nonzero(0, 1));   // via k=0
+  EXPECT_TRUE(c.nonzero(1, 0));   // via k=1
+  EXPECT_FALSE(c.nonzero(0, 0));
+  EXPECT_FALSE(c.nonzero(1, 1));
+}
+
+TEST(ShapeAlgebra, ConformanceEnforced) {
+  const Shape a = Shape::dense(tiles({2}), tiles({3}));
+  const Shape b = Shape::dense(tiles({4}), tiles({5}));
+  EXPECT_THROW(contract_shape(a, b), Error);
+}
+
+TEST(ShapeAlgebra, DenseStatsMatchFormula) {
+  const Index m = 6, k = 15, n = 20;
+  const Shape a = Shape::dense(tiles({2, 4}), tiles({5, 10}));
+  const Shape b = Shape::dense(tiles({5, 10}), tiles({8, 12}));
+  const ContractionStats st = contraction_stats(a, b);
+  EXPECT_DOUBLE_EQ(st.flops, 2.0 * m * n * k);
+  EXPECT_EQ(st.gemm_tasks, 2u * 2u * 2u);
+}
+
+TEST(ShapeAlgebra, ColumnFlopsSumToTotal) {
+  Rng rng(23);
+  const Tiling rt = Tiling::random_uniform(500, 20, 80, rng);
+  const Tiling it = Tiling::random_uniform(900, 20, 80, rng);
+  const Tiling ct = Tiling::random_uniform(900, 20, 80, rng);
+  const Shape a = Shape::random(rt, it, 0.4, rng);
+  const Shape b = Shape::random(it, ct, 0.3, rng);
+  const auto per_col = column_flops(a, b);
+  double sum = 0.0;
+  for (double f : per_col) sum += f;
+  EXPECT_NEAR(sum, contraction_stats(a, b).flops, 1e-6 * sum + 1.0);
+}
+
+TEST(ShapeAlgebra, FilteredStatsNeverExceedUnfiltered) {
+  Rng rng(29);
+  const Tiling rt = Tiling::random_uniform(300, 20, 60, rng);
+  const Tiling it = Tiling::random_uniform(600, 20, 60, rng);
+  const Tiling ct = Tiling::random_uniform(600, 20, 60, rng);
+  const Shape a = Shape::random(rt, it, 0.5, rng);
+  const Shape b = Shape::random(it, ct, 0.5, rng);
+  const Shape c_full = contract_shape(a, b);
+  const ContractionStats plain = contraction_stats(a, b);
+  const ContractionStats full = contraction_stats(a, b, c_full);
+  // Filtering by the exact closure keeps every contributing task.
+  EXPECT_EQ(full.gemm_tasks, plain.gemm_tasks);
+  EXPECT_NEAR(full.flops, plain.flops, 1e-6 * plain.flops);
+
+  // An empty filter removes all tasks.
+  const Shape c_none(a.row_tiling(), b.col_tiling());
+  const ContractionStats none = contraction_stats(a, b, c_none);
+  EXPECT_EQ(none.gemm_tasks, 0u);
+  EXPECT_DOUBLE_EQ(none.flops, 0.0);
+}
+
+TEST(ShapeAlgebra, ArithmeticIntensityDenseSquare) {
+  // Dense n^3: AI = 2n^3 / (3 n^2 * 8) = n/12.
+  const Index n = 120;
+  const Tiling t = Tiling::uniform(n, 30);
+  const Shape s = Shape::dense(t, t);
+  EXPECT_NEAR(arithmetic_intensity(s, s, s), static_cast<double>(n) / 12.0,
+              1e-9);
+}
+
+TEST(ShapeAlgebra, ColumnBytesMatchesShape) {
+  Shape s(tiles({2, 3}), tiles({4, 5}));
+  s.set(0, 1);
+  s.set(1, 1);
+  EXPECT_DOUBLE_EQ(column_nnz_bytes(s, 0), 0.0);
+  EXPECT_DOUBLE_EQ(column_nnz_bytes(s, 1), 8.0 * (2 * 5 + 3 * 5));
+}
+
+class RandomShapeDensity
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(RandomShapeDensity, DensityPropertyHolds) {
+  const auto [target, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const Tiling rt = Tiling::random_uniform(2000, 64, 256, rng);
+  const Tiling ct = Tiling::random_uniform(2000, 64, 256, rng);
+  const Shape s = Shape::random(rt, ct, target, rng);
+  EXPECT_GE(s.density(), target);
+  // Removing any remaining tile would cross the threshold, so density is
+  // within max-tile-area of the target.
+  const double max_area = static_cast<double>(rt.max_tile_extent()) *
+                          static_cast<double>(ct.max_tile_extent());
+  const double total = static_cast<double>(rt.extent()) *
+                       static_cast<double>(ct.extent());
+  EXPECT_LE(s.density(), target + max_area / total + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomShapeDensity,
+    ::testing::Combine(::testing::Values(0.1, 0.25, 0.5, 0.75, 1.0),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace bstc

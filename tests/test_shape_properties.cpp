@@ -1,0 +1,100 @@
+/// Algebraic-law property tests for the shape algebra: monotonicity of
+/// the contraction closure, transpose duality, and flop symmetry. These
+/// are the invariants the inspector silently relies on.
+
+#include <gtest/gtest.h>
+
+#include "shape/shape_algebra.hpp"
+#include "support/rng.hpp"
+
+namespace bstc {
+namespace {
+
+struct RandomProduct {
+  explicit RandomProduct(std::uint64_t seed) : rng(seed) {
+    mt = Tiling::random_uniform(400, 20, 80, rng);
+    kt = Tiling::random_uniform(700, 20, 80, rng);
+    nt = Tiling::random_uniform(700, 20, 80, rng);
+    a = Shape::random(mt, kt, rng.uniform(0.2, 0.9), rng);
+    b = Shape::random(kt, nt, rng.uniform(0.2, 0.9), rng);
+  }
+
+  Rng rng;
+  Tiling mt, kt, nt;
+  Shape a, b;
+};
+
+class ShapeLaws : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShapeLaws, ClosureIsMonotone) {
+  RandomProduct p(static_cast<std::uint64_t>(GetParam()));
+  const Shape c = contract_shape(p.a, p.b);
+  // Adding a tile to A can only grow the closure.
+  Shape a_plus = p.a;
+  bool added = false;
+  for (std::size_t r = 0; r < a_plus.tile_rows() && !added; ++r) {
+    for (std::size_t k = 0; k < a_plus.tile_cols() && !added; ++k) {
+      if (!a_plus.nonzero(r, k)) {
+        a_plus.set(r, k);
+        added = true;
+      }
+    }
+  }
+  if (added) {
+    const Shape c_plus = contract_shape(a_plus, p.b);
+    EXPECT_TRUE(shape_subset(c, c_plus));
+  }
+}
+
+TEST_P(ShapeLaws, TransposeDuality) {
+  // closure(A, B)^T == closure(B^T, A^T).
+  RandomProduct p(static_cast<std::uint64_t>(GetParam()) + 100);
+  const Shape lhs = transpose(contract_shape(p.a, p.b));
+  const Shape rhs = contract_shape(transpose(p.b), transpose(p.a));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_P(ShapeLaws, FlopsInvariantUnderTranspose) {
+  // The product and its transpose have identical flop and task counts.
+  RandomProduct p(static_cast<std::uint64_t>(GetParam()) + 200);
+  const ContractionStats fwd = contraction_stats(p.a, p.b);
+  const ContractionStats bwd =
+      contraction_stats(transpose(p.b), transpose(p.a));
+  EXPECT_EQ(fwd.gemm_tasks, bwd.gemm_tasks);
+  EXPECT_NEAR(fwd.flops, bwd.flops, 1e-6 * fwd.flops);
+}
+
+TEST_P(ShapeLaws, FilterByClosureChangesNothing) {
+  RandomProduct p(static_cast<std::uint64_t>(GetParam()) + 300);
+  const Shape c = contract_shape(p.a, p.b);
+  const ContractionStats plain = contraction_stats(p.a, p.b);
+  const ContractionStats filtered = contraction_stats(p.a, p.b, c);
+  EXPECT_EQ(plain.gemm_tasks, filtered.gemm_tasks);
+  EXPECT_NEAR(plain.flops, filtered.flops, 1e-6 * plain.flops);
+}
+
+TEST_P(ShapeLaws, UnionDistributesOverClosure) {
+  // closure(A, B1 u B2) == closure(A, B1) u closure(A, B2).
+  RandomProduct p(static_cast<std::uint64_t>(GetParam()) + 400);
+  Rng rng2(static_cast<std::uint64_t>(GetParam()) + 999);
+  const Shape b2 = Shape::random(p.kt, p.nt, 0.3, rng2);
+  const Shape lhs = contract_shape(p.a, shape_union(p.b, b2));
+  const Shape rhs =
+      shape_union(contract_shape(p.a, p.b), contract_shape(p.a, b2));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_P(ShapeLaws, DensityBounds) {
+  RandomProduct p(static_cast<std::uint64_t>(GetParam()) + 500);
+  EXPECT_GE(p.a.density(), 0.0);
+  EXPECT_LE(p.a.density(), 1.0);
+  // nnz bytes consistent with density.
+  const double total = 8.0 * static_cast<double>(p.a.row_tiling().extent()) *
+                       static_cast<double>(p.a.col_tiling().extent());
+  EXPECT_NEAR(p.a.nnz_bytes(), p.a.density() * total, 1e-6 * total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShapeLaws, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace bstc

@@ -1,0 +1,94 @@
+/// Tests for the SUMMA bulk-synchronous baseline: exactness, traffic
+/// accounting and the BSP degradation on sparse problems that motivates
+/// the paper's dataflow approach.
+
+#include <gtest/gtest.h>
+
+#include "baseline/summa.hpp"
+#include "shape/shape_algebra.hpp"
+#include "support/error.hpp"
+
+namespace bstc {
+namespace {
+
+struct Problem {
+  Problem(double density, std::uint64_t seed) : rng(seed) {
+    mt = Tiling::random_uniform(80, 8, 24, rng);
+    kt = Tiling::random_uniform(200, 8, 24, rng);
+    nt = Tiling::random_uniform(200, 8, 24, rng);
+    a = std::make_unique<BlockSparseMatrix>(
+        BlockSparseMatrix::random(Shape::random(mt, kt, density, rng), rng));
+    b = std::make_unique<BlockSparseMatrix>(
+        BlockSparseMatrix::random(Shape::random(kt, nt, density, rng), rng));
+    c_shape = contract_shape(a->shape(), b->shape());
+  }
+
+  Rng rng;
+  Tiling mt, kt, nt;
+  std::unique_ptr<BlockSparseMatrix> a, b;
+  Shape c_shape;
+};
+
+TEST(Summa, ExactProductOnAllGrids) {
+  Problem p(0.5, 71);
+  BlockSparseMatrix expected(p.c_shape);
+  multiply_reference(*p.a, *p.b, expected);
+  for (const auto& [r, c] : std::vector<std::pair<int, int>>{
+           {1, 1}, {2, 2}, {1, 4}, {3, 2}}) {
+    const SummaResult result = summa_multiply(*p.a, *p.b, p.c_shape, r, c);
+    EXPECT_LT(result.c.max_abs_diff(expected), 1e-10)
+        << r << " x " << c << " grid";
+    EXPECT_EQ(result.steps, p.a->shape().tile_cols());
+  }
+}
+
+TEST(Summa, TaskAndFlopCountsMatchShapeAlgebra) {
+  Problem p(0.4, 73);
+  const SummaResult result = summa_multiply(*p.a, *p.b, p.c_shape, 2, 2);
+  const ContractionStats st =
+      contraction_stats(p.a->shape(), p.b->shape(), p.c_shape);
+  EXPECT_EQ(result.gemm_tasks, st.gemm_tasks);
+  EXPECT_NEAR(result.flops, st.flops, 1e-6 * st.flops);
+}
+
+TEST(Summa, BroadcastBytesScaleWithGridDimensions) {
+  Problem p(0.6, 79);
+  const SummaResult g22 = summa_multiply(*p.a, *p.b, p.c_shape, 2, 2);
+  const SummaResult g24 = summa_multiply(*p.a, *p.b, p.c_shape, 2, 4);
+  // A panels go to grid_cols - 1 peers: 3x the traffic on a 2x4 grid.
+  EXPECT_NEAR(g24.a_broadcast_bytes, 3.0 * g22.a_broadcast_bytes, 1.0);
+  // B panels go to grid_rows - 1 peers: unchanged between 2x2 and 2x4.
+  EXPECT_NEAR(g24.b_broadcast_bytes, g22.b_broadcast_bytes, 1.0);
+  // Single rank: no broadcast at all.
+  const SummaResult g11 = summa_multiply(*p.a, *p.b, p.c_shape, 1, 1);
+  EXPECT_DOUBLE_EQ(g11.a_broadcast_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(g11.b_broadcast_bytes, 0.0);
+}
+
+TEST(Summa, SparsityDegradesBspEfficiency) {
+  // The paper's §1 argument: irregular sparsity starves synchronized
+  // steps. Idle fraction must grow as density falls.
+  const SummaResult dense =
+      [&] {
+        Problem p(1.0, 83);
+        return summa_multiply(*p.a, *p.b, p.c_shape, 2, 2);
+      }();
+  const SummaResult sparse =
+      [&] {
+        Problem p(0.1, 83);
+        return summa_multiply(*p.a, *p.b, p.c_shape, 2, 2);
+      }();
+  EXPECT_LT(dense.idle_fraction, 0.05);
+  EXPECT_GT(sparse.idle_fraction, dense.idle_fraction + 0.2);
+  EXPECT_GT(sparse.mean_step_imbalance, dense.mean_step_imbalance);
+}
+
+TEST(Summa, RejectsBadInputs) {
+  Problem p(0.5, 89);
+  EXPECT_THROW(summa_multiply(*p.a, *p.b, p.c_shape, 0, 2), Error);
+  const Shape wrong_c(Tiling::uniform(80, 8), Tiling::uniform(100, 10));
+  EXPECT_THROW(summa_multiply(*p.a, *p.b, wrong_c, 2, 2), Error);
+}
+
+}  // namespace
+}  // namespace bstc

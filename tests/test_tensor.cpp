@@ -1,0 +1,212 @@
+/// Tests for order-4 block-sparse tensors, matricization and the
+/// tensor-level ABCD contraction driver.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "shape/shape_algebra.hpp"
+#include "support/error.hpp"
+#include "tensor/abcd_driver.hpp"
+#include "tensor/tensor4.hpp"
+
+namespace bstc {
+namespace {
+
+Tiling tiles(std::initializer_list<Index> extents) {
+  return Tiling::from_extents(std::vector<Index>(extents));
+}
+
+Tensor4Shape dense_shape(Tiling t0, Tiling t1, Tiling t2, Tiling t3) {
+  Tensor4Shape s(std::move(t0), std::move(t1), std::move(t2), std::move(t3));
+  for (std::size_t a = 0; a < s.tiles(0); ++a) {
+    for (std::size_t b = 0; b < s.tiles(1); ++b) {
+      for (std::size_t c = 0; c < s.tiles(2); ++c) {
+        for (std::size_t d = 0; d < s.tiles(3); ++d) s.set(a, b, c, d);
+      }
+    }
+  }
+  return s;
+}
+
+TEST(Tensor4Shape, FusedCoordinates) {
+  const Tensor4Shape s(tiles({2, 3}), tiles({4}), tiles({5, 6}), tiles({7}));
+  EXPECT_EQ(s.tiles(0), 2u);
+  EXPECT_EQ(s.tiles(1), 1u);
+  EXPECT_EQ(s.row_tile(1, 0), 1u);
+  EXPECT_EQ(s.col_tile(1, 0), 1u);
+  EXPECT_EQ(s.matricized().tile_rows(), 2u);
+  EXPECT_EQ(s.matricized().tile_cols(), 2u);
+  // Fused tile extents are products.
+  EXPECT_EQ(s.matricized().row_tiling().tile_extent(0), 2 * 4);
+  EXPECT_EQ(s.matricized().col_tiling().tile_extent(1), 6 * 7);
+  EXPECT_THROW(s.mode_tiling(4), Error);
+}
+
+TEST(Tensor4Shape, SetAndQuery) {
+  Tensor4Shape s(tiles({2}), tiles({2}), tiles({2}), tiles({2}));
+  EXPECT_FALSE(s.nonzero(0, 0, 0, 0));
+  s.set(0, 0, 0, 0);
+  EXPECT_TRUE(s.nonzero(0, 0, 0, 0));
+  EXPECT_EQ(s.nnz_tiles(), 1u);
+}
+
+TEST(BlockSparseTensor4, ElementAccessRoundTrip) {
+  const Tensor4Shape s =
+      dense_shape(tiles({2, 3}), tiles({2}), tiles({3}), tiles({2, 2}));
+  BlockSparseTensor4 t(s);
+  // Write a recognizable pattern and read it back.
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = 0; j < 2; ++j) {
+      for (Index k = 0; k < 3; ++k) {
+        for (Index l = 0; l < 4; ++l) {
+          t.set_at(i, j, k, l,
+                   1000.0 * static_cast<double>(i) + 100.0 * j + 10.0 * k + l);
+        }
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(t.at(4, 1, 2, 3), 4123.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 0, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t.at(2, 1, 0, 3), 2103.0);
+}
+
+TEST(BlockSparseTensor4, ZeroBlocksReadZeroAndRejectWrites) {
+  Tensor4Shape s(tiles({2}), tiles({2}), tiles({2}), tiles({2}));
+  // Leave everything zero.
+  BlockSparseTensor4 t(s);
+  EXPECT_DOUBLE_EQ(t.at(1, 1, 1, 1), 0.0);
+  EXPECT_THROW(t.set_at(0, 0, 0, 0, 1.0), Error);
+  EXPECT_EQ(t.bytes(), 0u);
+}
+
+TEST(Matricize, RoundTripPreservesEveryElement) {
+  Rng rng(19);
+  const Tensor4Shape s =
+      dense_shape(tiles({2, 3}), tiles({3, 1}), tiles({2, 2}), tiles({4}));
+  const BlockSparseTensor4 t = BlockSparseTensor4::random(s, rng);
+  const BlockSparseMatrix m = matricize(t);
+  EXPECT_EQ(m.rows(), 5 * 4);
+  EXPECT_EQ(m.cols(), 4 * 4);
+  const BlockSparseTensor4 back = unmatricize(m, s);
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = 0; j < 4; ++j) {
+      for (Index k = 0; k < 4; ++k) {
+        for (Index l = 0; l < 4; ++l) {
+          EXPECT_DOUBLE_EQ(back.at(i, j, k, l), t.at(i, j, k, l));
+        }
+      }
+    }
+  }
+}
+
+TEST(Matricize, UnmatricizeRejectsWrongTilings) {
+  const Tensor4Shape s =
+      dense_shape(tiles({2}), tiles({2}), tiles({2}), tiles({2}));
+  const BlockSparseMatrix wrong(
+      Shape::dense(Tiling::uniform(4, 2), Tiling::uniform(4, 4)));
+  EXPECT_THROW(unmatricize(wrong, s), Error);
+}
+
+TEST(AbcdDriver, MatchesDirectSummation) {
+  // Small dense contraction, checked element-wise against the einsum.
+  Rng rng(23);
+  const Tiling occ = tiles({2, 2});    // i and j ranges
+  const Tiling ao = tiles({3, 2});     // a, b, c, d ranges
+  const Tensor4Shape t_shape = dense_shape(occ, occ, ao, ao);
+  const Tensor4Shape v_shape = dense_shape(ao, ao, ao, ao);
+  const Tensor4Shape r_shape = dense_shape(occ, occ, ao, ao);
+  const BlockSparseTensor4 t = BlockSparseTensor4::random(t_shape, rng);
+  const BlockSparseTensor4 v = BlockSparseTensor4::random(v_shape, rng);
+
+  MachineModel machine = MachineModel::summit_gpus(2);
+  machine.node.gpu.memory_bytes = 1e5;
+  EngineConfig cfg;
+  const AbcdResult result = contract_abcd(t, v, r_shape, machine, cfg);
+
+  const Index o = 4, u = 5;
+  for (Index i = 0; i < o; ++i) {
+    for (Index j = 0; j < o; ++j) {
+      for (Index a = 0; a < u; ++a) {
+        for (Index b = 0; b < u; ++b) {
+          double expect = 0.0;
+          for (Index c = 0; c < u; ++c) {
+            for (Index d = 0; d < u; ++d) {
+              expect += t.at(i, j, c, d) * v.at(c, d, a, b);
+            }
+          }
+          EXPECT_NEAR(result.r.at(i, j, a, b), expect, 1e-11);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(result.engine.b_max_generations, 1u);
+}
+
+TEST(AbcdDriver, BlockSparseWithGeneratorAndScreening) {
+  Rng rng(29);
+  const Tiling occ = tiles({3, 3});
+  const Tiling ao = tiles({4, 4, 4});
+  // Banded sparsity on all tensors.
+  auto banded = [](const Tiling& r0, const Tiling& r1, const Tiling& c0,
+                   const Tiling& c1, std::size_t band) {
+    Tensor4Shape s(r0, r1, c0, c1);
+    for (std::size_t a = 0; a < s.tiles(0); ++a) {
+      for (std::size_t b = 0; b < s.tiles(1); ++b) {
+        for (std::size_t c = 0; c < s.tiles(2); ++c) {
+          for (std::size_t d = 0; d < s.tiles(3); ++d) {
+            const auto diff = [](std::size_t x, std::size_t y) {
+              return x > y ? x - y : y - x;
+            };
+            if (diff(a, c) <= band && diff(b, d) <= band) s.set(a, b, c, d);
+          }
+        }
+      }
+    }
+    return s;
+  };
+  const Tensor4Shape t_shape = banded(occ, occ, ao, ao, 1);
+  const Tensor4Shape v_shape = banded(ao, ao, ao, ao, 1);
+  const BlockSparseTensor4 t = BlockSparseTensor4::random(t_shape, rng);
+
+  // R screen: the closure of the matricized shapes.
+  const Shape closure =
+      contract_shape(t_shape.matricized(), v_shape.matricized());
+  Tensor4Shape r_shape(occ, occ, ao, ao);
+  for (std::size_t a = 0; a < r_shape.tiles(0); ++a) {
+    for (std::size_t b = 0; b < r_shape.tiles(1); ++b) {
+      for (std::size_t c = 0; c < r_shape.tiles(2); ++c) {
+        for (std::size_t d = 0; d < r_shape.tiles(3); ++d) {
+          if (closure.nonzero(r_shape.row_tile(a, b),
+                              r_shape.col_tile(c, d))) {
+            r_shape.set(a, b, c, d);
+          }
+        }
+      }
+    }
+  }
+
+  const TileGenerator v_gen =
+      random_tile_generator(v_shape.matricized(), 77);
+  MachineModel machine = MachineModel::summit(2);
+  machine.node.gpus = 1;
+  machine.gpu_total = 2;
+  machine.node.gpu.memory_bytes = 2e5;
+  EngineConfig cfg;
+  const AbcdResult result =
+      contract_abcd(t, v_shape, v_gen, r_shape, machine, cfg);
+
+  // Reference: materialize V from the generator and multiply matrices.
+  BlockSparseMatrix v_full(v_shape.matricized());
+  for (std::size_t r = 0; r < v_shape.matricized().tile_rows(); ++r) {
+    for (std::size_t c = 0; c < v_shape.matricized().tile_cols(); ++c) {
+      if (v_shape.matricized().nonzero(r, c)) v_full.tile(r, c) = v_gen(r, c);
+    }
+  }
+  BlockSparseMatrix expected(closure);
+  multiply_reference(matricize(t), v_full, expected);
+  EXPECT_LT(matricize(result.r).max_abs_diff(expected), 1e-10);
+}
+
+}  // namespace
+}  // namespace bstc

@@ -1,0 +1,102 @@
+/// Tests for the trace recorder and its integration with the scheduler
+/// and the contraction engine.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "bsm/block_sparse_matrix.hpp"
+#include "core/engine.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/trace.hpp"
+#include "shape/shape_algebra.hpp"
+
+namespace bstc {
+namespace {
+
+TEST(Trace, RecordsSpansAndBusyTime) {
+  TraceRecorder trace;
+  trace.record("a", 0, 0.0, 1.0);
+  trace.record("b", 1, 0.5, 2.0);
+  trace.record("c", 0, 1.0, 1.25);
+  EXPECT_EQ(trace.size(), 3u);
+  const auto busy = trace.busy_per_queue();
+  ASSERT_EQ(busy.size(), 2u);
+  EXPECT_DOUBLE_EQ(busy[0], 1.25);
+  EXPECT_DOUBLE_EQ(busy[1], 1.5);
+}
+
+TEST(Trace, ChromeJsonWellFormed) {
+  TraceRecorder trace;
+  trace.record("task \"quoted\"", 2, 0.0, 0.001);
+  const std::string json = trace.to_chrome_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1000.000"), std::string::npos);  // us
+}
+
+TEST(Trace, SchedulerRecordsEveryTask) {
+  TaskGraph graph;
+  const TaskId a = graph.add_task("first", 0, [] {});
+  const TaskId b = graph.add_task("second", 1, [] {});
+  graph.add_edge(a, b);
+  TraceRecorder trace;
+  run_graph(graph, 2, &trace);
+  ASSERT_EQ(trace.size(), 2u);
+  const auto events = trace.events();
+  // Order of collection may vary; find by name.
+  const TraceEvent* first = nullptr;
+  const TraceEvent* second = nullptr;
+  for (const TraceEvent& e : events) {
+    if (e.name == "first") first = &e;
+    if (e.name == "second") second = &e;
+  }
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_LE(first->end_s, second->end_s);
+  EXPECT_GE(second->start_s, 0.0);
+}
+
+TEST(Trace, EngineWritesTraceFile) {
+  Rng rng(3);
+  const Tiling mt = Tiling::uniform(24, 8);
+  const Tiling kt = Tiling::uniform(48, 8);
+  const Tiling nt = Tiling::uniform(48, 8);
+  const Shape a_shape = Shape::dense(mt, kt);
+  const Shape b_shape = Shape::dense(kt, nt);
+  const Shape c_shape = contract_shape(a_shape, b_shape);
+  const BlockSparseMatrix a = BlockSparseMatrix::random(a_shape, rng);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bstc_engine_trace.json")
+          .string();
+  MachineModel machine = MachineModel::summit_gpus(2);
+  machine.node.gpu.memory_bytes = 1e5;
+  EngineConfig cfg;
+  cfg.trace_path = path;
+  const EngineResult result =
+      contract(a, b_shape, random_tile_generator(b_shape, 9), c_shape,
+               nullptr, machine, cfg);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("gemm("), std::string::npos);
+  EXPECT_NE(content.find("chunkload("), std::string::npos);
+  EXPECT_NE(content.find("store("), std::string::npos);
+  // One JSON object per executed task.
+  std::size_t count = 0;
+  for (std::size_t pos = 0; (pos = content.find("\"ph\":\"X\"", pos)) !=
+                            std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, result.tasks_executed);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace bstc

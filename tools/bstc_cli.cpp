@@ -1,0 +1,326 @@
+/// \file bstc_cli.cpp
+/// Command-line front-end to the library — run any contraction scenario
+/// without writing code.
+///
+/// Subcommands:
+///   simulate   synthetic block-sparse product on a simulated machine
+///   abcd       the C65H132-style chemistry workload (any chain length)
+///   plan       build a plan and print its structure/statistics
+///   execute    run the REAL engine on a small synthetic problem + verify
+///
+/// Examples:
+///   bstc_cli simulate --m 48000 --n 192000 --density 0.5 --nodes 16 --p 2
+///   bstc_cli abcd --carbons 65 --tiling v2 --gpus 108
+///   bstc_cli plan --m 24000 --n 96000 --density 0.25 --nodes 8
+///   bstc_cli execute --m 96 --n 480 --density 0.4 --nodes 2 --gpus 2
+
+#include <cstdio>
+
+#include "baseline/cpu_reference.hpp"
+#include "baseline/dbcsr.hpp"
+#include "bsm/block_sparse_matrix.hpp"
+#include "chem/abcd.hpp"
+#include "chem/abcd3d.hpp"
+#include "chem/molecule.hpp"
+#include "chem/orbitals.hpp"
+#include "core/engine.hpp"
+#include "plan/builder.hpp"
+#include "plan/explain.hpp"
+#include "plan/serialize.hpp"
+#include "plan/stats.hpp"
+#include "shape/shape_algebra.hpp"
+#include "sim/simulator.hpp"
+#include "support/args.hpp"
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+using namespace bstc;
+
+namespace {
+
+struct SynthProblem {
+  Tiling mt, kt, nt;
+  Shape a, b, c;
+};
+
+SynthProblem make_problem(const Args& args) {
+  const Index m = args.get_int("m", 48000);
+  const Index n = args.get_int("n", 192000);
+  const Index k = args.get_int("k", n);
+  const double density = args.get_double("density", 0.5);
+  const Index tile_lo = args.get_int("tile-lo", 512);
+  const Index tile_hi = args.get_int("tile-hi", 2048);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  SynthProblem p;
+  p.mt = Tiling::random_uniform(m, tile_lo, tile_hi, rng);
+  p.kt = Tiling::random_uniform(k, tile_lo, tile_hi, rng);
+  p.nt = Tiling::random_uniform(n, tile_lo, tile_hi, rng);
+  p.a = Shape::random(p.mt, p.kt, density, rng);
+  p.b = Shape::random(p.kt, p.nt, density, rng);
+  p.c = contract_shape(p.a, p.b);
+  return p;
+}
+
+MachineModel make_machine(const Args& args) {
+  MachineModel machine =
+      args.has("gpus")
+          ? MachineModel::summit_gpus(
+                static_cast<int>(args.get_int("gpus", 6)))
+          : MachineModel::summit(static_cast<int>(args.get_int("nodes", 16)));
+  machine.node.gpu.memory_bytes =
+      args.get_double("gpu-mem", machine.node.gpu.memory_bytes);
+  return machine;
+}
+
+PlanConfig make_plan_config(const Args& args) {
+  PlanConfig cfg;
+  cfg.p = static_cast<int>(args.get_int("p", 1));
+  cfg.prefetch_depth = static_cast<int>(args.get_int("prefetch", 2));
+  const std::string assignment = args.get("assignment", "mirrored");
+  if (assignment == "cyclic") {
+    cfg.assignment = AssignmentPolicy::kCyclic;
+  } else if (assignment == "lpt") {
+    cfg.assignment = AssignmentPolicy::kLpt;
+  } else {
+    BSTC_REQUIRE(assignment == "mirrored",
+                 "--assignment must be mirrored|cyclic|lpt");
+  }
+  const std::string packing = args.get("packing", "worst-fit");
+  if (packing == "first-fit") {
+    cfg.packing = PackingPolicy::kFirstFit;
+  } else if (packing == "best-fit") {
+    cfg.packing = PackingPolicy::kBestFit;
+  } else {
+    BSTC_REQUIRE(packing == "worst-fit",
+                 "--packing must be worst-fit|first-fit|best-fit");
+  }
+  return cfg;
+}
+
+void report_sim(const SimResult& sim, const MachineModel& machine) {
+  std::printf("flops          %s\n", fmt_flop_count(sim.total_flops).c_str());
+  std::printf("time           %s\n", fmt_duration(sim.makespan_s).c_str());
+  std::printf("performance    %s (%s of aggregate GEMM peak)\n",
+              fmt_flops(sim.performance).c_str(),
+              fmt_percent(sim.performance / machine.aggregate_gpu_peak())
+                  .c_str());
+  std::printf("per GPU        %s\n", fmt_flops(sim.per_gpu_performance).c_str());
+  std::printf("inspection     %s\n", fmt_duration(sim.inspect_s).c_str());
+}
+
+int cmd_simulate(const Args& args) {
+  const SynthProblem p = make_problem(args);
+  const MachineModel machine = make_machine(args);
+  const PlanConfig cfg = make_plan_config(args);
+  std::printf("A %lld x %lld (%s), B %lld x %lld (%s) on %d nodes / %d GPUs\n",
+              static_cast<long long>(p.mt.extent()),
+              static_cast<long long>(p.kt.extent()),
+              fmt_percent(p.a.density()).c_str(),
+              static_cast<long long>(p.kt.extent()),
+              static_cast<long long>(p.nt.extent()),
+              fmt_percent(p.b.density()).c_str(), machine.nodes,
+              machine.total_gpus());
+  const SimResult sim = simulate_contraction(p.a, p.b, p.c, machine, cfg);
+  report_sim(sim, machine);
+
+  if (args.get_bool("baselines", false)) {
+    const DbcsrResult dbcsr = simulate_dbcsr_best(p.a, p.b, p.c, machine);
+    std::printf("DBCSR-style    %s\n",
+                dbcsr.feasible ? fmt_flops(dbcsr.performance).c_str()
+                               : dbcsr.failure.c_str());
+    const CpuRefResult cpu = simulate_cpu_reference(p.a, p.b, p.c, machine);
+    std::printf("CPU-only       %s (%s)\n",
+                fmt_duration(cpu.time_s).c_str(),
+                fmt_flops(cpu.performance).c_str());
+  }
+  return 0;
+}
+
+int cmd_abcd(const Args& args) {
+  const int carbons = static_cast<int>(args.get_int("carbons", 65));
+  const std::string tiling = args.get("tiling", "v1");
+  AbcdConfig cfg = tiling == "v2"   ? AbcdConfig::tiling_v2()
+                   : tiling == "v3" ? AbcdConfig::tiling_v3()
+                                    : AbcdConfig::tiling_v1();
+  BSTC_REQUIRE(tiling == "v1" || tiling == "v2" || tiling == "v3",
+               "--tiling must be v1|v2|v3");
+  const Molecule molecule = Molecule::alkane(carbons);
+  const OrbitalSystem system = OrbitalSystem::build(molecule);
+  // Scale cluster counts with the molecule.
+  cfg.ao_clusters = std::max<std::size_t>(
+      4, cfg.ao_clusters * static_cast<std::size_t>(carbons) / 65);
+  cfg.occ_clusters = std::max<std::size_t>(
+      2, cfg.occ_clusters * static_cast<std::size_t>(carbons) / 65);
+  const AbcdProblem problem = build_abcd(system, cfg);
+  const AbcdTraits traits = abcd_traits(problem);
+  std::printf("%s (%s): M x N x K = %s x %s x %s\n",
+              molecule.formula().c_str(), tiling.c_str(),
+              fmt_group(traits.m).c_str(), fmt_group(traits.n).c_str(),
+              fmt_group(traits.k).c_str());
+  std::printf("densities      T %s, V %s, R %s; %s (%zu tile GEMMs)\n",
+              fmt_percent(traits.density_t).c_str(),
+              fmt_percent(traits.density_v).c_str(),
+              fmt_percent(traits.density_r).c_str(),
+              fmt_flop_count(traits.flops).c_str(), traits.gemm_tasks);
+  const MachineModel machine = make_machine(args);
+  const SimResult sim = simulate_contraction(problem.t, problem.v, problem.r,
+                                             machine, make_plan_config(args));
+  report_sim(sim, machine);
+  return 0;
+}
+
+int cmd_xyz(const Args& args) {
+  BSTC_REQUIRE(args.positional().size() >= 2,
+               "usage: bstc_cli xyz <file.xyz> [options]");
+  const Molecule molecule = Molecule::load_xyz(args.positional()[1]);
+  const std::string basis_name = args.get("basis", "def2-svp");
+  const BasisSet basis = basis_name == "sto-3g"     ? BasisSet::kSto3g
+                         : basis_name == "def2-tzvp" ? BasisSet::kDef2Tzvp
+                                                     : BasisSet::kDef2Svp;
+  const OrbitalSystem3 system = OrbitalSystem3::build(molecule, basis);
+  AbcdConfig cfg;
+  cfg.ao_clusters = static_cast<std::size_t>(
+      args.get_int("ao-clusters",
+                   std::max<std::int64_t>(4, molecule.count(Element::kC))));
+  cfg.occ_clusters = static_cast<std::size_t>(
+      args.get_int("occ-clusters",
+                   std::max<std::int64_t>(2, static_cast<std::int64_t>(
+                                                 cfg.ao_clusters / 8))));
+  const AbcdProblem3 problem = build_abcd_3d(system, cfg);
+  const AbcdTraits traits = abcd_traits(problem);
+  std::printf("%s (%s): U=%zu O=%zu, M x N x K = %s x %s x %s\n",
+              molecule.formula().c_str(), basis_name.c_str(), system.num_ao(),
+              system.num_occ(), fmt_group(traits.m).c_str(),
+              fmt_group(traits.n).c_str(), fmt_group(traits.k).c_str());
+  std::printf("densities      T %s, V %s, R %s; %s\n",
+              fmt_percent(traits.density_t).c_str(),
+              fmt_percent(traits.density_v).c_str(),
+              fmt_percent(traits.density_r).c_str(),
+              fmt_flop_count(traits.flops).c_str());
+  const MachineModel machine = make_machine(args);
+  const SimResult sim = simulate_contraction(problem.t, problem.v, problem.r,
+                                             machine, make_plan_config(args));
+  report_sim(sim, machine);
+  return 0;
+}
+
+int cmd_plan(const Args& args) {
+  const SynthProblem p = make_problem(args);
+  const MachineModel machine = make_machine(args);
+  const ExecutionPlan plan =
+      build_plan(p.a, p.b, p.c, machine, make_plan_config(args));
+  const PlanStats st = compute_stats(plan, p.a, p.b, p.c);
+  const auto violations = validate_plan(plan, p.a, p.b, p.c);
+  std::printf("grid           %d x %d\n", plan.grid.p, plan.grid.q);
+  std::printf("blocks         %zu (%zu oversized), chunks %zu\n", st.blocks,
+              st.oversized_blocks, st.chunks);
+  std::printf("GEMM tasks     %zu (%s)\n", st.gemm_tasks,
+              fmt_flop_count(st.total_flops).c_str());
+  std::printf("A h2d          %s (network %s)\n",
+              fmt_bytes(st.a_h2d_bytes).c_str(),
+              fmt_bytes(st.a_network_bytes).c_str());
+  std::printf("B generated    %s, C staged %s\n",
+              fmt_bytes(st.b_generated_bytes).c_str(),
+              fmt_bytes(st.c_h2d_bytes).c_str());
+  std::printf("GPU imbalance  %.3f\n", st.gpu_imbalance);
+  std::printf("validation     %s\n",
+              violations.empty()
+                  ? "ok"
+                  : (std::to_string(violations.size()) + " violations")
+                        .c_str());
+  for (const auto& v : violations) std::printf("  ! %s\n", v.c_str());
+  if (args.get_bool("explain", false)) {
+    std::printf("\n%s", explain_plan(plan, p.a, p.b, p.c).c_str());
+  }
+  const std::string save = args.get("save", "");
+  if (!save.empty()) {
+    save_plan(plan, save);
+    std::printf("plan saved to %s\n", save.c_str());
+  }
+  return violations.empty() ? 0 : 1;
+}
+
+int cmd_execute(const Args& args) {
+  const SynthProblem p = make_problem(args);
+  const MachineModel machine = make_machine(args);
+  EngineConfig cfg;
+  cfg.plan = make_plan_config(args);
+  cfg.trace_path = args.get("trace", "");
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)) + 1);
+  const BlockSparseMatrix a = BlockSparseMatrix::random(p.a, rng);
+  const TileGenerator b_gen = random_tile_generator(p.b, 1234);
+  const EngineResult result =
+      contract(a, p.b, b_gen, p.c, nullptr, machine, cfg);
+  std::printf("tasks          %zu in %s\n", result.tasks_executed,
+              fmt_duration(result.wall_seconds).c_str());
+  std::printf("B generations  at most %zu per node\n",
+              result.b_max_generations);
+  std::printf("A broadcast    %s, C return %s\n",
+              fmt_bytes(result.a_network_bytes).c_str(),
+              fmt_bytes(result.c_network_bytes).c_str());
+
+  if (args.get_bool("verify", true)) {
+    BlockSparseMatrix b_full(p.b);
+    for (std::size_t r = 0; r < p.b.tile_rows(); ++r) {
+      for (std::size_t c = 0; c < p.b.tile_cols(); ++c) {
+        if (p.b.nonzero(r, c)) b_full.tile(r, c) = b_gen(r, c);
+      }
+    }
+    BlockSparseMatrix expected(p.c);
+    multiply_reference(a, b_full, expected);
+    const double err = result.c.max_abs_diff(expected);
+    std::printf("verification   max|C - C_ref| = %.3e -> %s\n", err,
+                err < 1e-10 ? "OK" : "FAILED");
+    return err < 1e-10 ? 0 : 1;
+  }
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: bstc_cli <simulate|abcd|xyz|plan|execute> [options]\n"
+      "  common: --nodes N | --gpus G, --p P, --gpu-mem BYTES, --seed S,\n"
+      "          --assignment mirrored|cyclic|lpt,\n"
+      "          --packing worst-fit|first-fit|best-fit, --prefetch D\n"
+      "  simulate/plan/execute: --m --n --k --density --tile-lo --tile-hi\n"
+      "  simulate: --baselines        also run DBCSR-style + CPU models\n"
+      "  plan: --explain true --save FILE\n"
+      "  abcd: --carbons N --tiling v1|v2|v3\n"
+      "  xyz: <file.xyz> --basis sto-3g|def2-svp|def2-tzvp --ao-clusters N\n"
+      "  execute: --verify true|false --trace FILE.json\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args(argc, argv);
+    if (args.positional().empty()) {
+      usage();
+      return 2;
+    }
+    const std::string& cmd = args.positional().front();
+    int rc = 2;
+    if (cmd == "simulate") {
+      rc = cmd_simulate(args);
+    } else if (cmd == "abcd") {
+      rc = cmd_abcd(args);
+    } else if (cmd == "xyz") {
+      rc = cmd_xyz(args);
+    } else if (cmd == "plan") {
+      rc = cmd_plan(args);
+    } else if (cmd == "execute") {
+      rc = cmd_execute(args);
+    } else {
+      usage();
+      return 2;
+    }
+    for (const std::string& key : args.unused()) {
+      std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
