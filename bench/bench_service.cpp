@@ -1,0 +1,149 @@
+/// Serving-layer benchmark for the ContractionService (ISSUE: a CCSD-style
+/// driver submits the same contraction every iteration, so the inspector
+/// must be paid once, not per request).
+///
+/// Part 1 — submit-to-start latency: one cold submit (inspector runs, plan
+/// cached) followed by warm submits of the identical problem. The warm
+/// path must start >= 10x faster because it skips build_plan entirely and
+/// only pays the queue hand-off.
+///
+/// Part 2 — multi-client throughput: a fixed request mix over four problem
+/// classes, driven by 8 client threads against 1/2/4 service workers, with
+/// admission-control rejects reported (the queue is bounded; clients see
+/// kQueueFull instead of blocking).
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bsm/block_sparse_matrix.hpp"
+#include "service/contraction_service.hpp"
+#include "service/fingerprint.hpp"
+#include "shape/shape_algebra.hpp"
+#include "support/error.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+using namespace bstc;
+
+namespace {
+
+struct Problem {
+  Shape a_shape, b_shape, c_shape;
+  BlockSparseMatrix a;
+  TileGenerator b_gen;
+  MachineModel machine;
+
+  Problem(Index m, Index k, Index n, double density, std::uint64_t seed,
+          int gpus, Index tile_lo = 8, Index tile_hi = 24)
+      : a(Shape()), machine(MachineModel::summit_gpus(gpus)) {
+    Rng rng(seed);
+    const Tiling mt = Tiling::random_uniform(m, tile_lo, tile_hi, rng);
+    const Tiling kt = Tiling::random_uniform(k, tile_lo, tile_hi, rng);
+    const Tiling nt = Tiling::random_uniform(n, tile_lo, tile_hi, rng);
+    a_shape = Shape::random(mt, kt, density, rng);
+    b_shape = Shape::random(kt, nt, density, rng);
+    c_shape = contract_shape(a_shape, b_shape);
+    a = BlockSparseMatrix::random(a_shape, rng);
+    b_gen = random_tile_generator(b_shape, seed * 17 + 3);
+    machine.node.gpu.memory_bytes = 1.0e6;
+  }
+
+  ContractionRequest request() const {
+    ContractionRequest req;
+    req.a = &a;
+    req.b_shape = &b_shape;
+    req.b_generator = b_gen;
+    req.c_shape = &c_shape;
+    req.machine = machine;
+    return req;
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "ContractionService — plan-cache amortisation and throughput\n\n");
+
+  // Part 1: latency. A planning-heavy problem (many k/n tiles) makes the
+  // inspector cost visible; a single worker keeps the measurement serial.
+  {
+    Problem p(96, 4096, 4096, 0.3, 7, 2, 6, 12);
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    ContractionService service(cfg);
+
+    ContractionResponse cold;
+    ServiceStatus st = service.submit(p.request(), cold);
+    BSTC_REQUIRE(st == ServiceStatus::kOk, "cold submit failed");
+    BSTC_REQUIRE(!cold.plan_cache_hit, "cold submit must miss the cache");
+
+    constexpr int kWarm = 20;
+    double warm_start = 0.0, warm_exec = 0.0;
+    for (int i = 0; i < kWarm; ++i) {
+      ContractionResponse warm;
+      st = service.submit(p.request(), warm);
+      BSTC_REQUIRE(st == ServiceStatus::kOk, "warm submit failed");
+      BSTC_REQUIRE(warm.plan_cache_hit, "warm submit must hit the cache");
+      warm_start += warm.start_latency_s;
+      warm_exec += warm.execute_s;
+    }
+    warm_start /= kWarm;
+    warm_exec /= kWarm;
+
+    TextTable table({"path", "inspect", "start latency", "execute"});
+    table.add_row({"cold (cache miss)", fmt_duration(cold.inspect_s),
+                   fmt_duration(cold.start_latency_s),
+                   fmt_duration(cold.execute_s)});
+    table.add_row({"warm (cache hit)", "0", fmt_duration(warm_start),
+                   fmt_duration(warm_exec)});
+    std::printf("%s\n", table.render().c_str());
+    const double ratio = cold.start_latency_s / std::max(warm_start, 1e-12);
+    std::printf("submit-to-start speed-up from the plan cache: %.1fx %s\n\n",
+                ratio, ratio >= 10.0 ? "(>= 10x: OK)" : "(< 10x!)");
+  }
+
+  // Part 2: throughput. 8 clients, 32 submits over 4 problem classes.
+  {
+    std::vector<Problem> problems;
+    problems.emplace_back(96, 480, 480, 0.4, 11, 2);
+    problems.emplace_back(64, 320, 320, 0.6, 12, 1);
+    problems.emplace_back(80, 400, 400, 0.5, 13, 2);
+    problems.emplace_back(48, 240, 240, 0.7, 14, 1);
+    constexpr int kClients = 8;
+    constexpr int kSubmits = 32;
+
+    TextTable table({"workers", "completed", "rejected", "wall",
+                     "requests/s", "mean queue wait"});
+    for (int workers : {1, 2, 4}) {
+      ServiceConfig cfg;
+      cfg.workers = workers;
+      cfg.queue_capacity = 16;
+      ContractionService service(cfg);
+      Timer wall;
+      std::vector<std::thread> clients;
+      for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&service, &problems, c] {
+          for (int i = c; i < kSubmits; i += kClients) {
+            ContractionResponse resp;
+            (void)service.submit(
+                problems[static_cast<std::size_t>(i) % problems.size()]
+                    .request(),
+                resp);
+          }
+        });
+      }
+      for (std::thread& t : clients) t.join();
+      const double wall_s = wall.elapsed_s();
+      const ServiceMetrics m = service.metrics();
+      table.add_row({std::to_string(workers), std::to_string(m.completed),
+                     std::to_string(m.rejected), fmt_duration(wall_s),
+                     fmt_fixed(static_cast<double>(m.completed) / wall_s, 1),
+                     fmt_duration(m.mean_queue_wait_s())});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  return 0;
+}

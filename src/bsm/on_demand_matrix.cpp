@@ -62,6 +62,21 @@ const Tile& OnDemandMatrix::acquire_persistent(std::size_t r, std::size_t c) {
   return entry.tile;
 }
 
+std::size_t OnDemandMatrix::evict_unpinned() {
+  std::lock_guard lock(mutex_);
+  std::size_t freed = 0;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->second.pins == 0) {
+      freed += it->second.tile.bytes();
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  cached_bytes_ -= freed;
+  return freed;
+}
+
 std::size_t OnDemandMatrix::generation_count(std::size_t r,
                                              std::size_t c) const {
   std::lock_guard lock(mutex_);

@@ -45,12 +45,29 @@ class OnDemandMatrix {
   const Tile& acquire(std::size_t r, std::size_t c);
 
   /// Release a pinned tile; when the pin count reaches zero the tile is
-  /// discarded (it will be re-generated if acquired again).
+  /// discarded (it will be re-generated if acquired again) — unless the
+  /// tile is persistent, in which case it stays cached. release() never
+  /// frees a persistent tile out from under reference paths: the only way
+  /// to drop a persistent tile is evict_unpinned().
   void release(std::size_t r, std::size_t c);
 
-  /// Acquire without pinning management: generate-if-needed and keep cached
-  /// until explicitly dropped. Used by non-streaming (reference) paths.
+  /// Acquire without pinning management: generate-if-needed, mark the tile
+  /// persistent and keep it cached until evict_unpinned(). Used by
+  /// non-streaming (reference) paths and by the engine's session mode,
+  /// where B tiles survive across CCSD iterations.
+  ///
+  /// Interplay with acquire()/release(): the persistent mark and the pin
+  /// count are independent. A tile may be both pinned and persistent;
+  /// releasing the last pin keeps it (persistent wins), and
+  /// evict_unpinned() skips it while any pin is held. Releasing a
+  /// persistent tile that was never pinned is still an error.
   const Tile& acquire_persistent(std::size_t r, std::size_t c);
+
+  /// Drop every cached tile with no outstanding pin — including
+  /// persistent ones, whose mark is cleared (deterministic generators
+  /// make regeneration safe). The serving layer calls this between
+  /// iterations to bound the host B footprint. Returns the bytes freed.
+  std::size_t evict_unpinned();
 
   /// How many times tile (r, c) has been generated so far.
   std::size_t generation_count(std::size_t r, std::size_t c) const;

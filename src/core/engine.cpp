@@ -34,7 +34,7 @@ struct BlockResidence {
 
 /// Host-side state of one simulated rank.
 struct NodeState {
-  std::unique_ptr<OnDemandMatrix> b;  ///< per-node on-demand B (paper §4)
+  OnDemandMatrix* b = nullptr;  ///< per-node on-demand B (paper §4)
   std::unordered_map<std::uint64_t, Tile> c_store;  ///< computed C tiles
   std::unordered_set<std::uint64_t> a_received;     ///< A tiles fetched
   std::mutex mutex;
@@ -101,10 +101,30 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
     return device_queue_base[static_cast<std::size_t>(node)] + gpu;
   };
 
-  // Node state (per-rank on-demand B, C accumulation store).
+  // Node state (per-rank on-demand B, C accumulation store). In session
+  // mode (cfg.b_cache) the caches are caller-owned and survive this call;
+  // otherwise they are fresh and die with it.
+  const bool persistent_b = cfg.b_cache != nullptr;
+  std::vector<std::unique_ptr<OnDemandMatrix>> owned_b;
+  if (persistent_b && cfg.b_cache->empty()) {
+    for (int n = 0; n < num_nodes; ++n) {
+      cfg.b_cache->push_back(
+          std::make_unique<OnDemandMatrix>(b_shape, b_generator));
+    }
+  }
+  if (persistent_b) {
+    BSTC_REQUIRE(cfg.b_cache->size() == static_cast<std::size_t>(num_nodes),
+                 "b_cache was filled for a different grid");
+  }
   std::vector<NodeState> node_states(static_cast<std::size_t>(num_nodes));
-  for (auto& ns : node_states) {
-    ns.b = std::make_unique<OnDemandMatrix>(b_shape, b_generator);
+  for (int n = 0; n < num_nodes; ++n) {
+    node_states[static_cast<std::size_t>(n)].b =
+        persistent_b
+            ? (*cfg.b_cache)[static_cast<std::size_t>(n)].get()
+            : owned_b
+                  .emplace_back(
+                      std::make_unique<OnDemandMatrix>(b_shape, b_generator))
+                  .get();
   }
 
   CommRecorder comm(num_nodes);
@@ -199,23 +219,31 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
         const TaskId gen = graph.add_task(
             "gen(n" + std::to_string(n) + ",b" + std::to_string(bi) + ",p" +
                 std::to_string(pi),
-            cpu_queue, [&ns, &piece] {
+            cpu_queue, [&ns, &piece, persistent_b] {
               for (const std::uint32_t k : piece.ks) {
-                ns.b->acquire(k, piece.col);  // pin until staged
+                if (persistent_b) {
+                  // Session mode: tile survives across iterations (no pin).
+                  ns.b->acquire_persistent(k, piece.col);
+                } else {
+                  ns.b->acquire(k, piece.col);  // pin until staged
+                }
               }
             });
         const TaskId load = graph.add_task(
             "load(n" + std::to_string(n) + ",b" + std::to_string(bi) + ",p" +
                 std::to_string(pi),
             dq,
-            [&ns, &res, &dev, &piece, &c_shape, n, &plan] {
+            [&ns, &res, &dev, &piece, &c_shape, n, &plan, persistent_b] {
               dev.allocate(static_cast<std::size_t>(piece.bytes()));
               std::lock_guard lock(res.mutex);
               for (const std::uint32_t k : piece.ks) {
                 const Tile& host = ns.b->acquire(k, piece.col);
                 res.b.emplace(tile_key(k, piece.col), host);  // h2d copy
-                ns.b->release(k, piece.col);  // matching pin from gen
                 ns.b->release(k, piece.col);  // matching pin from acquire
+                // Non-session mode: drop the gen task's pin too, so the
+                // host copy is discarded as soon as it is staged. Session
+                // mode took no gen pin (persistent acquisition).
+                if (!persistent_b) ns.b->release(k, piece.col);
               }
               // Stage C tiles of this column for the slice rows
               // (zero-initialised; any initial C is added at assembly).

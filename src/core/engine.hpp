@@ -18,6 +18,7 @@
 /// once per node, and the result is exact.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "bsm/block_sparse_matrix.hpp"
@@ -42,6 +43,17 @@ struct EngineConfig {
   /// including its stall behaviour. When false (default) remote reads are
   /// direct with byte accounting only.
   bool explicit_messages = false;
+  /// When non-null, the per-node on-demand B caches live here and survive
+  /// across calls — the serving layer's session path: B tiles are held
+  /// persistently (OnDemandMatrix::acquire_persistent) instead of being
+  /// discarded after device staging, so later iterations of a CCSD-style
+  /// loop skip regeneration entirely (b_max_generations stays 1 for the
+  /// whole session). The vector is filled on first use and must then be
+  /// passed unchanged (same plan/shapes) on every subsequent call; the
+  /// owner may call evict_unpinned() on the entries between iterations to
+  /// bound host memory. When null (default), each call uses fresh
+  /// per-node caches and tiles are discarded as soon as they are staged.
+  std::vector<std::unique_ptr<OnDemandMatrix>>* b_cache = nullptr;
 };
 
 /// Everything a run produces.

@@ -1,0 +1,185 @@
+#pragma once
+
+/// \file contraction_service.hpp
+/// ContractionService — a thread-safe, long-lived serving layer over the
+/// engine.
+///
+/// The paper's inspector–executor split is inspect-once / execute-many:
+/// CCSD refines T over 10–20 iterations against a fixed V, so the plan is
+/// built once and replayed. `contract_with_plan` exposes that, but every
+/// caller must hand-manage plans. The service packages the workflow the
+/// way a production front-end would (compare OSRM's EngineInterface or
+/// DBCSR's library API):
+///
+///  * requests carry the full problem (A, generated B, C shape, machine,
+///    knobs); the service fingerprints the problem identity and serves
+///    plans from a capacity-bounded LRU cache, so repeated iterations —
+///    even from unrelated clients — skip the inspector entirely;
+///  * a fixed worker pool drains a bounded request queue; when the queue
+///    is saturated, submit() rejects with a status instead of blocking —
+///    admission control, not unbounded buffering;
+///  * status codes at the boundary: no exception escapes the service;
+///  * sessions model the full CCSD loop: open_session() resolves the plan
+///    once, iterate() replays it against refreshed A values while keeping
+///    the generated B tiles cached across iterations, close() releases
+///    everything. trim_session() bounds the host B footprint in between.
+///
+/// Thread model: submit()/iterate() may be called from any number of
+/// threads; callers block until their own request finishes (or is
+/// rejected). Workers execute requests; the engine itself spins up its
+/// queue threads per execution.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bsm/block_sparse_matrix.hpp"
+#include "bsm/on_demand_matrix.hpp"
+#include "core/engine.hpp"
+#include "machine/machine.hpp"
+#include "service/metrics.hpp"
+#include "service/plan_cache.hpp"
+
+namespace bstc {
+
+/// Result codes at the service boundary. No exception escapes submit();
+/// failures are reported here with details in ContractionResponse::error.
+enum class ServiceStatus : std::uint8_t {
+  kOk = 0,
+  kQueueFull,        ///< admission control rejected the request
+  kShuttingDown,     ///< service stopped; request not accepted
+  kInvalidRequest,   ///< malformed request (null fields, tiling mismatch)
+  kSessionNotFound,  ///< unknown / already-closed session id
+  kExecutionError,   ///< inspector or executor failed; see response.error
+};
+
+/// Human-readable status name ("ok", "queue-full", ...).
+const char* service_status_name(ServiceStatus status);
+
+/// One contraction request: C = c_init + A*B. Pointed-to data must stay
+/// alive until submit() returns (submit blocks for the caller, so stack
+/// lifetime is natural).
+struct ContractionRequest {
+  const BlockSparseMatrix* a = nullptr;  ///< materialized A
+  const Shape* b_shape = nullptr;        ///< sparsity of generated B
+  TileGenerator b_generator;             ///< pure (r, c) -> Tile
+  const Shape* c_shape = nullptr;        ///< output closure (or screen)
+  const BlockSparseMatrix* c_init = nullptr;  ///< optional accumulate-into
+  MachineModel machine = MachineModel::summit_gpus(1);
+  EngineConfig engine;  ///< knobs; engine.b_cache is ignored (service-owned)
+};
+
+/// Everything one request produced.
+struct ContractionResponse {
+  BlockSparseMatrix c;           ///< the product (valid when status is kOk)
+  std::uint64_t fingerprint = 0; ///< problem identity hash
+  bool plan_cache_hit = false;   ///< plan served without running the inspector
+  double queue_wait_s = 0.0;     ///< submit() to worker pickup
+  double inspect_s = 0.0;        ///< inspector time (0 on a cache hit)
+  double execute_s = 0.0;        ///< executor wall-clock
+  double start_latency_s = 0.0;  ///< submit() to execution start
+  std::size_t tasks_executed = 0;
+  std::size_t b_max_generations = 0;
+  std::string error;             ///< failure detail for non-kOk statuses
+};
+
+/// A CCSD-style iteration loop: fixed shapes/machine/knobs and a fixed B
+/// generator, while A's values are refreshed every iteration.
+struct SessionConfig {
+  Shape a_shape;  ///< sparsity of the A passed to every iterate()
+  Shape b_shape;
+  Shape c_shape;
+  TileGenerator b_generator;
+  MachineModel machine = MachineModel::summit_gpus(1);
+  EngineConfig engine;
+  /// Keep generated B tiles cached across iterations (the session's
+  /// amortization of B generation). Disable to regenerate per iteration.
+  bool persistent_b = true;
+};
+
+/// Service tuning.
+struct ServiceConfig {
+  int workers = 2;                      ///< executor worker threads
+  std::size_t queue_capacity = 16;      ///< pending requests before reject
+  std::size_t plan_cache_capacity = 32; ///< LRU plan slots
+};
+
+class ContractionService {
+ public:
+  explicit ContractionService(ServiceConfig cfg = {});
+  ~ContractionService();  ///< shutdown() + join
+
+  ContractionService(const ContractionService&) = delete;
+  ContractionService& operator=(const ContractionService&) = delete;
+
+  /// Execute one contraction. Blocks the calling thread until the request
+  /// completes, fails, or is rejected up front (kQueueFull when the queue
+  /// is at capacity — admission control never blocks on a full queue).
+  ServiceStatus submit(const ContractionRequest& request,
+                       ContractionResponse& response);
+
+  /// Resolve (or build) the plan for a session and register it. Runs the
+  /// inspector inline on the calling thread when the plan is not cached.
+  ServiceStatus open_session(const SessionConfig& cfg,
+                             std::uint64_t& session_id);
+
+  /// One CCSD-style iteration: C = c_init + A*B with the session's cached
+  /// plan and (optionally) cached B tiles. A must have the session's
+  /// a_shape. Iterations of one session are serialized; concurrent
+  /// iterate() calls on different sessions proceed in parallel subject to
+  /// the worker pool. Queue admission control applies as for submit().
+  ServiceStatus iterate(std::uint64_t session_id, const BlockSparseMatrix& a,
+                        const BlockSparseMatrix* c_init,
+                        ContractionResponse& response);
+
+  /// Drop cached B tiles of the session that no task currently pins —
+  /// the between-iterations memory hook. Returns bytes freed via
+  /// `freed_bytes` (optional).
+  ServiceStatus trim_session(std::uint64_t session_id,
+                             std::size_t* freed_bytes = nullptr);
+
+  /// Release the session (its plan may stay in the shared plan cache).
+  ServiceStatus close_session(std::uint64_t session_id);
+
+  /// Snapshot of service counters (thread-safe, any time).
+  ServiceMetrics metrics() const;
+
+  /// Stop accepting work, fail queued-but-unstarted requests with
+  /// kShuttingDown, finish in-flight executions and join the workers.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+  const ServiceConfig& config() const { return cfg_; }
+
+ private:
+  struct Job;
+  struct Session;
+
+  ServiceStatus enqueue_and_wait(Job& job);
+  void worker_loop();
+  void process(Job& job);
+
+  ServiceConfig cfg_;
+  PlanCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;  ///< workers wait for jobs
+  std::condition_variable done_cv_;   ///< submitters wait for completion
+  std::deque<Job*> queue_;
+  bool stopping_ = false;
+  ServiceMetrics metrics_;
+
+  std::mutex sessions_mutex_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+  std::uint64_t next_session_id_ = 1;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bstc

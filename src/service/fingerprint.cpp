@@ -1,0 +1,102 @@
+#include "service/fingerprint.hpp"
+
+#include <sstream>
+
+namespace bstc {
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t state) {
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  for (const char ch : bytes) {
+    state ^= static_cast<unsigned char>(ch);
+    state *= kPrime;
+  }
+  return state;
+}
+
+std::uint64_t fnv1a64_u64(std::uint64_t value, std::uint64_t state) {
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  for (int i = 0; i < 8; ++i) {
+    state ^= (value >> (8 * i)) & 0xffu;
+    state *= kPrime;
+  }
+  return state;
+}
+
+std::uint64_t fingerprint_tiling(const Tiling& tiling, std::uint64_t state) {
+  state = fnv1a64_u64(tiling.num_tiles(), state);
+  for (std::size_t t = 0; t < tiling.num_tiles(); ++t) {
+    state = fnv1a64_u64(static_cast<std::uint64_t>(tiling.tile_extent(t)),
+                        state);
+  }
+  return state;
+}
+
+std::uint64_t fingerprint_shape(const Shape& shape, std::uint64_t state) {
+  state = fingerprint_tiling(shape.row_tiling(), state);
+  state = fingerprint_tiling(shape.col_tiling(), state);
+  // The packed rows are canonical: tail bits beyond tile_cols() are never
+  // set, so hashing whole words is a pure function of the structure.
+  const std::size_t words = shape.words_per_row();
+  for (std::size_t r = 0; r < shape.tile_rows(); ++r) {
+    const std::uint64_t* bits = shape.row_bits(r);
+    for (std::size_t w = 0; w < words; ++w) {
+      state = fnv1a64_u64(bits[w], state);
+    }
+  }
+  return state;
+}
+
+std::string machine_identity(const MachineModel& machine) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "machine " << machine.nodes << ' ' << machine.gpu_total << ' '
+      << machine.node.gpus << ' ' << machine.node.cpu_peak_flops << ' '
+      << machine.node.host_memory_bytes << ' '
+      << machine.internode_bandwidth << ' ' << machine.internode_latency_s
+      << '\n';
+  const GpuSpec& gpu = machine.node.gpu;
+  out << "gpu " << gpu.memory_bytes << ' ' << gpu.peak_gemm_flops << ' '
+      << gpu.h2d_bandwidth << ' ' << gpu.d2h_bandwidth << ' '
+      << gpu.d2d_bandwidth << ' ' << gpu.kernel_latency_s << ' '
+      << gpu.transfer_latency_s << '\n';
+  return out.str();
+}
+
+std::string plan_config_identity(const PlanConfig& cfg) {
+  std::ostringstream out;
+  out.precision(17);
+  // Same field order as plan/serialize's `config` line, so the identity
+  // of a deserialized plan's config matches the one it was built with.
+  out << "config " << cfg.p << ' ' << cfg.block_mem_fraction << ' '
+      << cfg.chunk_mem_fraction << ' ' << static_cast<int>(cfg.assignment)
+      << ' ' << static_cast<int>(cfg.packing) << ' ' << cfg.prefetch_depth
+      << '\n';
+  return out.str();
+}
+
+std::uint64_t fingerprint_problem(const Shape& a, const Shape& b,
+                                  const Shape& c, const MachineModel& machine,
+                                  const PlanConfig& cfg) {
+  std::uint64_t h = fnv1a64("bstc-problem-v1\n");
+  h = fnv1a64("A\n", h);
+  h = fingerprint_shape(a, h);
+  h = fnv1a64("B\n", h);
+  h = fingerprint_shape(b, h);
+  h = fnv1a64("C\n", h);
+  h = fingerprint_shape(c, h);
+  h = fnv1a64(machine_identity(machine), h);
+  h = fnv1a64(plan_config_identity(cfg), h);
+  return h;
+}
+
+std::string fingerprint_hex(std::uint64_t fp) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[fp & 0xf];
+    fp >>= 4;
+  }
+  return out;
+}
+
+}  // namespace bstc

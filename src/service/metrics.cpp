@@ -1,0 +1,34 @@
+#include "service/metrics.hpp"
+
+#include "support/format.hpp"
+
+namespace bstc {
+
+TextTable metrics_table(const ServiceMetrics& m) {
+  TextTable table({"metric", "value"});
+  const auto count = [&](const char* name, std::size_t v) {
+    table.add_row({name, fmt_group(static_cast<std::int64_t>(v))});
+  };
+  const auto duration = [&](const char* name, double v) {
+    table.add_row({name, fmt_duration(v)});
+  };
+  count("submitted", m.submitted);
+  count("rejected", m.rejected);
+  count("completed", m.completed);
+  count("failed", m.failed);
+  count("plan cache hits", m.plan_cache.hits);
+  count("plan cache misses", m.plan_cache.misses);
+  count("plan cache evictions", m.plan_cache.evictions);
+  count("plans cached", m.plan_cache.size);
+  count("sessions opened", m.sessions_opened);
+  count("sessions closed", m.sessions_closed);
+  count("session iterations", m.iterations);
+  duration("mean queue wait", m.mean_queue_wait_s());
+  duration("max queue wait", m.max_queue_wait_s);
+  duration("total inspect", m.total_inspect_s);
+  duration("total execute", m.total_execute_s);
+  duration("mean execute", m.mean_execute_s());
+  return table;
+}
+
+}  // namespace bstc

@@ -1,5 +1,6 @@
 #include "support/args.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "support/error.hpp"
@@ -89,6 +90,71 @@ std::vector<std::string> Args::unused() const {
     if (!queried_.count(key)) out.push_back(key);
   }
   return out;
+}
+
+void Args::allow(std::initializer_list<const char*> keys) const {
+  for (const char* key : keys) queried_[key] = true;
+}
+
+std::vector<std::string> Args::known() const {
+  std::vector<std::string> out;
+  out.reserve(queried_.size());
+  for (const auto& [key, value] : queried_) {
+    (void)value;
+    out.push_back(key);
+  }
+  return out;
+}
+
+namespace {
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  // Classic two-row Levenshtein; flag names are short so this is cheap.
+  std::vector<std::size_t> prev(b.size() + 1), curr(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, subst});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+std::string Args::nearest_flag(const std::string& key,
+                               const std::vector<std::string>& candidates) {
+  std::string best;
+  std::size_t best_distance = 0;
+  for (const std::string& candidate : candidates) {
+    const std::size_t d = edit_distance(key, candidate);
+    if (best.empty() || d < best_distance) {
+      best = candidate;
+      best_distance = d;
+    }
+  }
+  // Only suggest plausible typos: within 3 edits or half the key length.
+  const std::size_t limit = std::max<std::size_t>(3, key.size() / 2);
+  return best_distance <= limit ? best : std::string();
+}
+
+void Args::reject_unknown() const {
+  const std::vector<std::string> bad = unused();
+  if (bad.empty()) return;
+  const std::vector<std::string> candidates = known();
+  std::string message;
+  for (const std::string& key : bad) {
+    if (!message.empty()) message += "; ";
+    message += "unknown option --" + key;
+    const std::string suggestion = nearest_flag(key, candidates);
+    if (!suggestion.empty()) {
+      message += " (did you mean --" + suggestion + "?)";
+    }
+  }
+  throw Error(message);
 }
 
 }  // namespace bstc

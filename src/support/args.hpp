@@ -34,6 +34,27 @@ class Args {
   /// Keys that were provided but never queried — typo detection.
   std::vector<std::string> unused() const;
 
+  /// Declare flags as known without reading them (help/validation
+  /// plumbing): marks them queried so reject_unknown() accepts them even
+  /// when the reading code path never runs (e.g. `--nodes` when `--gpus`
+  /// took precedence).
+  void allow(std::initializer_list<const char*> keys) const;
+
+  /// All keys queried (or allowed) so far — the de-facto known-flag set.
+  std::vector<std::string> known() const;
+
+  /// Throw bstc::Error if any provided option was never queried/allowed,
+  /// naming each unknown flag and suggesting the nearest known one
+  /// ("unknown option --densty (did you mean --density?)"). Call after
+  /// all flags have been read; a typo then fails loudly instead of
+  /// silently falling back to the default.
+  void reject_unknown() const;
+
+  /// Edit-distance-nearest candidate to `key`, or "" when nothing is
+  /// plausibly close. Exposed for tests.
+  static std::string nearest_flag(const std::string& key,
+                                  const std::vector<std::string>& candidates);
+
  private:
   std::string program_;
   std::map<std::string, std::string> options_;

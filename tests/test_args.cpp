@@ -66,5 +66,44 @@ TEST(Args, NegativeNumbersAsValues) {
   EXPECT_EQ(args.get_int("offset", 0), -5);
 }
 
+TEST(Args, RejectUnknownSuggestsNearestFlag) {
+  const Args args = parse({"prog", "--densty", "0.5"});
+  EXPECT_EQ(args.get_double("density", 0.0), 0.0);  // typo fell back...
+  try {
+    args.reject_unknown();  // ...but is rejected loudly here
+    FAIL() << "reject_unknown did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--densty"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("did you mean --density?"),
+              std::string::npos);
+  }
+}
+
+TEST(Args, RejectUnknownPassesWhenAllFlagsKnown) {
+  const Args args = parse({"prog", "--m", "10", "--gpus", "2"});
+  EXPECT_EQ(args.get_int("m", 0), 10);
+  args.allow({"gpus", "nodes"});  // branch-dependent flags pre-declared
+  EXPECT_NO_THROW(args.reject_unknown());
+}
+
+TEST(Args, RejectUnknownWithoutPlausibleSuggestion) {
+  const Args args = parse({"prog", "--zzzzzzzzzz", "1"});
+  (void)args.get_int("m", 0);
+  try {
+    args.reject_unknown();
+    FAIL() << "reject_unknown did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--zzzzzzzzzz"), std::string::npos);
+    EXPECT_EQ(std::string(e.what()).find("did you mean"), std::string::npos);
+  }
+}
+
+TEST(Args, NearestFlagEditDistance) {
+  const std::vector<std::string> known = {"density", "gpu-mem", "prefetch"};
+  EXPECT_EQ(Args::nearest_flag("densit", known), "density");
+  EXPECT_EQ(Args::nearest_flag("gpumem", known), "gpu-mem");
+  EXPECT_EQ(Args::nearest_flag("x", known), "");  // nothing plausible
+}
+
 }  // namespace
 }  // namespace bstc

@@ -3,18 +3,31 @@
 /// without writing code.
 ///
 /// Subcommands:
-///   simulate   synthetic block-sparse product on a simulated machine
-///   abcd       the C65H132-style chemistry workload (any chain length)
-///   plan       build a plan and print its structure/statistics
-///   execute    run the REAL engine on a small synthetic problem + verify
+///   simulate     synthetic block-sparse product on a simulated machine
+///   abcd         the C65H132-style chemistry workload (any chain length)
+///   xyz          a molecule from an .xyz file
+///   plan         build a plan and print its structure/statistics
+///   execute      run the REAL engine on a small synthetic problem + verify
+///   serve-batch  drive the ContractionService with a scripted request mix
+///   help         `bstc_cli help <cmd>` or `bstc_cli <cmd> --help`
 ///
 /// Examples:
 ///   bstc_cli simulate --m 48000 --n 192000 --density 0.5 --nodes 16 --p 2
 ///   bstc_cli abcd --carbons 65 --tiling v2 --gpus 108
 ///   bstc_cli plan --m 24000 --n 96000 --density 0.25 --nodes 8
 ///   bstc_cli execute --m 96 --n 480 --density 0.4 --nodes 2 --gpus 2
+///   bstc_cli serve-batch --clients 4 --workers 2 --script requests.txt
+///
+/// Unknown flags are rejected with a nearest-known-flag suggestion
+/// (Args::reject_unknown), so a typo fails loudly instead of silently
+/// running with the default.
 
 #include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
 
 #include "baseline/cpu_reference.hpp"
 #include "baseline/dbcsr.hpp"
@@ -28,15 +41,93 @@
 #include "plan/explain.hpp"
 #include "plan/serialize.hpp"
 #include "plan/stats.hpp"
+#include "service/contraction_service.hpp"
+#include "service/fingerprint.hpp"
 #include "shape/shape_algebra.hpp"
 #include "sim/simulator.hpp"
 #include "support/args.hpp"
 #include "support/error.hpp"
 #include "support/format.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
 
 using namespace bstc;
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Help plumbing: one entry per subcommand, used by `help`, `<cmd> --help`
+// and the top-level usage text.
+
+struct CommandInfo {
+  const char* name;
+  const char* summary;
+  const char* usage;
+};
+
+constexpr const char* kCommonFlags =
+    "  common: --nodes N | --gpus G, --p P, --gpu-mem BYTES, --seed S,\n"
+    "          --assignment mirrored|cyclic|lpt,\n"
+    "          --packing worst-fit|first-fit|best-fit, --prefetch D\n";
+
+const CommandInfo kCommands[] = {
+    {"simulate", "synthetic product on a simulated machine",
+     "usage: bstc_cli simulate [options]\n"
+     "  --m --n --k --density --tile-lo --tile-hi   problem geometry\n"
+     "  --baselines true     also run DBCSR-style + CPU models\n"},
+    {"abcd", "the C65H132-style chemistry workload",
+     "usage: bstc_cli abcd [options]\n"
+     "  --carbons N          alkane chain length (default 65)\n"
+     "  --tiling v1|v2|v3    the paper's three tilings\n"},
+    {"xyz", "a molecule loaded from an .xyz file",
+     "usage: bstc_cli xyz <file.xyz> [options]\n"
+     "  --basis sto-3g|def2-svp|def2-tzvp\n"
+     "  --ao-clusters N --occ-clusters N\n"},
+    {"plan", "build a plan and print structure/statistics",
+     "usage: bstc_cli plan [options]\n"
+     "  --m --n --k --density --tile-lo --tile-hi   problem geometry\n"
+     "  --explain true       per-node narrative of the plan\n"
+     "  --save FILE          serialize the plan to FILE\n"},
+    {"execute", "run the real engine and verify the product",
+     "usage: bstc_cli execute [options]\n"
+     "  --m --n --k --density --tile-lo --tile-hi   problem geometry\n"
+     "  --verify true|false  compare against the reference product\n"
+     "  --trace FILE.json    write a Chrome-tracing timeline\n"},
+    {"serve-batch", "drive the ContractionService with a request mix",
+     "usage: bstc_cli serve-batch [options]\n"
+     "  --workers N          service worker threads (default 2)\n"
+     "  --clients N          concurrent client threads (default 4)\n"
+     "  --queue N            admission-control queue capacity (default 16)\n"
+     "  --cache N            LRU plan-cache capacity (default 32)\n"
+     "  --repeat N           submits per scripted problem (default 4)\n"
+     "  --script FILE        request script; without it a built-in mix\n"
+     "                       of two problems and one session runs\n"
+     "  script lines:  problem m=96 k=480 n=480 density=0.4 seed=1 \\\n"
+     "                   repeat=4 gpus=2 gpu-mem=1e6 [tile-lo=8 tile-hi=24]\n"
+     "                 session m=64 k=320 n=320 density=0.5 iters=6 ...\n"
+     "                 ('#' starts a comment)\n"},
+};
+
+const CommandInfo* find_command(const std::string& name) {
+  for (const CommandInfo& info : kCommands) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+void usage() {
+  std::printf("usage: bstc_cli <command> [options]\n\ncommands:\n");
+  for (const CommandInfo& info : kCommands) {
+    std::printf("  %-12s %s\n", info.name, info.summary);
+  }
+  std::printf("\n%s", kCommonFlags);
+  std::printf(
+      "\nrun `bstc_cli help <command>` or `bstc_cli <command> --help`\n");
+}
+
+// ---------------------------------------------------------------------------
+// Shared option readers. Each also declares branch-dependent flags via
+// Args::allow so reject_unknown() accepts e.g. --nodes when --gpus won.
 
 struct SynthProblem {
   Tiling mt, kt, nt;
@@ -62,6 +153,7 @@ SynthProblem make_problem(const Args& args) {
 }
 
 MachineModel make_machine(const Args& args) {
+  args.allow({"nodes", "gpus", "gpu-mem"});
   MachineModel machine =
       args.has("gpus")
           ? MachineModel::summit_gpus(
@@ -276,18 +368,233 @@ int cmd_execute(const Args& args) {
   return 0;
 }
 
-void usage() {
-  std::printf(
-      "usage: bstc_cli <simulate|abcd|xyz|plan|execute> [options]\n"
-      "  common: --nodes N | --gpus G, --p P, --gpu-mem BYTES, --seed S,\n"
-      "          --assignment mirrored|cyclic|lpt,\n"
-      "          --packing worst-fit|first-fit|best-fit, --prefetch D\n"
-      "  simulate/plan/execute: --m --n --k --density --tile-lo --tile-hi\n"
-      "  simulate: --baselines        also run DBCSR-style + CPU models\n"
-      "  plan: --explain true --save FILE\n"
-      "  abcd: --carbons N --tiling v1|v2|v3\n"
-      "  xyz: <file.xyz> --basis sto-3g|def2-svp|def2-tzvp --ao-clusters N\n"
-      "  execute: --verify true|false --trace FILE.json\n");
+// ---------------------------------------------------------------------------
+// serve-batch: drive the ContractionService with a scripted request mix.
+
+/// One scripted workload: a problem class submitted `repeat` times, or a
+/// CCSD-style session iterated `session_iters` times.
+struct ServeWorkload {
+  std::string label;
+  SynthProblem shapes;
+  BlockSparseMatrix a;
+  TileGenerator b_gen;
+  MachineModel machine;
+  EngineConfig engine;
+  int repeat = 1;
+  int session_iters = 0;  ///< > 0: session workload instead of submits
+
+  // Aggregated outcomes (filled by the drivers).
+  std::uint64_t fingerprint = 0;
+  int ok = 0, rejected = 0, failed = 0, cache_hits = 0;
+  double inspect_s = 0.0, execute_s = 0.0, start_latency_s = 0.0;
+  std::mutex mutex;
+};
+
+/// key=value pairs of one script line.
+using ScriptLine = std::map<std::string, std::string>;
+
+double script_num(const ScriptLine& kv, const std::string& key,
+                  double fallback) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  BSTC_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+               "script: " + key + " expects a number, got '" + it->second +
+                   "'");
+  return v;
+}
+
+std::unique_ptr<ServeWorkload> make_workload(const std::string& kind,
+                                             const ScriptLine& kv,
+                                             int default_repeat) {
+  auto w = std::make_unique<ServeWorkload>();
+  const auto m = static_cast<Index>(script_num(kv, "m", 96));
+  const auto k = static_cast<Index>(script_num(kv, "k", 480));
+  const auto n = static_cast<Index>(script_num(kv, "n", k));
+  const double density = script_num(kv, "density", 0.4);
+  const auto tile_lo = static_cast<Index>(script_num(kv, "tile-lo", 8));
+  const auto tile_hi = static_cast<Index>(script_num(kv, "tile-hi", 24));
+  const auto seed = static_cast<std::uint64_t>(script_num(kv, "seed", 42));
+  Rng rng(seed);
+  w->shapes.mt = Tiling::random_uniform(m, tile_lo, tile_hi, rng);
+  w->shapes.kt = Tiling::random_uniform(k, tile_lo, tile_hi, rng);
+  w->shapes.nt = Tiling::random_uniform(n, tile_lo, tile_hi, rng);
+  w->shapes.a = Shape::random(w->shapes.mt, w->shapes.kt, density, rng);
+  w->shapes.b = Shape::random(w->shapes.kt, w->shapes.nt, density, rng);
+  w->shapes.c = contract_shape(w->shapes.a, w->shapes.b);
+  w->a = BlockSparseMatrix::random(w->shapes.a, rng);
+  w->b_gen = random_tile_generator(w->shapes.b, seed * 31 + 7);
+  w->machine = MachineModel::summit_gpus(
+      static_cast<int>(script_num(kv, "gpus", 2)));
+  w->machine.node.gpu.memory_bytes = script_num(kv, "gpu-mem", 1.0e6);
+  w->engine.plan.p = static_cast<int>(script_num(kv, "p", 1));
+  if (kind == "session") {
+    w->session_iters = static_cast<int>(script_num(kv, "iters", 4));
+    w->label = "session " + std::to_string(m) + "x" + std::to_string(k) +
+               "x" + std::to_string(n);
+  } else {
+    w->repeat = static_cast<int>(script_num(kv, "repeat", default_repeat));
+    w->label = "problem " + std::to_string(m) + "x" + std::to_string(k) +
+               "x" + std::to_string(n);
+  }
+  return w;
+}
+
+std::vector<std::unique_ptr<ServeWorkload>> parse_script(
+    std::istream& in, int default_repeat) {
+  std::vector<std::unique_ptr<ServeWorkload>> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string kind;
+    if (!(tokens >> kind)) continue;  // blank / comment-only line
+    BSTC_REQUIRE(kind == "problem" || kind == "session",
+                 "script: unknown workload kind '" + kind +
+                     "' (expected problem|session)");
+    ScriptLine kv;
+    std::string token;
+    while (tokens >> token) {
+      const std::size_t eq = token.find('=');
+      BSTC_REQUIRE(eq != std::string::npos,
+                   "script: expected key=value, got '" + token + "'");
+      kv[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+    out.push_back(make_workload(kind, kv, default_repeat));
+  }
+  return out;
+}
+
+void record_response(ServeWorkload& w, ServiceStatus status,
+                     const ContractionResponse& resp) {
+  std::lock_guard lock(w.mutex);
+  if (status == ServiceStatus::kOk) {
+    w.fingerprint = resp.fingerprint;
+    ++w.ok;
+    if (resp.plan_cache_hit) ++w.cache_hits;
+    w.inspect_s += resp.inspect_s;
+    w.execute_s += resp.execute_s;
+    w.start_latency_s += resp.start_latency_s;
+  } else if (status == ServiceStatus::kQueueFull) {
+    ++w.rejected;
+  } else {
+    ++w.failed;
+    std::fprintf(stderr, "%s: %s (%s)\n", w.label.c_str(),
+                 service_status_name(status), resp.error.c_str());
+  }
+}
+
+int cmd_serve_batch(const Args& args) {
+  ServiceConfig service_cfg;
+  service_cfg.workers = static_cast<int>(args.get_int("workers", 2));
+  service_cfg.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue", 16));
+  service_cfg.plan_cache_capacity =
+      static_cast<std::size_t>(args.get_int("cache", 32));
+  const int clients = static_cast<int>(args.get_int("clients", 4));
+  const int default_repeat = static_cast<int>(args.get_int("repeat", 4));
+  BSTC_REQUIRE(clients >= 1, "--clients must be >= 1");
+
+  std::vector<std::unique_ptr<ServeWorkload>> workloads;
+  const std::string script_path = args.get("script", "");
+  if (!script_path.empty()) {
+    std::ifstream in(script_path);
+    BSTC_REQUIRE(in.good(), "cannot open script " + script_path);
+    workloads = parse_script(in, default_repeat);
+  } else {
+    std::istringstream builtin(
+        "problem m=96 k=480 n=480 density=0.4 seed=1 gpus=2\n"
+        "problem m=64 k=320 n=320 density=0.6 seed=2 gpus=1\n"
+        "session m=64 k=320 n=320 density=0.5 seed=3 iters=6 gpus=1\n");
+    workloads = parse_script(builtin, default_repeat);
+  }
+  BSTC_REQUIRE(!workloads.empty(), "the request script is empty");
+
+  ContractionService service(service_cfg);
+  Timer wall;
+
+  // Expand batch submits into a flat list dealt round-robin to clients.
+  std::vector<ServeWorkload*> submits;
+  for (const auto& w : workloads) {
+    for (int r = 0; r < w->repeat && w->session_iters == 0; ++r) {
+      submits.push_back(w.get());
+    }
+  }
+  std::vector<std::thread> client_threads;
+  for (int c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&submits, &service, c, clients] {
+      for (std::size_t i = static_cast<std::size_t>(c); i < submits.size();
+           i += static_cast<std::size_t>(clients)) {
+        ServeWorkload& w = *submits[i];
+        ContractionRequest req;
+        req.a = &w.a;
+        req.b_shape = &w.shapes.b;
+        req.b_generator = w.b_gen;
+        req.c_shape = &w.shapes.c;
+        req.machine = w.machine;
+        req.engine = w.engine;
+        ContractionResponse resp;
+        record_response(w, service.submit(req, resp), resp);
+      }
+    });
+  }
+  // Sessions run concurrently with the batch, one client thread each
+  // (a CCSD loop is sequential by nature).
+  for (const auto& w : workloads) {
+    if (w->session_iters == 0) continue;
+    client_threads.emplace_back([&service, w = w.get()] {
+      SessionConfig scfg;
+      scfg.a_shape = w->shapes.a;
+      scfg.b_shape = w->shapes.b;
+      scfg.c_shape = w->shapes.c;
+      scfg.b_generator = w->b_gen;
+      scfg.machine = w->machine;
+      scfg.engine = w->engine;
+      std::uint64_t id = 0;
+      if (service.open_session(scfg, id) != ServiceStatus::kOk) {
+        std::lock_guard lock(w->mutex);
+        ++w->failed;
+        return;
+      }
+      Rng rng(99);
+      for (int it = 0; it < w->session_iters; ++it) {
+        const BlockSparseMatrix a_iter =
+            BlockSparseMatrix::random(w->shapes.a, rng);
+        ContractionResponse resp;
+        record_response(*w, service.iterate(id, a_iter, nullptr, resp),
+                        resp);
+        service.trim_session(id);  // the between-iterations memory hook
+      }
+      service.close_session(id);
+    });
+  }
+  for (std::thread& t : client_threads) t.join();
+  const double wall_s = wall.elapsed_s();
+
+  TextTable table({"workload", "fingerprint", "ok", "rejected", "failed",
+                   "plan hits", "inspect", "mean exec", "mean start"});
+  for (const auto& w : workloads) {
+    const int n = std::max(1, w->ok);
+    table.add_row({w->label, fingerprint_hex(w->fingerprint),
+                   std::to_string(w->ok), std::to_string(w->rejected),
+                   std::to_string(w->failed), std::to_string(w->cache_hits),
+                   fmt_duration(w->inspect_s),
+                   fmt_duration(w->execute_s / n),
+                   fmt_duration(w->start_latency_s / n)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const ServiceMetrics m = service.metrics();
+  std::printf("%s\n", metrics_table(m).render().c_str());
+  std::printf("wall           %s (%.1f requests/s)\n",
+              fmt_duration(wall_s).c_str(),
+              static_cast<double>(m.completed) / std::max(wall_s, 1e-9));
+
+  int failed = 0;
+  for (const auto& w : workloads) failed += w->failed;
+  return failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -300,6 +607,30 @@ int main(int argc, char** argv) {
       return 2;
     }
     const std::string& cmd = args.positional().front();
+    if (cmd == "help") {
+      if (args.positional().size() >= 2) {
+        const CommandInfo* info = find_command(args.positional()[1]);
+        if (info == nullptr) {
+          usage();
+          return 2;
+        }
+        std::printf("%s — %s\n%s%s", info->name, info->summary, info->usage,
+                    kCommonFlags);
+        return 0;
+      }
+      usage();
+      return 0;
+    }
+    const CommandInfo* info = find_command(cmd);
+    if (info == nullptr) {
+      usage();
+      return 2;
+    }
+    if (args.get_bool("help", false)) {
+      std::printf("%s — %s\n%s%s", info->name, info->summary, info->usage,
+                  kCommonFlags);
+      return 0;
+    }
     int rc = 2;
     if (cmd == "simulate") {
       rc = cmd_simulate(args);
@@ -311,13 +642,11 @@ int main(int argc, char** argv) {
       rc = cmd_plan(args);
     } else if (cmd == "execute") {
       rc = cmd_execute(args);
-    } else {
-      usage();
-      return 2;
+    } else if (cmd == "serve-batch") {
+      rc = cmd_serve_batch(args);
     }
-    for (const std::string& key : args.unused()) {
-      std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());
-    }
+    // A typo'd flag is an error with a suggestion, not a silent default.
+    args.reject_unknown();
     return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
