@@ -218,7 +218,7 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
         const ColumnPiece& piece = block.pieces[pi];
         const TaskId gen = graph.add_task(
             "gen(n" + std::to_string(n) + ",b" + std::to_string(bi) + ",p" +
-                std::to_string(pi),
+                std::to_string(pi) + ")",
             cpu_queue, [&ns, &piece, persistent_b] {
               for (const std::uint32_t k : piece.ks) {
                 if (persistent_b) {
@@ -231,7 +231,7 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
             });
         const TaskId load = graph.add_task(
             "load(n" + std::to_string(n) + ",b" + std::to_string(bi) + ",p" +
-                std::to_string(pi),
+                std::to_string(pi) + ")",
             dq,
             [&ns, &res, &dev, &piece, &c_shape, n, &plan, persistent_b] {
               dev.allocate(static_cast<std::size_t>(piece.bytes()));
@@ -266,14 +266,15 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
         piece_loads.push_back(load);
       }
 
-      // --- Chunk tasks: A loads, GEMMs, unloads. ---
+      // --- Chunk tasks: A loads, batched GEMMs, unloads. ---
+      const GemmEnumerator enumerator(block);
       std::vector<TaskId> chunk_loads, chunk_unloads;
       std::vector<std::vector<TaskId>> chunk_gemms(block.chunks.size());
       for (std::size_t ci = 0; ci < block.chunks.size(); ++ci) {
         const Chunk& chunk = block.chunks[ci];
         const TaskId load = graph.add_task(
             "chunkload(n" + std::to_string(n) + ",b" + std::to_string(bi) +
-                "," + std::to_string(ci),
+                "," + std::to_string(ci) + ")",
             dq,
             [&ns, &res, &dev, &chunk, &a, &a_dist, &comm, &transport, n] {
               dev.allocate(static_cast<std::size_t>(chunk.a_bytes));
@@ -299,24 +300,34 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
             });
         chunk_loads.push_back(load);
 
-        for_each_gemm(block, chunk, c_shape, [&](const GemmTask& t) {
+        // One task per (k, j) B tile the chunk touches: the B panel is
+        // packed once and reused across every A-row tile of the group,
+        // and scheduling overhead is paid per group, not per GEMM.
+        for (const GemmGroup& grp : enumerator.gemm_groups(chunk, c_shape)) {
           const TaskId g = graph.add_task(
-              "gemm(" + std::to_string(t.i) + "," + std::to_string(t.k) +
-                  "," + std::to_string(t.j) + ")",
-              dq, [&res, t] {
-                // Single-threaded device queue: no two GEMMs of this
+              "gemmbatch(" + std::to_string(grp.k) + "," +
+                  std::to_string(grp.j) + ",x" +
+                  std::to_string(grp.is.size()) + ")",
+              dq, [&res, grp] {
+                // Single-threaded device queue: no two GEMM tasks of this
                 // device run concurrently, so C accumulation is safe.
-                const Tile& at = res.a.at(tile_key(t.i, t.k));
-                const Tile& bt = res.b.at(tile_key(t.k, t.j));
-                Tile& ct = res.c.at(tile_key(t.i, t.j));
-                gemm(1.0, at, bt, 1.0, ct);
+                const Tile& bt = res.b.at(tile_key(grp.k, grp.j));
+                std::vector<GemmBatchItem> items;
+                items.reserve(grp.is.size());
+                for (const std::uint32_t i : grp.is) {
+                  items.push_back({&res.a.at(tile_key(i, grp.k)),
+                                   &res.c.at(tile_key(i, grp.j))});
+                }
+                gemm_batch(1.0, items, bt, 1.0);
               });
           chunk_gemms[ci].push_back(g);
-        });
+          // Dataflow: the batch needs the piece owning its B tile staged.
+          graph.add_edge(piece_loads[grp.piece], g, EdgeKind::kData);
+        }
 
         const TaskId unload = graph.add_task(
             "chunkunload(n" + std::to_string(n) + ",b" + std::to_string(bi) +
-                "," + std::to_string(ci),
+                "," + std::to_string(ci) + ")",
             dq, [&res, &dev, &chunk] {
               std::lock_guard lock(res.mutex);
               for (const auto& [i, k] : chunk.a_tiles) {
@@ -344,34 +355,9 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
         }
       }
 
-      // Dataflow: every GEMM needs its piece staged. Piece loads feed the
-      // GEMMs that read the piece's column.
-      // (Connect at block granularity: GEMM(j) <- load of the piece that
-      // owns (k,j); cheaper and exact: find piece index per (k,j).)
-      {
-        // Map (k, j) -> piece index.
-        std::unordered_map<std::uint64_t, std::size_t> piece_of;
-        for (std::size_t pi = 0; pi < block.pieces.size(); ++pi) {
-          for (const std::uint32_t k : block.pieces[pi].ks) {
-            piece_of.emplace(tile_key(k, block.pieces[pi].col), pi);
-          }
-        }
-        for (std::size_t ci = 0; ci < block.chunks.size(); ++ci) {
-          std::size_t gi = 0;
-          for_each_gemm(block, block.chunks[ci], c_shape,
-                        [&](const GemmTask& t) {
-                          const auto it = piece_of.find(tile_key(t.k, t.j));
-                          BSTC_CHECK(it != piece_of.end());
-                          graph.add_edge(piece_loads[it->second],
-                                         chunk_gemms[ci][gi], EdgeKind::kData);
-                          ++gi;
-                        });
-        }
-      }
-
       // --- Store task: flush C to the host store, free the block. ---
       const TaskId store = graph.add_task(
-          "store(n" + std::to_string(n) + ",b" + std::to_string(bi),
+          "store(n" + std::to_string(n) + ",b" + std::to_string(bi) + ")",
           dq, [&ns, &res, &dev, &block] {
             std::lock_guard lock(res.mutex);
             {

@@ -30,12 +30,14 @@ enum : std::uint32_t {
   kStore = 5,
 };
 
-/// Per-block precomputed flow metadata (built once from the plan; does
-/// NOT unroll GEMM instances).
+/// Per-block precomputed flow metadata (built once from the plan). GEMMs
+/// are batched by shared B tile: one task instance per (chunk, group),
+/// where a group is every GEMM of the chunk reading the same (k, j) B
+/// tile (GemmEnumerator::gemm_groups) — the group list is the count
+/// model's unit, so dependence counts are per batched task.
 struct BlockInfo {
-  std::vector<std::vector<std::uint32_t>> pieces_of_k;  ///< k -> piece ids
-  std::vector<std::size_t> gemms_per_chunk;
-  std::size_t total_gemms = 0;
+  std::vector<std::vector<GemmGroup>> groups;  ///< chunk -> batched tasks
+  std::size_t total_gemm_tasks = 0;            ///< sum of group counts
   int depth = 1;             ///< resident chunks (prefetch)
   std::int64_t prev_block = -1;  ///< previous block of the same GPU
   std::int64_t next_block = -1;  ///< next block of the same GPU
@@ -110,20 +112,11 @@ PtgEngineResult contract_ptg(const BlockSparseMatrix& a, const Shape& b_shape,
       const BlockPlan& block = node.blocks[bi];
       BlockInfo& info = infos[static_cast<std::size_t>(n)][bi];
 
-      info.pieces_of_k.resize(a.shape().tile_cols());
-      for (std::size_t pi = 0; pi < block.pieces.size(); ++pi) {
-        for (const std::uint32_t k : block.pieces[pi].ks) {
-          info.pieces_of_k[k].push_back(static_cast<std::uint32_t>(pi));
-        }
-      }
       const GemmEnumerator enumerator(block);
-      info.gemms_per_chunk.resize(block.chunks.size(), 0);
+      info.groups.resize(block.chunks.size());
       for (std::size_t ci = 0; ci < block.chunks.size(); ++ci) {
-        enumerator.for_each(block.chunks[ci], c_shape,
-                            [&](const GemmTask&) {
-                              ++info.gemms_per_chunk[ci];
-                            });
-        info.total_gemms += info.gemms_per_chunk[ci];
+        info.groups[ci] = enumerator.gemm_groups(block.chunks[ci], c_shape);
+        info.total_gemm_tasks += info.groups[ci].size();
       }
 
       const double spare = machine.node.gpu.memory_bytes - block.bytes;
@@ -164,22 +157,6 @@ PtgEngineResult contract_ptg(const BlockSparseMatrix& a, const Shape& b_shape,
   auto dq_of = [&](std::int64_t n, std::int64_t bi) {
     return device_queue_base[static_cast<std::size_t>(n)] +
            block_of(n, bi).gpu;
-  };
-
-  /// GEMM flows of one chunk: visit (tile_idx, piece_idx) pairs.
-  auto for_each_gemm_ref = [&](std::int64_t n, std::int64_t bi,
-                               std::int64_t ci, auto&& fn) {
-    const BlockPlan& block = block_of(n, bi);
-    const BlockInfo& info = info_of(n, bi);
-    const Chunk& chunk = block.chunks[static_cast<std::size_t>(ci)];
-    for (std::size_t ti = 0; ti < chunk.a_tiles.size(); ++ti) {
-      const auto [i, k] = chunk.a_tiles[ti];
-      for (const std::uint32_t pi : info.pieces_of_k[k]) {
-        if (c_shape.nonzero(i, block.pieces[pi].col)) {
-          fn(static_cast<std::int64_t>(ti), static_cast<std::int64_t>(pi));
-        }
-      }
-    }
   };
 
   // --- Task classes -------------------------------------------------------
@@ -237,18 +214,16 @@ PtgEngineResult contract_ptg(const BlockSparseMatrix& a, const Shape& b_shape,
       },
       [&](const PtgParams& p) {
         std::vector<PtgTaskRef> next;
-        // Every GEMM that reads this piece, in every chunk.
-        const BlockPlan& block = block_of(p[0], p[1]);
-        for (std::size_t ci = 0; ci < block.chunks.size(); ++ci) {
-          for_each_gemm_ref(p[0], p[1], static_cast<std::int64_t>(ci),
-                            [&](std::int64_t ti, std::int64_t pi) {
-                              if (pi == p[2]) {
-                                next.push_back(
-                                    {kGemm,
-                                     {p[0], p[1],
-                                      static_cast<std::int64_t>(ci), ti, pi}});
-                              }
-                            });
+        // Every batched GEMM whose B tile lives in this piece, per chunk.
+        const BlockInfo& info = info_of(p[0], p[1]);
+        for (std::size_t ci = 0; ci < info.groups.size(); ++ci) {
+          for (std::size_t gi = 0; gi < info.groups[ci].size(); ++gi) {
+            if (info.groups[ci][gi].piece == p[2]) {
+              next.push_back({kGemm,
+                              {p[0], p[1], static_cast<std::int64_t>(ci),
+                               static_cast<std::int64_t>(gi)}});
+            }
+          }
         }
         next.push_back({kStore, {p[0], p[1]}});
         return next;
@@ -274,29 +249,32 @@ PtgEngineResult contract_ptg(const BlockSparseMatrix& a, const Shape& b_shape,
       },
       [&](const PtgParams& p) {
         std::vector<PtgTaskRef> next;
-        bool any = false;
-        for_each_gemm_ref(p[0], p[1], p[2],
-                          [&](std::int64_t ti, std::int64_t pi) {
-                            any = true;
-                            next.push_back({kGemm, {p[0], p[1], p[2], ti, pi}});
-                          });
-        if (!any) next.push_back({kUnload, {p[0], p[1], p[2]}});
+        const auto& groups =
+            info_of(p[0], p[1]).groups[static_cast<std::size_t>(p[2])];
+        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+          next.push_back(
+              {kGemm, {p[0], p[1], p[2], static_cast<std::int64_t>(gi)}});
+        }
+        if (groups.empty()) next.push_back({kUnload, {p[0], p[1], p[2]}});
         return next;
       }};
 
   program.classes[kGemm] = TaskClass{
-      "gemm",
+      "gemmbatch",
       [&](const PtgParams& p) { return dq_of(p[0], p[1]); },
       [&](const PtgParams& p) {
-        const BlockPlan& block = block_of(p[0], p[1]);
-        const Chunk& chunk = block.chunks[static_cast<std::size_t>(p[2])];
-        const auto [i, k] = chunk.a_tiles[static_cast<std::size_t>(p[3])];
-        const ColumnPiece& piece =
-            block.pieces[static_cast<std::size_t>(p[4])];
+        const GemmGroup& grp =
+            info_of(p[0], p[1]).groups[static_cast<std::size_t>(p[2])]
+                                      [static_cast<std::size_t>(p[3])];
         Residence& res = res_of(p[0], p[1]);
-        gemm(1.0, res.a.at(tile_key(i, k)),
-             res.b.at(tile_key(k, piece.col)), 1.0,
-             res.c.at(tile_key(i, piece.col)));
+        const Tile& bt = res.b.at(tile_key(grp.k, grp.j));
+        std::vector<GemmBatchItem> items;
+        items.reserve(grp.is.size());
+        for (const std::uint32_t i : grp.is) {
+          items.push_back({&res.a.at(tile_key(i, grp.k)),
+                           &res.c.at(tile_key(i, grp.j))});
+        }
+        gemm_batch(1.0, items, bt, 1.0);
       },
       [](const PtgParams&) { return 2u; },  // chunkload + piece load
       [](const PtgParams& p) {
@@ -317,8 +295,7 @@ PtgEngineResult contract_ptg(const BlockSparseMatrix& a, const Shape& b_shape,
       },
       [&](const PtgParams& p) {
         const std::size_t gemms =
-            info_of(p[0], p[1]).gemms_per_chunk[static_cast<std::size_t>(
-                p[2])];
+            info_of(p[0], p[1]).groups[static_cast<std::size_t>(p[2])].size();
         return gemms == 0 ? 1u : static_cast<std::uint32_t>(gemms);
       },
       [&](const PtgParams& p) {
@@ -361,7 +338,7 @@ PtgEngineResult contract_ptg(const BlockSparseMatrix& a, const Shape& b_shape,
         const BlockInfo& info = info_of(p[0], p[1]);
         return static_cast<std::uint32_t>(block.pieces.size() +
                                           block.chunks.size() +
-                                          info.total_gemms);
+                                          info.total_gemm_tasks);
       },
       [&](const PtgParams& p) {
         std::vector<PtgTaskRef> next;

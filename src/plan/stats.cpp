@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "shape/shape_algebra.hpp"
@@ -27,6 +28,24 @@ GemmEnumerator::GemmEnumerator(const BlockPlan& block) {
       k_to_pieces_[k].push_back(static_cast<std::uint32_t>(pc));
     }
   }
+}
+
+std::vector<GemmGroup> GemmEnumerator::gemm_groups(const Chunk& chunk,
+                                                   const Shape& c) const {
+  std::vector<GemmGroup> groups;
+  std::unordered_map<std::uint64_t, std::size_t> group_of;  // (k, piece)
+  for (const auto& [i, k] : chunk.a_tiles) {
+    if (k >= k_to_pieces_.size()) continue;
+    for (const std::uint32_t pc : k_to_pieces_[k]) {
+      const std::uint32_t j = cols_[pc];
+      if (!c.nonzero(i, j)) continue;
+      const std::uint64_t key = (static_cast<std::uint64_t>(k) << 32) | pc;
+      const auto [it, inserted] = group_of.emplace(key, groups.size());
+      if (inserted) groups.push_back(GemmGroup{k, j, pc, {}});
+      groups[it->second].is.push_back(i);
+    }
+  }
+  return groups;
 }
 
 PlanStats compute_stats(const ExecutionPlan& plan, const Shape& a,

@@ -21,6 +21,18 @@ struct GemmTask {
   std::uint32_t j = 0;
 };
 
+/// The executor's batching unit: every GEMM of one chunk that reads the
+/// same B tile (k, j) — C(i,j) += A(i,k)*B(k,j) for each i in `is`, in
+/// chunk load order. The executor lowers one group to a single task that
+/// packs B(k,j) once and sweeps all A-row tiles (tile/gemm.hpp
+/// gemm_batch), instead of one task per GEMM re-streaming B.
+struct GemmGroup {
+  std::uint32_t k = 0;
+  std::uint32_t j = 0;
+  std::uint32_t piece = 0;  ///< block-local index of the piece owning (k, j)
+  std::vector<std::uint32_t> is;  ///< A tile-rows, in chunk load order
+};
+
 /// Precomputed k -> pieces lookup for GEMM enumeration over one block.
 /// Building it once per block amortizes the map across chunks (executor
 /// and simulator enumerate millions of tasks through this path).
@@ -41,6 +53,12 @@ class GemmEnumerator {
       }
     }
   }
+
+  /// The GEMMs of `chunk` grouped by shared B tile, groups in
+  /// first-occurrence order and rows within a group in chunk load order.
+  /// Visits exactly the tasks for_each would, so flop accounting and plan
+  /// validation are unchanged by batching.
+  std::vector<GemmGroup> gemm_groups(const Chunk& chunk, const Shape& c) const;
 
  private:
   std::vector<std::vector<std::uint32_t>> k_to_pieces_;

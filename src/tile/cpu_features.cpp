@@ -1,0 +1,47 @@
+#include "tile/cpu_features.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace bstc {
+namespace {
+
+bool host_supports_avx2_fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+KernelIsa resolve_isa() {
+  const bool avx2 = host_supports_avx2_fma();
+  const char* env = std::getenv("BSTC_KERNEL");
+  if (env != nullptr) {
+    if (std::strcmp(env, "scalar") == 0) return KernelIsa::kScalar;
+    if (std::strcmp(env, "avx2") == 0) {
+      return avx2 ? KernelIsa::kAvx2 : KernelIsa::kScalar;
+    }
+    // "auto" or anything unrecognised: fall through to detection.
+  }
+  return avx2 ? KernelIsa::kAvx2 : KernelIsa::kScalar;
+}
+
+}  // namespace
+
+KernelIsa active_kernel_isa() {
+  static const KernelIsa isa = resolve_isa();
+  return isa;
+}
+
+const char* kernel_isa_name(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kAvx2:
+      return "avx2";
+    case KernelIsa::kScalar:
+      return "scalar";
+  }
+  return "unknown";
+}
+
+}  // namespace bstc

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file cpu_features.hpp
+/// Runtime CPU-capability detection for micro-kernel dispatch.
+///
+/// The kernel library is compiled for the baseline architecture (so one
+/// binary runs everywhere); vectorized micro-kernels are built with
+/// per-function target attributes and selected at runtime. The choice is
+/// made once per process and can be forced with the BSTC_KERNEL
+/// environment variable: "auto" (default), "scalar", or "avx2" (silently
+/// degraded to scalar on hosts without AVX2+FMA).
+
+namespace bstc {
+
+/// Instruction sets the micro-kernel layer can target.
+enum class KernelIsa {
+  kScalar,  ///< portable C++, any host
+  kAvx2,    ///< AVX2 + FMA3 (x86-64)
+};
+
+/// The ISA selected for this process (detection + BSTC_KERNEL override).
+KernelIsa active_kernel_isa();
+
+/// Human-readable ISA name ("scalar" / "avx2") for logs and benchmarks.
+const char* kernel_isa_name(KernelIsa isa);
+
+}  // namespace bstc

@@ -1,8 +1,12 @@
 #include "tile/gemm.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "support/error.hpp"
+#include "tile/cpu_features.hpp"
+#include "tile/microkernel.hpp"
+#include "tile/pack.hpp"
 
 namespace bstc {
 namespace {
@@ -12,6 +16,8 @@ void check_conformance(const Tile& a, const Tile& b, const Tile& c) {
   BSTC_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(),
                "GEMM output dimensions must agree");
 }
+
+// ---- Pre-packing blocked kernel (benchmark baseline) ---------------------
 
 // Cache-blocking parameters: KC*MR and KC*NR panels stay in L1, the
 // MC x KC block of A in L2.
@@ -71,6 +77,37 @@ void scale(double beta, Tile& c) {
   for (std::size_t i = 0; i < n; ++i) p[i] *= beta;
 }
 
+void scale_view(Index m, Index n, double beta, double* c, Index ldc) {
+  if (beta == 1.0) return;
+  for (Index j = 0; j < n; ++j) {
+    double* cj = c + j * ldc;
+    if (beta == 0.0) {
+      std::fill(cj, cj + m, 0.0);
+    } else {
+      for (Index i = 0; i < m; ++i) cj[i] *= beta;
+    }
+  }
+}
+
+// ---- Packed kernel core --------------------------------------------------
+
+/// Run the micro-kernel over one packed mc x kc A block and the packed
+/// kc x nc B block, updating the C view at (0, 0).
+void macro_kernel(MicroKernelFn kern, Index mc, Index nc, Index kc,
+                  double alpha, const double* ap, const double* bp, double* c,
+                  Index ldc) {
+  for (Index jr = 0; jr < nc; jr += kPackNR) {
+    const Index nr = std::min(kPackNR, nc - jr);
+    const double* bpanel = bp + (jr / kPackNR) * kc * kPackNR;
+    double* cj = c + jr * ldc;
+    for (Index ir = 0; ir < mc; ir += kPackMR) {
+      const Index mr = std::min(kPackMR, mc - ir);
+      kern(kc, alpha, ap + (ir / kPackMR) * kc * kPackMR, bpanel, cj + ir,
+           ldc, mr, nr);
+    }
+  }
+}
+
 }  // namespace
 
 void gemm_naive(double alpha, const Tile& a, const Tile& b, double beta,
@@ -88,7 +125,8 @@ void gemm_naive(double alpha, const Tile& a, const Tile& b, double beta,
   }
 }
 
-void gemm(double alpha, const Tile& a, const Tile& b, double beta, Tile& c) {
+void gemm_blocked(double alpha, const Tile& a, const Tile& b, double beta,
+                  Tile& c) {
   check_conformance(a, b, c);
   scale(beta, c);
   if (alpha == 0.0 || a.size() == 0 || b.size() == 0) return;
@@ -123,6 +161,103 @@ void gemm(double alpha, const Tile& a, const Tile& b, double beta, Tile& c) {
       }
     }
   }
+}
+
+void gemm_view(Index m, Index n, Index k, double alpha, const double* a,
+               Index lda, const double* b, Index ldb, double beta, double* c,
+               Index ldc) {
+  BSTC_REQUIRE(lda >= m && ldb >= k && ldc >= m,
+               "GEMM leading dimensions must cover the views");
+  scale_view(m, n, beta, c, ldc);
+  if (alpha == 0.0 || m <= 0 || n <= 0 || k <= 0) return;
+
+  const MicroKernelFn kern = active_microkernel();
+  // One arena acquire sized for the largest (B panel, A block) pair this
+  // call will pack; the pointers stay stable across the blocking loops.
+  const std::size_t b_doubles =
+      packed_b_doubles(std::min(k, kPackKC), std::min(n, kPackNC));
+  const std::size_t a_doubles =
+      packed_a_doubles(std::min(m, kPackMC), std::min(k, kPackKC));
+  double* bp = pack_arena().acquire(b_doubles + a_doubles);
+  double* ap = bp + b_doubles;
+
+  for (Index jc = 0; jc < n; jc += kPackNC) {
+    const Index nc = std::min(kPackNC, n - jc);
+    for (Index pc = 0; pc < k; pc += kPackKC) {
+      const Index kc = std::min(kPackKC, k - pc);
+      pack_b(kc, nc, b + pc + jc * ldb, ldb, bp);
+      for (Index ic = 0; ic < m; ic += kPackMC) {
+        const Index mc = std::min(kPackMC, m - ic);
+        pack_a(mc, kc, a + ic + pc * lda, lda, ap);
+        macro_kernel(kern, mc, nc, kc, alpha, ap, bp, c + ic + jc * ldc, ldc);
+      }
+    }
+  }
+}
+
+void gemm(double alpha, const Tile& a, const Tile& b, double beta, Tile& c) {
+  check_conformance(a, b, c);
+  gemm_view(a.rows(), b.cols(), a.cols(), alpha, a.data(), a.ld(), b.data(),
+            b.ld(), beta, c.data(), c.ld());
+}
+
+void gemm_batch(double alpha, std::span<const GemmBatchItem> items,
+                const Tile& b, double beta) {
+  Index max_m = 0;
+  for (const GemmBatchItem& item : items) {
+    BSTC_REQUIRE(item.a != nullptr && item.c != nullptr,
+                 "GEMM batch items must be complete");
+    check_conformance(*item.a, b, *item.c);
+    max_m = std::max(max_m, item.a->rows());
+  }
+
+  // beta exactly once per distinct C tile: items may alias outputs.
+  std::vector<double*> scaled;
+  scaled.reserve(items.size());
+  for (const GemmBatchItem& item : items) {
+    double* p = item.c->data();
+    if (std::find(scaled.begin(), scaled.end(), p) == scaled.end()) {
+      scaled.push_back(p);
+      scale(beta, *item.c);
+    }
+  }
+  const Index k = b.rows(), n = b.cols();
+  if (alpha == 0.0 || max_m <= 0 || n <= 0 || k <= 0) return;
+
+  const MicroKernelFn kern = active_microkernel();
+  const std::size_t b_doubles =
+      packed_b_doubles(std::min(k, kPackKC), std::min(n, kPackNC));
+  const std::size_t a_doubles =
+      packed_a_doubles(std::min(max_m, kPackMC), std::min(k, kPackKC));
+  double* bp = pack_arena().acquire(b_doubles + a_doubles);
+  double* ap = bp + b_doubles;
+
+  // The shared B panel is packed once per (jc, pc) for the whole group —
+  // this is the point of batching: every item reuses it from cache.
+  for (Index jc = 0; jc < n; jc += kPackNC) {
+    const Index nc = std::min(kPackNC, n - jc);
+    for (Index pc = 0; pc < k; pc += kPackKC) {
+      const Index kc = std::min(kPackKC, k - pc);
+      pack_b(kc, nc, b.data() + pc + jc * b.ld(), b.ld(), bp);
+      for (const GemmBatchItem& item : items) {
+        const Index m = item.a->rows();
+        const double* adata = item.a->data();
+        const Index lda = item.a->ld();
+        double* cdata = item.c->data();
+        const Index ldc = item.c->ld();
+        for (Index ic = 0; ic < m; ic += kPackMC) {
+          const Index mc = std::min(kPackMC, m - ic);
+          pack_a(mc, kc, adata + ic + pc * lda, lda, ap);
+          macro_kernel(kern, mc, nc, kc, alpha, ap, bp,
+                       cdata + ic + jc * ldc, ldc);
+        }
+      }
+    }
+  }
+}
+
+const char* gemm_kernel_name() {
+  return active_kernel_isa() == KernelIsa::kAvx2 ? "avx2-8x4" : "scalar-8x4";
 }
 
 }  // namespace bstc

@@ -3,9 +3,24 @@
 /// \file gemm.hpp
 /// Dense GEMM kernels for tile-level products.
 ///
-/// The paper runs tile GEMMs through cuBLAS on V100s; here the kernel is a
-/// cache-blocked CPU implementation (no BLAS is available in this
-/// environment). A naive triple loop is kept as the correctness reference.
+/// The paper runs tile GEMMs through cuBLAS on V100s; here the kernel is
+/// a packed, register-tiled CPU implementation (no BLAS is available in
+/// this environment). Three tiers exist:
+///
+///  * gemm_naive   — triple loop, the correctness reference;
+///  * gemm_blocked — cache-blocked with an in-place 4x4 micro-kernel (the
+///                   pre-packing kernel, kept as a benchmark baseline);
+///  * gemm         — BLIS-style packed kernel: operands are copied into
+///                   aligned MR-row / NR-column panels (pack.hpp) and an
+///                   8x4 micro-kernel selected by runtime CPU dispatch
+///                   (AVX2/FMA when available, portable scalar otherwise)
+///                   runs fringe-free over them.
+///
+/// gemm_batch() executes a group of tile GEMMs that all read the same B
+/// tile — the executor's unit of work — packing each B panel once for the
+/// whole group instead of once per GEMM.
+
+#include <span>
 
 #include "tile/tile.hpp"
 
@@ -15,9 +30,38 @@ namespace bstc {
 void gemm_naive(double alpha, const Tile& a, const Tile& b, double beta,
                 Tile& c);
 
-/// C <- alpha*A*B + beta*C, cache-blocked implementation with a
-/// register-tiled micro-kernel. Dimensions: A is MxK, B is KxN, C is MxN.
+/// C <- alpha*A*B + beta*C, cache-blocked implementation with an in-place
+/// (non-packing) 4x4 micro-kernel. Benchmark baseline for the packed path.
+void gemm_blocked(double alpha, const Tile& a, const Tile& b, double beta,
+                  Tile& c);
+
+/// C <- alpha*A*B + beta*C over raw column-major views: A is m x k with
+/// leading dimension lda >= m, B k x n with ldb >= k, C m x n with
+/// ldc >= m — leading dimensions may exceed the view extents (submatrix
+/// views). Packed path with micro-kernel dispatch.
+void gemm_view(Index m, Index n, Index k, double alpha, const double* a,
+               Index lda, const double* b, Index ldb, double beta, double* c,
+               Index ldc);
+
+/// C <- alpha*A*B + beta*C, packed kernel. Dimensions: A is MxK, B is KxN,
+/// C is MxN.
 void gemm(double alpha, const Tile& a, const Tile& b, double beta, Tile& c);
+
+/// One member of a shared-B batch: C <- beta*C + alpha*A*B.
+struct GemmBatchItem {
+  const Tile* a = nullptr;
+  Tile* c = nullptr;
+};
+
+/// Execute every item against the same B tile, packing each B panel once
+/// for the whole group. beta is applied exactly once per *distinct* C
+/// tile, so items may alias their outputs (the aliased tile then receives
+/// beta*C plus every aliased item's product, in item order).
+void gemm_batch(double alpha, std::span<const GemmBatchItem> items,
+                const Tile& b, double beta);
+
+/// Name of the dispatched micro-kernel ("avx2-8x4" / "scalar-8x4").
+const char* gemm_kernel_name();
 
 /// Flops of one tile GEMM (2*m*n*k).
 inline double gemm_flops(const Tile& a, const Tile& b) {

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file microkernel.hpp
+/// Register micro-kernels over packed panels (see pack.hpp for the panel
+/// format) and their runtime dispatch.
+///
+/// Contract: C(0:mr, 0:nr) += alpha * Apanel * Bpanel, where Apanel is one
+/// packed MR-row panel (kc iterations of MR contiguous doubles, fringe
+/// rows zero-padded) and Bpanel one packed NR-column panel. mr <= kPackMR
+/// and nr <= kPackNR select how much of the register tile is actually
+/// stored to C — the multiply itself always runs the full MR x NR tile,
+/// which is safe because the packed fringes are zeros.
+
+#include "tile/cpu_features.hpp"
+#include "tile/pack.hpp"
+
+namespace bstc {
+
+using MicroKernelFn = void (*)(Index kc, double alpha, const double* apanel,
+                               const double* bpanel, double* c, Index ldc,
+                               Index mr, Index nr);
+
+/// Portable C++ MR x NR micro-kernel (any host).
+MicroKernelFn scalar_microkernel();
+
+/// AVX2/FMA MR x NR micro-kernel; nullptr on non-x86-64 builds. Callers
+/// must check active_kernel_isa() before invoking it.
+MicroKernelFn avx2_microkernel();
+
+/// The micro-kernel for active_kernel_isa() (resolved once per process).
+MicroKernelFn active_microkernel();
+
+}  // namespace bstc

@@ -1,0 +1,88 @@
+#include "tile/microkernel.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace bstc {
+namespace {
+
+/// 8x4 AVX2/FMA kernel: 8 ymm accumulators (two 4-double vectors per C
+/// column), one B broadcast and two FMAs per column per k step. Built with
+/// a function-level target attribute so the translation unit still
+/// compiles for the baseline architecture; only dispatch may call it.
+__attribute__((target("avx2,fma"))) void avx2_kernel(
+    Index kc, double alpha, const double* apanel, const double* bpanel,
+    double* c, Index ldc, Index mr, Index nr) {
+  __m256d c0l = _mm256_setzero_pd(), c0h = _mm256_setzero_pd();
+  __m256d c1l = _mm256_setzero_pd(), c1h = _mm256_setzero_pd();
+  __m256d c2l = _mm256_setzero_pd(), c2h = _mm256_setzero_pd();
+  __m256d c3l = _mm256_setzero_pd(), c3h = _mm256_setzero_pd();
+  for (Index k = 0; k < kc; ++k) {
+    const __m256d al = _mm256_loadu_pd(apanel);
+    const __m256d ah = _mm256_loadu_pd(apanel + 4);
+    apanel += kPackMR;
+    const __m256d b0 = _mm256_broadcast_sd(bpanel + 0);
+    c0l = _mm256_fmadd_pd(al, b0, c0l);
+    c0h = _mm256_fmadd_pd(ah, b0, c0h);
+    const __m256d b1 = _mm256_broadcast_sd(bpanel + 1);
+    c1l = _mm256_fmadd_pd(al, b1, c1l);
+    c1h = _mm256_fmadd_pd(ah, b1, c1h);
+    const __m256d b2 = _mm256_broadcast_sd(bpanel + 2);
+    c2l = _mm256_fmadd_pd(al, b2, c2l);
+    c2h = _mm256_fmadd_pd(ah, b2, c2h);
+    const __m256d b3 = _mm256_broadcast_sd(bpanel + 3);
+    c3l = _mm256_fmadd_pd(al, b3, c3l);
+    c3h = _mm256_fmadd_pd(ah, b3, c3h);
+    bpanel += kPackNR;
+  }
+
+  const __m256d va = _mm256_set1_pd(alpha);
+  if (mr == kPackMR && nr == kPackNR) {
+    double* c0 = c;
+    double* c1 = c + ldc;
+    double* c2 = c + 2 * ldc;
+    double* c3 = c + 3 * ldc;
+    _mm256_storeu_pd(c0, _mm256_fmadd_pd(va, c0l, _mm256_loadu_pd(c0)));
+    _mm256_storeu_pd(c0 + 4, _mm256_fmadd_pd(va, c0h, _mm256_loadu_pd(c0 + 4)));
+    _mm256_storeu_pd(c1, _mm256_fmadd_pd(va, c1l, _mm256_loadu_pd(c1)));
+    _mm256_storeu_pd(c1 + 4, _mm256_fmadd_pd(va, c1h, _mm256_loadu_pd(c1 + 4)));
+    _mm256_storeu_pd(c2, _mm256_fmadd_pd(va, c2l, _mm256_loadu_pd(c2)));
+    _mm256_storeu_pd(c2 + 4, _mm256_fmadd_pd(va, c2h, _mm256_loadu_pd(c2 + 4)));
+    _mm256_storeu_pd(c3, _mm256_fmadd_pd(va, c3l, _mm256_loadu_pd(c3)));
+    _mm256_storeu_pd(c3 + 4, _mm256_fmadd_pd(va, c3h, _mm256_loadu_pd(c3 + 4)));
+    return;
+  }
+
+  // Fringe store: spill the register tile and write the live part.
+  alignas(32) double tmp[kPackNR * kPackMR];
+  _mm256_store_pd(tmp + 0, c0l);
+  _mm256_store_pd(tmp + 4, c0h);
+  _mm256_store_pd(tmp + 8, c1l);
+  _mm256_store_pd(tmp + 12, c1h);
+  _mm256_store_pd(tmp + 16, c2l);
+  _mm256_store_pd(tmp + 20, c2h);
+  _mm256_store_pd(tmp + 24, c3l);
+  _mm256_store_pd(tmp + 28, c3h);
+  for (Index j = 0; j < nr; ++j) {
+    double* cj = c + j * ldc;
+    const double* tj = tmp + j * kPackMR;
+    for (Index i = 0; i < mr; ++i) {
+      cj[i] += alpha * tj[i];
+    }
+  }
+}
+
+}  // namespace
+
+MicroKernelFn avx2_microkernel() { return &avx2_kernel; }
+
+}  // namespace bstc
+
+#else  // non-x86 build: no AVX2 kernel; dispatch never selects it.
+
+namespace bstc {
+MicroKernelFn avx2_microkernel() { return nullptr; }
+}  // namespace bstc
+
+#endif

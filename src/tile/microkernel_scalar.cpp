@@ -1,0 +1,43 @@
+#include "tile/microkernel.hpp"
+
+namespace bstc {
+namespace {
+
+/// Portable 8x4 kernel: the accumulator block is updated with MR
+/// independent chains per column, which baseline autovectorization (SSE2)
+/// can still pick up. Fringes are handled at store time only — the packed
+/// panels are zero-padded, so the full-tile multiply is always valid.
+void scalar_kernel(Index kc, double alpha, const double* apanel,
+                   const double* bpanel, double* c, Index ldc, Index mr,
+                   Index nr) {
+  double acc[kPackNR][kPackMR] = {};
+  for (Index k = 0; k < kc; ++k) {
+    const double* a = apanel + k * kPackMR;
+    const double* b = bpanel + k * kPackNR;
+    for (Index j = 0; j < kPackNR; ++j) {
+      const double bj = b[j];
+      for (Index i = 0; i < kPackMR; ++i) {
+        acc[j][i] += a[i] * bj;
+      }
+    }
+  }
+  for (Index j = 0; j < nr; ++j) {
+    double* cj = c + j * ldc;
+    for (Index i = 0; i < mr; ++i) {
+      cj[i] += alpha * acc[j][i];
+    }
+  }
+}
+
+}  // namespace
+
+MicroKernelFn scalar_microkernel() { return &scalar_kernel; }
+
+MicroKernelFn active_microkernel() {
+  static const MicroKernelFn fn = active_kernel_isa() == KernelIsa::kAvx2
+                                      ? avx2_microkernel()
+                                      : scalar_microkernel();
+  return fn;
+}
+
+}  // namespace bstc

@@ -1,0 +1,72 @@
+#include "tile/pack.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace bstc {
+
+void PackArena::FreeDeleter::operator()(double* p) const { std::free(p); }
+
+double* PackArena::acquire(std::size_t doubles) {
+  std::size_t bytes = doubles * sizeof(double);
+  if (bytes > capacity_bytes_) {
+    // Grow geometrically and round to the 64-byte alignment quantum
+    // (std::aligned_alloc requires size % alignment == 0).
+    bytes = std::max(bytes, capacity_bytes_ * 2);
+    bytes = (bytes + 63) & ~std::size_t{63};
+    double* p = static_cast<double*>(std::aligned_alloc(64, bytes));
+    BSTC_REQUIRE(p != nullptr, "pack arena allocation failed");
+    buffer_.reset(p);
+    capacity_bytes_ = bytes;
+  }
+  return buffer_.get();
+}
+
+PackArena& pack_arena() {
+  thread_local PackArena arena;
+  return arena;
+}
+
+void pack_a(Index mc, Index kc, const double* a, Index lda, double* dst) {
+  for (Index ir = 0; ir < mc; ir += kPackMR) {
+    const Index mr = std::min(kPackMR, mc - ir);
+    const double* src = a + ir;
+    if (mr == kPackMR) {
+      for (Index k = 0; k < kc; ++k) {
+        const double* col = src + k * lda;
+        for (Index r = 0; r < kPackMR; ++r) dst[r] = col[r];
+        dst += kPackMR;
+      }
+    } else {
+      for (Index k = 0; k < kc; ++k) {
+        const double* col = src + k * lda;
+        for (Index r = 0; r < mr; ++r) dst[r] = col[r];
+        for (Index r = mr; r < kPackMR; ++r) dst[r] = 0.0;
+        dst += kPackMR;
+      }
+    }
+  }
+}
+
+void pack_b(Index kc, Index nc, const double* b, Index ldb, double* dst) {
+  for (Index jr = 0; jr < nc; jr += kPackNR) {
+    const Index nr = std::min(kPackNR, nc - jr);
+    const double* src = b + jr * ldb;
+    if (nr == kPackNR) {
+      for (Index k = 0; k < kc; ++k) {
+        for (Index c = 0; c < kPackNR; ++c) dst[c] = src[k + c * ldb];
+        dst += kPackNR;
+      }
+    } else {
+      for (Index k = 0; k < kc; ++k) {
+        for (Index c = 0; c < nr; ++c) dst[c] = src[k + c * ldb];
+        for (Index c = nr; c < kPackNR; ++c) dst[c] = 0.0;
+        dst += kPackNR;
+      }
+    }
+  }
+}
+
+}  // namespace bstc

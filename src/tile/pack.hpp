@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file pack.hpp
+/// BLIS-style panel packing for the tile GEMM kernel.
+///
+/// The packed GEMM copies operand blocks into contiguous, aligned panels
+/// before the micro-kernel touches them: A blocks become MR-row panels,
+/// B blocks become NR-column panels, both zero-padded to the full register
+/// tile so the micro-kernel never branches on fringes. Panels live in a
+/// grow-only per-thread arena (pack_arena()), so steady-state packing does
+/// no allocation — essential when the executor runs millions of tile GEMMs
+/// through worker threads.
+///
+/// The panel layout is ISA-independent: the scalar and AVX2 micro-kernels
+/// consume the same packed format (see microkernel.hpp).
+
+#include <cstddef>
+#include <memory>
+
+#include "tiling/tiling.hpp"
+
+namespace bstc {
+
+/// Register tile of the packed micro-kernels.
+constexpr Index kPackMR = 8;
+constexpr Index kPackNR = 4;
+
+/// Cache blocking: a KC x NR B panel stays in L1 across the A panels, the
+/// packed MC x KC A block in L2, the packed KC x NC B block in L3.
+constexpr Index kPackMC = 128;
+constexpr Index kPackKC = 256;
+constexpr Index kPackNC = 512;
+
+/// Doubles needed for a packed mc x kc A block (rows rounded up to MR).
+constexpr std::size_t packed_a_doubles(Index mc, Index kc) {
+  return static_cast<std::size_t>((mc + kPackMR - 1) / kPackMR) *
+         static_cast<std::size_t>(kPackMR) * static_cast<std::size_t>(kc);
+}
+
+/// Doubles needed for a packed kc x nc B block (cols rounded up to NR).
+constexpr std::size_t packed_b_doubles(Index kc, Index nc) {
+  return static_cast<std::size_t>((nc + kPackNR - 1) / kPackNR) *
+         static_cast<std::size_t>(kPackNR) * static_cast<std::size_t>(kc);
+}
+
+/// Grow-only, 64-byte-aligned scratch buffer for packed panels. Acquire
+/// returns uninitialised storage valid until the next acquire that grows
+/// the arena; capacity never shrinks.
+class PackArena {
+ public:
+  double* acquire(std::size_t doubles);
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct FreeDeleter {
+    void operator()(double* p) const;
+  };
+  std::unique_ptr<double, FreeDeleter> buffer_;
+  std::size_t capacity_bytes_ = 0;
+};
+
+/// The calling thread's pack arena. Each worker thread owns one arena that
+/// grows to the largest panel set it has ever packed and is reused for
+/// every subsequent tile GEMM on that thread.
+PackArena& pack_arena();
+
+/// Pack an mc x kc block of column-major A (leading dimension lda) into
+/// MR-row panels: dst[p*kc*MR + k*MR + r] = A(p*MR + r, k), rows past mc
+/// zero-padded. dst must hold packed_a_doubles(mc, kc).
+void pack_a(Index mc, Index kc, const double* a, Index lda, double* dst);
+
+/// Pack a kc x nc block of column-major B (leading dimension ldb) into
+/// NR-column panels: dst[p*kc*NR + k*NR + c] = B(k, p*NR + c), columns
+/// past nc zero-padded. dst must hold packed_b_doubles(kc, nc).
+void pack_b(Index kc, Index nc, const double* b, Index ldb, double* dst);
+
+}  // namespace bstc

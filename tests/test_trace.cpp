@@ -84,7 +84,7 @@ TEST(Trace, EngineWritesTraceFile) {
   ASSERT_TRUE(in.good());
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
-  EXPECT_NE(content.find("gemm("), std::string::npos);
+  EXPECT_NE(content.find("gemmbatch("), std::string::npos);
   EXPECT_NE(content.find("chunkload("), std::string::npos);
   EXPECT_NE(content.find("store("), std::string::npos);
   // One JSON object per executed task.
@@ -95,6 +95,25 @@ TEST(Trace, EngineWritesTraceFile) {
     ++count;
   }
   EXPECT_EQ(count, result.tasks_executed);
+
+  // Every task name must carry balanced parentheses — malformed names
+  // (a "chunkload(n0,b1,2" with no closing paren) corrupt downstream
+  // trace tooling silently.
+  for (std::size_t pos = 0;
+       (pos = content.find("\"name\":\"", pos)) != std::string::npos;) {
+    pos += 8;
+    const std::size_t end = content.find('"', pos);
+    ASSERT_NE(end, std::string::npos);
+    const std::string name = content.substr(pos, end - pos);
+    int depth = 0;
+    for (const char ch : name) {
+      if (ch == '(') ++depth;
+      if (ch == ')') --depth;
+      ASSERT_GE(depth, 0) << "unbalanced parens in task name: " << name;
+    }
+    EXPECT_EQ(depth, 0) << "unbalanced parens in task name: " << name;
+    pos = end;
+  }
   std::filesystem::remove(path);
 }
 
