@@ -1,0 +1,144 @@
+/// Loopback latency / bandwidth sweep of the wire protocol + NetTransport.
+///
+/// Two transports over an OS socket pair exchange tiles of 32..512 square
+/// extents — the full serialize -> frame -> socket -> deframe -> deliver
+/// path the distributed executor runs, minus the network card. Reports
+/// per-tile one-way latency and sustained payload bandwidth, plus a
+/// control-frame ping-pong RTT, and writes BENCH_net.json for the CI
+/// perf-smoke artifact trail.
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "net/net_transport.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+using namespace bstc;
+using namespace bstc::net;
+
+namespace {
+
+struct LoopbackPair {
+  WireCounters counters;
+  std::unique_ptr<NetTransport> t0, t1;
+
+  LoopbackPair() {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      throw Error("socketpair failed");
+    }
+    std::vector<PeerLink> l0;
+    l0.push_back(PeerLink{1, Socket(fds[0])});
+    t0 = std::make_unique<NetTransport>(2, 0, std::move(l0), &counters);
+    std::vector<PeerLink> l1;
+    l1.push_back(PeerLink{0, Socket(fds[1])});
+    t1 = std::make_unique<NetTransport>(2, 1, std::move(l1), &counters);
+  }
+};
+
+struct SweepPoint {
+  Index tile = 0;
+  std::size_t tile_bytes = 0;
+  int reps = 0;
+  double seconds = 0.0;
+  double bandwidth_bps = 0.0;  ///< payload bytes per second, one-way
+  double tile_us = 0.0;        ///< mean per-tile one-way time
+};
+
+SweepPoint sweep_one(Index extent) {
+  LoopbackPair pair;
+  Rng rng(static_cast<std::uint64_t>(extent));
+  Tile tile(extent, extent);
+  tile.fill_random(rng);
+
+  SweepPoint point;
+  point.tile = extent;
+  point.tile_bytes = tile.bytes();
+  // Aim for ~32 MB of payload per size so small tiles are latency-bound
+  // and large ones bandwidth-bound, as in the real broadcast.
+  point.reps = static_cast<int>(
+      std::max<std::size_t>(8, (32u << 20) / std::max<std::size_t>(
+                                                 1, tile.bytes())));
+
+  std::thread consumer([&] {
+    for (int i = 0; i < point.reps; ++i) {
+      (void)pair.t1->mailbox(1).wait(static_cast<std::uint64_t>(i));
+    }
+  });
+  Timer timer;
+  for (int i = 0; i < point.reps; ++i) {
+    pair.t0->send(0, 1, static_cast<std::uint64_t>(i), tile);
+  }
+  consumer.join();
+  point.seconds = timer.elapsed_s();
+  point.bandwidth_bps = static_cast<double>(point.tile_bytes) *
+                        static_cast<double>(point.reps) / point.seconds;
+  point.tile_us = point.seconds / point.reps * 1e6;
+  return point;
+}
+
+double pingpong_rtt_us(int rounds) {
+  LoopbackPair pair;
+  std::thread echo([&] {
+    for (int i = 0; i < rounds; ++i) {
+      (void)pair.t1->wait_frame(FrameType::kCDone);
+      pair.t1->post(0, encode_count(FrameType::kGatherDone, 0));
+    }
+  });
+  Timer timer;
+  for (int i = 0; i < rounds; ++i) {
+    pair.t0->post(1, encode_count(FrameType::kCDone, 0));
+    (void)pair.t0->wait_frame(FrameType::kGatherDone);
+  }
+  const double total = timer.elapsed_s();
+  echo.join();
+  return total / rounds * 1e6;
+}
+
+}  // namespace
+
+int main() {
+  const double rtt_us = pingpong_rtt_us(500);
+  std::printf("control-frame ping-pong RTT  %.1f us\n\n", rtt_us);
+
+  std::vector<SweepPoint> points;
+  TextTable table({"tile", "payload", "reps", "one-way/tile", "bandwidth"});
+  for (const Index extent : {32, 64, 128, 256, 512}) {
+    const SweepPoint point = sweep_one(extent);
+    points.push_back(point);
+    table.add_row({std::to_string(point.tile) + "^2",
+                   fmt_bytes(static_cast<double>(point.tile_bytes)),
+                   std::to_string(point.reps),
+                   fmt_duration(point.tile_us * 1e-6),
+                   fmt_bytes(point.bandwidth_bps) + "/s"});
+  }
+  bench::print_table("loopback tile transfer sweep (socketpair)", table);
+
+  std::FILE* out = std::fopen("BENCH_net.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n  \"bench\": \"net\",\n");
+    std::fprintf(out, "  \"pingpong_rtt_us\": %.3f,\n", rtt_us);
+    std::fprintf(out, "  \"sweep\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const SweepPoint& p = points[i];
+      std::fprintf(out,
+                   "    {\"tile\": %lld, \"payload_bytes\": %zu, "
+                   "\"reps\": %d, \"tile_us\": %.3f, "
+                   "\"bandwidth_bps\": %.6e}%s\n",
+                   static_cast<long long>(p.tile), p.tile_bytes, p.reps,
+                   p.tile_us, p.bandwidth_bps,
+                   i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_net.json\n");
+  }
+  return 0;
+}

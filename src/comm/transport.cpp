@@ -17,13 +17,30 @@ void TileMailbox::deliver(std::uint64_t key, Tile tile) {
 
 const Tile& TileMailbox::wait(std::uint64_t key) {
   std::unique_lock lock(mutex_);
-  cv_.wait(lock, [&] { return messages_.count(key) > 0; });
-  return *messages_.at(key);
+  cv_.wait(lock, [&] { return poisoned_ || messages_.count(key) > 0; });
+  const auto it = messages_.find(key);
+  if (it != messages_.end()) return *it->second;
+  throw Error("mailbox poisoned while waiting for a tile: " + poison_reason_);
+}
+
+void TileMailbox::poison(const std::string& reason) {
+  {
+    std::lock_guard lock(mutex_);
+    if (poisoned_) return;  // first failure wins
+    poisoned_ = true;
+    poison_reason_ = reason;
+  }
+  cv_.notify_all();
 }
 
 bool TileMailbox::contains(std::uint64_t key) const {
   std::lock_guard lock(mutex_);
   return messages_.count(key) > 0;
+}
+
+bool TileMailbox::poisoned() const {
+  std::lock_guard lock(mutex_);
+  return poisoned_;
 }
 
 std::size_t TileMailbox::delivered_count() const {
@@ -32,7 +49,7 @@ std::size_t TileMailbox::delivered_count() const {
 }
 
 Transport::Transport(int nodes)
-    : mailboxes_(static_cast<std::size_t>(nodes)), recorder_(nodes) {
+    : recorder_(nodes), mailboxes_(static_cast<std::size_t>(nodes)) {
   BSTC_REQUIRE(nodes > 0, "need at least one node");
 }
 

@@ -1,7 +1,7 @@
 #pragma once
 
 /// \file transport.hpp
-/// Explicit in-process message transport between simulated ranks.
+/// Explicit message transport between ranks.
 ///
 /// By default the executor reads remote A tiles directly (with byte
 /// accounting). This transport makes the communication *explicit*: the
@@ -10,11 +10,18 @@
 /// in-process equivalent of the paper's background broadcast, including
 /// the stall behaviour ("execution stalls until the required tiles are
 /// received", §5.1). Enabled via EngineConfig::explicit_messages.
+///
+/// Transport itself is the in-process implementation (mailboxes + byte
+/// accounting); `send` is virtual so net/NetTransport can carry the same
+/// deliver/wait contract across real TCP sockets between rank processes.
+/// Engines are written against this contract only — they run unmodified
+/// on either implementation.
 
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "comm/comm.hpp"
@@ -25,15 +32,25 @@ namespace bstc {
 /// Inbox of one rank: keyed tile messages with blocking receive.
 class TileMailbox {
  public:
-  /// Deliver a tile under `key`. A key may be delivered only once.
+  /// Deliver a tile under `key`. A key may be delivered only once; a
+  /// duplicate delivery throws bstc::Error (messages are never silently
+  /// overwritten — a duplicate means the sender double-broadcast).
   void deliver(std::uint64_t key, Tile tile);
 
   /// Block until `key` has been delivered; the returned reference stays
   /// valid for the mailbox's lifetime (messages are never evicted,
-  /// mirroring the host-side A cache of the algorithm).
+  /// mirroring the host-side A cache of the algorithm). Throws
+  /// bstc::Error if the mailbox is poisoned while waiting.
   const Tile& wait(std::uint64_t key);
 
+  /// Poison the mailbox: every pending and future wait() for a key that
+  /// has not been delivered throws bstc::Error carrying `reason`. Used by
+  /// the network layer so a dead peer aborts the stalled consumers
+  /// instead of hanging them forever.
+  void poison(const std::string& reason);
+
   bool contains(std::uint64_t key) const;
+  bool poisoned() const;
   std::size_t delivered_count() const;
 
  private:
@@ -41,25 +58,33 @@ class TileMailbox {
   std::condition_variable cv_;
   // unique_ptr so references stay stable across rehashing.
   std::unordered_map<std::uint64_t, std::unique_ptr<Tile>> messages_;
+  std::string poison_reason_;
+  bool poisoned_ = false;
 };
 
-/// All mailboxes plus traffic accounting.
+/// All mailboxes plus traffic accounting. This base class *is* the
+/// in-process transport; NetTransport overrides send() to cross process
+/// boundaries while keeping the same mailbox wait semantics.
 class Transport {
  public:
   explicit Transport(int nodes);
+  virtual ~Transport() = default;
 
   int nodes() const { return static_cast<int>(mailboxes_.size()); }
   TileMailbox& mailbox(int node);
 
   /// Send a tile message: records the bytes (from != to) and delivers
-  /// into the destination mailbox.
-  void send(int from, int to, std::uint64_t key, Tile tile);
+  /// into the destination mailbox. NetTransport requires `from` to be the
+  /// local rank and ships remote deliveries over the wire.
+  virtual void send(int from, int to, std::uint64_t key, Tile tile);
 
   const CommRecorder& recorder() const { return recorder_; }
 
+ protected:
+  CommRecorder recorder_;
+
  private:
   std::vector<TileMailbox> mailboxes_;
-  CommRecorder recorder_;
 };
 
 }  // namespace bstc

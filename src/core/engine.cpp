@@ -131,14 +131,37 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
   const double chunk_capacity =
       plan.config.chunk_mem_fraction * machine.node.gpu.memory_bytes;
 
+  // Distributed single-rank mode: build and run only local_rank's share
+  // of the DAG against an external (network) transport.
+  const bool distributed = cfg.local_rank >= 0;
+  if (distributed) {
+    BSTC_REQUIRE(cfg.local_rank < num_nodes,
+                 "local_rank out of range for the plan's grid");
+    BSTC_REQUIRE(cfg.transport != nullptr,
+                 "distributed execution needs an external transport");
+  }
+  const bool messaged = cfg.explicit_messages || cfg.transport != nullptr;
+
   // Optional explicit message transport for remote A tiles: precompute,
   // per consumer node, the unique remote tiles it needs; their home
-  // nodes get root send tasks.
-  std::unique_ptr<Transport> transport;
+  // nodes get root send tasks. An external transport (distributed mode)
+  // replaces the engine-private one; its recorder accumulates across
+  // calls, so traffic is measured as a delta.
+  std::unique_ptr<Transport> owned_transport;
+  Transport* transport = cfg.transport;
+  if (messaged && transport == nullptr) {
+    owned_transport = std::make_unique<Transport>(num_nodes);
+    transport = owned_transport.get();
+  }
+  if (transport != nullptr) {
+    BSTC_REQUIRE(transport->nodes() == num_nodes,
+                 "transport was built for a different grid");
+  }
+  const double transport_bytes_before =
+      transport != nullptr ? transport->recorder().total_bytes() : 0.0;
   // (home node, consumer node, i, k) send list.
   std::vector<std::tuple<int, int, std::uint32_t, std::uint32_t>> sends;
-  if (cfg.explicit_messages) {
-    transport = std::make_unique<Transport>(num_nodes);
+  if (messaged) {
     for (int n = 0; n < num_nodes; ++n) {
       std::unordered_set<std::uint64_t> needed;
       for (const BlockPlan& block :
@@ -147,7 +170,11 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
           for (const auto& [i, k] : chunk.a_tiles) {
             if (!needed.insert(tile_key(i, k)).second) continue;
             const int home = a_dist.node_of(i, k);
-            if (home != n) sends.emplace_back(home, n, i, k);
+            if (home == n) continue;
+            // Each rank runs only its *own* send tasks in distributed
+            // mode (it holds only its home share of A authoritatively).
+            if (distributed && home != cfg.local_rank) continue;
+            sends.emplace_back(home, n, i, k);
           }
         }
       }
@@ -172,13 +199,16 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
         "asend(" + std::to_string(si) + "," + std::to_string(sk) + "->n" +
             std::to_string(consumer) + ")",
         static_cast<std::uint32_t>(home),
-        [&transport, &a, home = home, consumer = consumer, si = si,
+        [transport, &a, home = home, consumer = consumer, si = si,
          sk = sk] {
           transport->send(home, consumer, tile_key(si, sk), a.tile(si, sk));
         });
   }
 
   for (int n = 0; n < num_nodes; ++n) {
+    // Distributed: only the local rank's blocks become tasks (queue ids
+    // stay global so the plan's device numbering is unchanged).
+    if (distributed && n != cfg.local_rank) continue;
     const NodePlan& node_plan = plan.nodes[static_cast<std::size_t>(n)];
     NodeState& ns = node_states[static_cast<std::size_t>(n)];
     const auto cpu_queue = static_cast<std::uint32_t>(n);
@@ -276,7 +306,7 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
             "chunkload(n" + std::to_string(n) + ",b" + std::to_string(bi) +
                 "," + std::to_string(ci) + ")",
             dq,
-            [&ns, &res, &dev, &chunk, &a, &a_dist, &comm, &transport, n] {
+            [&ns, &res, &dev, &chunk, &a, &a_dist, &comm, transport, n] {
               dev.allocate(static_cast<std::size_t>(chunk.a_bytes));
               std::lock_guard lock(res.mutex);
               for (const auto& [i, k] : chunk.a_tiles) {
@@ -416,11 +446,13 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
   EngineResult result;
   result.c = BlockSparseMatrix(c_shape);
   for (int n = 0; n < num_nodes; ++n) {
+    if (distributed && n != cfg.local_rank) continue;
     NodeState& ns = node_states[static_cast<std::size_t>(n)];
     const NodePlan& node_plan = plan.nodes[static_cast<std::size_t>(n)];
     for (auto& [key, tile] : ns.c_store) {
       const auto i = static_cast<std::uint32_t>(key >> 32);
       const auto j = static_cast<std::uint32_t>(key & 0xffffffffu);
+      result.computed_c_tiles.emplace_back(i, j);
       result.c.tile(i, j).axpy(1.0, tile);
       const int home = a_dist.node_of(i, j);
       if (home != plan.grid.node_id(node_plan.grid_row, node_plan.grid_col)) {
@@ -434,6 +466,8 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
     result.host_b_peak_bytes =
         std::max(result.host_b_peak_bytes, ns.b->peak_cached_bytes());
   }
+  // c_store is hash-ordered; sort so the recorded set is deterministic.
+  std::sort(result.computed_c_tiles.begin(), result.computed_c_tiles.end());
   if (c_init != nullptr) {
     for (std::size_t i = 0; i < c_shape.tile_rows(); ++i) {
       for (std::size_t j = 0; j < c_shape.tile_cols(); ++j) {
@@ -446,7 +480,9 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
 
   result.a_network_bytes = comm.total_bytes() - result.c_network_bytes;
   if (transport) {
-    result.a_network_bytes += transport->recorder().total_bytes();
+    // Delta, because an external transport's recorder outlives this call.
+    result.a_network_bytes +=
+        transport->recorder().total_bytes() - transport_bytes_before;
   }
   result.tasks_executed = sched.tasks_executed;
   result.plan_stats = compute_stats(plan, a.shape(), b_shape, c_shape);

@@ -19,11 +19,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "bsm/block_sparse_matrix.hpp"
 #include "bsm/on_demand_matrix.hpp"
 #include "comm/comm.hpp"
+#include "comm/transport.hpp"
 #include "machine/machine.hpp"
 #include "plan/plan.hpp"
 #include "plan/stats.hpp"
@@ -43,6 +45,21 @@ struct EngineConfig {
   /// including its stall behaviour. When false (default) remote reads are
   /// direct with byte accounting only.
   bool explicit_messages = false;
+  /// External message transport. When null and messages are explicit, the
+  /// engine creates a private in-process Transport. Supplying one (e.g. a
+  /// net::NetTransport spanning real rank processes) routes every tile
+  /// message through it instead; its CommRecorder accumulates across
+  /// calls and is owned by the caller.
+  Transport* transport = nullptr;
+  /// Distributed single-rank mode. When >= 0 the engine builds and runs
+  /// only this rank's share of the task DAG: its A-broadcast send tasks
+  /// (reading rank-local A tiles) and its own blocks; remote A tiles are
+  /// awaited on `transport` (required, normally a NetTransport). The
+  /// result then holds only this rank's C contributions plus this rank's
+  /// traffic view (bytes *sent*); the caller exchanges C tiles and
+  /// aggregates across ranks (see net/launch.hpp). -1 (default) executes
+  /// every rank in-process as before.
+  int local_rank = -1;
   /// When non-null, the per-node on-demand B caches live here and survive
   /// across calls — the serving layer's session path: B tiles are held
   /// persistently (OnDemandMatrix::acquire_persistent) instead of being
@@ -70,6 +87,11 @@ struct EngineResult {
   /// Largest per-node host footprint of the B cache (the §3.1 "pressure
   /// on CPU memory" of replicating B columns across grid rows).
   std::size_t host_b_peak_bytes = 0;
+  /// The (i, j) coordinates of every C tile this run computed, in the
+  /// deterministic assembly order. In distributed single-rank mode this
+  /// is exactly the local rank's contribution set — the set the caller
+  /// must return to tile homes over the network.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> computed_c_tiles;
 };
 
 /// Execute C_init + A*B on the simulated machine.

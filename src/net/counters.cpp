@@ -1,0 +1,10 @@
+#include "net/counters.hpp"
+
+namespace bstc::net {
+
+WireCounters& global_wire_counters() {
+  static WireCounters counters;
+  return counters;
+}
+
+}  // namespace bstc::net

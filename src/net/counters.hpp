@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file counters.hpp
+/// Wire-level traffic counters.
+///
+/// Every socket send/receive and every connect retry updates a
+/// WireCounters instance; NetTransport threads its own, and the
+/// process-wide registry feeds ServiceMetrics so `bstc_cli serve-batch`
+/// surfaces network activity next to the serving counters. All counters
+/// are monotonic and lock-free.
+
+#include <atomic>
+#include <cstdint>
+
+namespace bstc::net {
+
+/// Plain-value snapshot (copyable, comparable in tests).
+struct WireCounterSnapshot {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;      ///< on-wire bytes incl. frame framing
+  std::uint64_t bytes_received = 0;  ///< on-wire bytes incl. frame framing
+  std::uint64_t connect_retries = 0; ///< failed attempts that were retried
+  std::uint64_t reconnects = 0;      ///< connections needing >= 1 retry
+};
+
+/// Thread-safe monotonic counters.
+class WireCounters {
+ public:
+  void add_frame_sent(std::uint64_t wire_bytes) {
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(wire_bytes, std::memory_order_relaxed);
+  }
+  void add_frame_received(std::uint64_t wire_bytes) {
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    bytes_received_.fetch_add(wire_bytes, std::memory_order_relaxed);
+  }
+  void add_connect_retry() {
+    connect_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_reconnect() {
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  WireCounterSnapshot snapshot() const {
+    WireCounterSnapshot s;
+    s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+    s.frames_received = frames_received_.load(std::memory_order_relaxed);
+    s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+    s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+    s.connect_retries = connect_retries_.load(std::memory_order_relaxed);
+    s.reconnects = reconnects_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> connect_retries_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+};
+
+/// The process-wide counter instance. Every net component that is not
+/// given an explicit WireCounters records here; ServiceMetrics snapshots
+/// it. (A worker process naturally reports its own traffic only.)
+WireCounters& global_wire_counters();
+
+}  // namespace bstc::net

@@ -1,0 +1,217 @@
+#include "net/net_transport.hpp"
+
+#include <algorithm>
+
+namespace bstc::net {
+
+NetTransport::NetTransport(int nodes, int rank, std::vector<PeerLink> peers,
+                           WireCounters* counters)
+    : Transport(nodes), rank_(rank), counters_(counters),
+      links_(std::move(peers)) {
+  BSTC_REQUIRE(rank_ >= 0 && rank_ < nodes, "net: rank out of range");
+  for (const PeerLink& link : links_) {
+    BSTC_REQUIRE(link.rank >= 0 && link.rank < nodes && link.rank != rank_,
+                 "net: peer link with an invalid rank");
+    BSTC_REQUIRE(link.socket.valid(), "net: peer link with a closed socket");
+  }
+  rx_threads_.reserve(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    rx_threads_.emplace_back([this, i] { receive_loop(i); });
+  }
+  progress_thread_ = std::thread([this] { progress_loop(); });
+}
+
+NetTransport::~NetTransport() {
+  try {
+    shutdown("transport destroyed");
+  } catch (...) {
+    // Teardown must not throw; failures were already reported to waiters.
+  }
+}
+
+PeerLink& NetTransport::link_of(int peer) {
+  for (PeerLink& link : links_) {
+    if (link.rank == peer) return link;
+  }
+  throw Error("net: no link to rank " + std::to_string(peer));
+}
+
+void NetTransport::send(int from, int to, std::uint64_t key, Tile tile) {
+  BSTC_REQUIRE(from == rank_,
+               "net: a rank may only send its own messages (from=" +
+                   std::to_string(from) + ", rank=" + std::to_string(rank_) +
+                   ")");
+  recorder_.record(from, to, static_cast<double>(tile.bytes()));
+  if (to == rank_) {
+    mailbox(rank_).deliver(key, std::move(tile));
+    return;
+  }
+  post(to, encode_tile(FrameType::kTile, key, tile));
+}
+
+void NetTransport::send_c_tile(int home, std::uint64_t key, const Tile& tile) {
+  BSTC_REQUIRE(home != rank_, "net: C tile already at home");
+  recorder_.record(rank_, home, static_cast<double>(tile.bytes()));
+  {
+    std::lock_guard lock(stats_mutex_);
+    c_wire_bytes_ += static_cast<double>(tile.bytes());
+  }
+  post(home, encode_tile(FrameType::kCTile, key, tile));
+}
+
+void NetTransport::post(int peer, Frame frame) {
+  link_of(peer);  // validate early, outside the progress thread
+  std::lock_guard lock(tx_mutex_);
+  if (failed_.load()) throw Error("net: transport failed");
+  BSTC_REQUIRE(!tx_stop_, "net: send after shutdown");
+  tx_queue_.emplace_back(peer, std::move(frame));
+  tx_cv_.notify_one();
+}
+
+std::pair<int, Frame> NetTransport::wait_frame(FrameType type) {
+  std::unique_lock lock(rx_mutex_);
+  rx_cv_.wait(lock, [&] { return failed_.load() || !parked_[type].empty(); });
+  auto& queue = parked_[type];
+  if (queue.empty()) {
+    throw Error("net: transport failed while waiting for a " +
+                std::string(frame_type_name(type)) + " frame: " +
+                fail_reason_);
+  }
+  std::pair<int, Frame> out = std::move(queue.front());
+  queue.pop_front();
+  return out;
+}
+
+void NetTransport::barrier(std::uint32_t epoch) {
+  for (const PeerLink& link : links_) {
+    post(link.rank, encode_barrier(epoch));
+  }
+  // Tokens of later epochs can overtake a slow peer's current token (a
+  // fast peer may already have advanced); count per epoch.
+  std::size_t seen = 0;
+  while (seen < links_.size()) {
+    const auto [peer, frame] = wait_frame(FrameType::kBarrier);
+    (void)peer;
+    const std::uint32_t got = decode_barrier(frame);
+    if (got == epoch) {
+      ++seen;
+    } else {
+      BSTC_REQUIRE(got > epoch, "net: barrier token from a past epoch");
+      barrier_ahead_[got] += 1;
+    }
+  }
+  const auto it = barrier_ahead_.find(epoch);
+  if (it != barrier_ahead_.end()) barrier_ahead_.erase(it);
+}
+
+double NetTransport::c_wire_bytes() const {
+  std::lock_guard lock(stats_mutex_);
+  return c_wire_bytes_;
+}
+
+void NetTransport::shutdown(const std::string& reason) {
+  {
+    std::lock_guard lock(rx_mutex_);
+    if (shutting_down_) return;
+    shutting_down_ = true;
+  }
+  {
+    std::lock_guard lock(tx_mutex_);
+    if (!failed_.load()) {
+      for (const PeerLink& link : links_) {
+        tx_queue_.emplace_back(link.rank, encode_shutdown(reason));
+      }
+    }
+    tx_stop_ = true;
+    tx_cv_.notify_all();
+  }
+  if (progress_thread_.joinable()) progress_thread_.join();
+  // Cut both directions: the write FIN lets the peer's reader finish, and
+  // the local read shutdown wakes our own receiver threads even if the
+  // peer never sends its kShutdown — teardown must not depend on the
+  // peer's progress. Callers synchronize (barrier) before shutting down,
+  // so anything still in flight here is already protocol-complete.
+  for (PeerLink& link : links_) link.socket.shutdown_both();
+  for (std::thread& t : rx_threads_) {
+    if (t.joinable()) t.join();
+  }
+  for (PeerLink& link : links_) link.socket.close();
+}
+
+void NetTransport::fail(const std::string& reason) {
+  {
+    std::lock_guard lock(rx_mutex_);
+    if (failed_.exchange(true)) return;  // first failure wins
+    fail_reason_ = reason;
+  }
+  {
+    // Stop the progress thread; anything still queued cannot be trusted
+    // to reach its peer, and send() now throws to abort the engine.
+    std::lock_guard lock(tx_mutex_);
+    tx_stop_ = true;
+    tx_cv_.notify_all();
+  }
+  rx_cv_.notify_all();
+  mailbox(rank_).poison(reason);
+}
+
+void NetTransport::progress_loop() {
+  while (true) {
+    std::pair<int, Frame> item;
+    {
+      std::unique_lock lock(tx_mutex_);
+      tx_cv_.wait(lock, [&] { return tx_stop_ || !tx_queue_.empty(); });
+      if (tx_queue_.empty()) return;  // tx_stop_ and fully drained
+      if (failed_.load()) return;     // drop the queue on failure
+      item = std::move(tx_queue_.front());
+      tx_queue_.pop_front();
+    }
+    try {
+      send_frame(link_of(item.first).socket, item.second, counters_);
+    } catch (const std::exception& e) {
+      {
+        // During orderly shutdown the peer may already have cut its link
+        // (SHUT_RDWR races both ways); an EPIPE on our goodbye frame is
+        // expected then, not a failure to poison waiters over.
+        std::lock_guard lock(rx_mutex_);
+        if (shutting_down_) return;
+      }
+      fail(std::string("send to rank ") + std::to_string(item.first) +
+           " failed: " + e.what());
+      return;
+    }
+  }
+}
+
+void NetTransport::receive_loop(std::size_t link_index) {
+  PeerLink& link = links_[link_index];
+  try {
+    while (true) {
+      std::optional<Frame> frame = recv_frame(link.socket, counters_);
+      if (!frame.has_value()) {
+        std::unique_lock lock(rx_mutex_);
+        if (!shutting_down_ && !failed_.load()) {
+          lock.unlock();
+          fail("rank " + std::to_string(link.rank) +
+               " closed its link unexpectedly");
+        }
+        return;
+      }
+      if (frame->type == FrameType::kShutdown) return;  // orderly peer exit
+      if (frame->type == FrameType::kTile) {
+        TileMsg msg = decode_tile(*frame);
+        mailbox(rank_).deliver(msg.key, std::move(msg.tile));
+        continue;
+      }
+      {
+        std::lock_guard lock(rx_mutex_);
+        parked_[frame->type].emplace_back(link.rank, std::move(*frame));
+      }
+      rx_cv_.notify_all();
+    }
+  } catch (const std::exception& e) {
+    fail("link to rank " + std::to_string(link.rank) + ": " + e.what());
+  }
+}
+
+}  // namespace bstc::net

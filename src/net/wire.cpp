@@ -1,0 +1,322 @@
+#include "net/wire.hpp"
+
+namespace bstc::net {
+
+const char* frame_type_name(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kWelcome: return "welcome";
+    case FrameType::kTile: return "tile";
+    case FrameType::kCTile: return "ctile";
+    case FrameType::kCDone: return "cdone";
+    case FrameType::kGather: return "gather";
+    case FrameType::kGatherDone: return "gatherdone";
+    case FrameType::kBarrier: return "barrier";
+    case FrameType::kSummary: return "summary";
+    case FrameType::kVerdict: return "verdict";
+    case FrameType::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+std::uint64_t wire_checksum(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+namespace {
+
+bool valid_frame_type(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         raw <= static_cast<std::uint8_t>(FrameType::kShutdown);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  BSTC_REQUIRE(frame.payload.size() <= kMaxPayloadBytes,
+               "wire: payload exceeds the frame size limit");
+  const auto len = static_cast<std::uint32_t>(frame.payload.size());
+  std::vector<std::uint8_t> out;
+  out.reserve(kWireHeaderBytes + frame.payload.size() + kWireChecksumBytes);
+  const std::uint32_t magic = kWireMagic;
+  out.resize(kWireHeaderBytes);
+  std::memcpy(out.data(), &magic, 4);
+  out[4] = kWireVersion;
+  out[5] = static_cast<std::uint8_t>(frame.type);
+  out[6] = 0;
+  out[7] = 0;
+  std::memcpy(out.data() + 8, &len, 4);
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  const std::uint64_t sum = wire_checksum(out.data(), out.size());
+  const std::size_t pos = out.size();
+  out.resize(pos + kWireChecksumBytes);
+  std::memcpy(out.data() + pos, &sum, 8);
+  return out;
+}
+
+Frame decode_frame(const std::uint8_t* data, std::size_t size) {
+  BSTC_REQUIRE(size >= kWireHeaderBytes + kWireChecksumBytes,
+               "wire: truncated frame (shorter than header + checksum)");
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, data, 4);
+  BSTC_REQUIRE(magic == kWireMagic, "wire: bad magic");
+  BSTC_REQUIRE(data[4] == kWireVersion, "wire: unsupported protocol version");
+  BSTC_REQUIRE(valid_frame_type(data[5]), "wire: unknown frame type");
+  BSTC_REQUIRE(data[6] == 0 && data[7] == 0, "wire: nonzero reserved flags");
+  std::uint32_t len = 0;
+  std::memcpy(&len, data + 8, 4);
+  BSTC_REQUIRE(len <= kMaxPayloadBytes, "wire: payload length exceeds limit");
+  const std::size_t expect = kWireHeaderBytes + len + kWireChecksumBytes;
+  BSTC_REQUIRE(size >= expect, "wire: truncated frame (payload cut short)");
+  BSTC_REQUIRE(size == expect, "wire: trailing bytes after frame");
+  std::uint64_t sum = 0;
+  std::memcpy(&sum, data + kWireHeaderBytes + len, 8);
+  const std::uint64_t actual = wire_checksum(data, kWireHeaderBytes + len);
+  BSTC_REQUIRE(sum == actual, "wire: checksum mismatch (corrupted frame)");
+  Frame frame;
+  frame.type = static_cast<FrameType>(data[5]);
+  frame.payload.assign(data + kWireHeaderBytes, data + kWireHeaderBytes + len);
+  return frame;
+}
+
+// ---------------------------------------------------------------------------
+
+void WireWriter::str(const std::string& s) {
+  BSTC_REQUIRE(s.size() <= kMaxPayloadBytes, "wire: string too long");
+  u32(static_cast<std::uint32_t>(s.size()));
+  raw(s.data(), s.size());
+}
+
+void WireWriter::raw(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + size);
+}
+
+std::uint8_t WireReader::u8() {
+  std::uint8_t v = 0;
+  raw(&v, sizeof v);
+  return v;
+}
+std::uint16_t WireReader::u16() {
+  std::uint16_t v = 0;
+  raw(&v, sizeof v);
+  return v;
+}
+std::uint32_t WireReader::u32() {
+  std::uint32_t v = 0;
+  raw(&v, sizeof v);
+  return v;
+}
+std::uint64_t WireReader::u64() {
+  std::uint64_t v = 0;
+  raw(&v, sizeof v);
+  return v;
+}
+double WireReader::f64() {
+  double v = 0;
+  raw(&v, sizeof v);
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t len = u32();
+  BSTC_REQUIRE(len <= remaining(), "wire: truncated string");
+  std::string s(len, '\0');
+  raw(s.data(), len);
+  return s;
+}
+
+void WireReader::raw(void* out, std::size_t size) {
+  BSTC_REQUIRE(size <= remaining(), "wire: truncated payload");
+  std::memcpy(out, data_ + pos_, size);
+  pos_ += size;
+}
+
+void WireReader::finish() const {
+  BSTC_REQUIRE(pos_ == size_, "wire: trailing bytes in payload");
+}
+
+// ---------------------------------------------------------------------------
+
+Frame encode_tile(FrameType type, std::uint64_t key, const Tile& tile) {
+  WireWriter w;
+  w.u64(key);
+  w.u32(static_cast<std::uint32_t>(tile.rows()));
+  w.u32(static_cast<std::uint32_t>(tile.cols()));
+  w.raw(tile.data(), tile.bytes());
+  return Frame{type, w.take()};
+}
+
+TileMsg decode_tile(const Frame& frame) {
+  WireReader r(frame.payload);
+  TileMsg msg;
+  msg.key = r.u64();
+  const auto rows = static_cast<Index>(r.u32());
+  const auto cols = static_cast<Index>(r.u32());
+  BSTC_REQUIRE(static_cast<std::uint64_t>(rows) *
+                       static_cast<std::uint64_t>(cols) * sizeof(double) ==
+                   r.remaining(),
+               "wire: tile extents disagree with payload size");
+  msg.tile = Tile(rows, cols);
+  r.raw(msg.tile.data(), msg.tile.bytes());
+  r.finish();
+  return msg;
+}
+
+Frame encode_hello(const HelloMsg& msg) {
+  WireWriter w;
+  w.u32(msg.rank);
+  w.u32(msg.np);
+  w.u16(msg.listen_port);
+  w.u64(msg.fingerprint);
+  return Frame{FrameType::kHello, w.take()};
+}
+
+HelloMsg decode_hello(const Frame& frame) {
+  BSTC_REQUIRE(frame.type == FrameType::kHello, "wire: expected hello frame");
+  WireReader r(frame.payload);
+  HelloMsg msg;
+  msg.rank = r.u32();
+  msg.np = r.u32();
+  msg.listen_port = r.u16();
+  msg.fingerprint = r.u64();
+  r.finish();
+  return msg;
+}
+
+Frame encode_welcome(const WelcomeMsg& msg) {
+  WireWriter w;
+  w.u32(msg.rank);
+  w.u32(msg.np);
+  w.u32(static_cast<std::uint32_t>(msg.peers.size()));
+  for (const auto& [host, port] : msg.peers) {
+    w.str(host);
+    w.u16(port);
+  }
+  return Frame{FrameType::kWelcome, w.take()};
+}
+
+WelcomeMsg decode_welcome(const Frame& frame) {
+  BSTC_REQUIRE(frame.type == FrameType::kWelcome,
+               "wire: expected welcome frame");
+  WireReader r(frame.payload);
+  WelcomeMsg msg;
+  msg.rank = r.u32();
+  msg.np = r.u32();
+  const std::uint32_t count = r.u32();
+  msg.peers.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string host = r.str();
+    const std::uint16_t port = r.u16();
+    msg.peers.emplace_back(std::move(host), port);
+  }
+  r.finish();
+  return msg;
+}
+
+Frame encode_count(FrameType type, std::uint64_t count) {
+  WireWriter w;
+  w.u64(count);
+  return Frame{type, w.take()};
+}
+
+std::uint64_t decode_count(const Frame& frame, FrameType expected) {
+  BSTC_REQUIRE(frame.type == expected, "wire: unexpected control frame type");
+  WireReader r(frame.payload);
+  const std::uint64_t count = r.u64();
+  r.finish();
+  return count;
+}
+
+Frame encode_barrier(std::uint32_t epoch) {
+  WireWriter w;
+  w.u32(epoch);
+  return Frame{FrameType::kBarrier, w.take()};
+}
+
+std::uint32_t decode_barrier(const Frame& frame) {
+  BSTC_REQUIRE(frame.type == FrameType::kBarrier,
+               "wire: expected barrier frame");
+  WireReader r(frame.payload);
+  const std::uint32_t epoch = r.u32();
+  r.finish();
+  return epoch;
+}
+
+Frame encode_summary(const SummaryMsg& msg) {
+  WireWriter w;
+  w.u32(msg.rank);
+  w.f64(msg.a_wire_bytes);
+  w.f64(msg.c_wire_bytes);
+  w.u64(msg.frames_sent);
+  w.u64(msg.frames_received);
+  w.u64(msg.connect_retries);
+  w.u64(msg.reconnects);
+  w.u64(static_cast<std::uint64_t>(msg.tasks_executed));
+  w.f64(msg.engine_seconds);
+  return Frame{FrameType::kSummary, w.take()};
+}
+
+SummaryMsg decode_summary(const Frame& frame) {
+  BSTC_REQUIRE(frame.type == FrameType::kSummary,
+               "wire: expected summary frame");
+  WireReader r(frame.payload);
+  SummaryMsg msg;
+  msg.rank = r.u32();
+  msg.a_wire_bytes = r.f64();
+  msg.c_wire_bytes = r.f64();
+  msg.frames_sent = r.u64();
+  msg.frames_received = r.u64();
+  msg.connect_retries = r.u64();
+  msg.reconnects = r.u64();
+  msg.tasks_executed = static_cast<std::size_t>(r.u64());
+  msg.engine_seconds = r.f64();
+  r.finish();
+  return msg;
+}
+
+Frame encode_verdict(const VerdictMsg& msg) {
+  WireWriter w;
+  w.u8(msg.bitwise_identical ? 1 : 0);
+  w.f64(msg.max_abs_diff);
+  w.f64(msg.stats_a_network_bytes);
+  w.f64(msg.stats_c_network_bytes);
+  w.f64(msg.c_norm);
+  return Frame{FrameType::kVerdict, w.take()};
+}
+
+VerdictMsg decode_verdict(const Frame& frame) {
+  BSTC_REQUIRE(frame.type == FrameType::kVerdict,
+               "wire: expected verdict frame");
+  WireReader r(frame.payload);
+  VerdictMsg msg;
+  msg.bitwise_identical = r.u8() != 0;
+  msg.max_abs_diff = r.f64();
+  msg.stats_a_network_bytes = r.f64();
+  msg.stats_c_network_bytes = r.f64();
+  msg.c_norm = r.f64();
+  r.finish();
+  return msg;
+}
+
+Frame encode_shutdown(const std::string& reason) {
+  WireWriter w;
+  w.str(reason);
+  return Frame{FrameType::kShutdown, w.take()};
+}
+
+std::string decode_shutdown(const Frame& frame) {
+  BSTC_REQUIRE(frame.type == FrameType::kShutdown,
+               "wire: expected shutdown frame");
+  WireReader r(frame.payload);
+  std::string reason = r.str();
+  r.finish();
+  return reason;
+}
+
+}  // namespace bstc::net

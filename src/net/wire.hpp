@@ -1,0 +1,211 @@
+#pragma once
+
+/// \file wire.hpp
+/// The BSTC wire protocol: length-prefixed, checksummed frames.
+///
+/// Every message between two rank processes (and between a worker and the
+/// launch rendezvous) is one frame:
+///
+///   offset  size  field
+///   0       4     magic 0x42535443 ("BSTC", big-endian in memory)
+///   4       1     protocol version (kWireVersion)
+///   5       1     frame type (FrameType)
+///   6       2     reserved flags (must be 0)
+///   8       4     payload length, little-endian
+///   12      len   payload
+///   12+len  8     FNV-1a 64 checksum of header + payload, little-endian
+///
+/// The checksum covers the header too, so a flipped type or length byte is
+/// rejected, not just payload corruption. Payloads are packed little-endian
+/// (the only platforms we run on); a static_assert below keeps a big-endian
+/// port from silently mis-decoding.
+///
+/// Tile payloads carry the raw column-major doubles of the tile — the
+/// receiver reconstructs the exact bits that were sent, which is what makes
+/// the distributed executor's result bitwise-comparable to the
+/// single-process one.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "tile/tile.hpp"
+
+namespace bstc::net {
+
+static_assert(std::endian::native == std::endian::little,
+              "the BSTC wire format is little-endian");
+
+inline constexpr std::uint32_t kWireMagic = 0x42535443u;  // "BSTC"
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kWireHeaderBytes = 12;
+inline constexpr std::size_t kWireChecksumBytes = 8;
+/// Upper bound on one payload: a guard against a corrupted length field
+/// allocating gigabytes, far above any tile we ship.
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 28;
+
+/// Every kind of frame the runtime exchanges.
+enum class FrameType : std::uint8_t {
+  kHello = 1,     ///< worker -> rendezvous / peer identification
+  kWelcome = 2,   ///< rendezvous -> worker: rank assignment + peer table
+  kTile = 3,      ///< an A tile of the background row broadcast
+  kCTile = 4,     ///< a computed C tile returning to its home rank
+  kCDone = 5,     ///< "all my C returns are sent" (count attached)
+  kGather = 6,    ///< a home-owned C tile travelling to rank 0
+  kGatherDone = 7,///< end of a rank's gather stream
+  kBarrier = 8,   ///< full-mesh barrier token
+  kSummary = 9,   ///< worker -> launcher: per-rank traffic report
+  kVerdict = 10,  ///< rank 0 -> launcher: correctness + accounting verdict
+  kShutdown = 11, ///< orderly teardown (reason attached)
+};
+
+const char* frame_type_name(FrameType type);
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kShutdown;
+  std::vector<std::uint8_t> payload;
+};
+
+/// FNV-1a 64 over a byte range (the frame checksum).
+std::uint64_t wire_checksum(const std::uint8_t* data, std::size_t size);
+
+/// Encode a frame into its on-wire bytes.
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Decode one complete frame from `data`; the buffer must contain exactly
+/// one frame. Throws bstc::Error on a bad magic/version/length, a
+/// truncated buffer, trailing bytes, or a checksum mismatch.
+Frame decode_frame(const std::uint8_t* data, std::size_t size);
+inline Frame decode_frame(const std::vector<std::uint8_t>& bytes) {
+  return decode_frame(bytes.data(), bytes.size());
+}
+
+// ---------------------------------------------------------------------------
+// Payload packing primitives.
+
+/// Append-only little-endian payload builder.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, sizeof v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void str(const std::string& s);
+  void raw(const void* data, std::size_t size);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked payload reader; every accessor throws bstc::Error on a
+/// truncated payload, and finish() rejects trailing garbage.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<std::uint8_t>& payload)
+      : WireReader(payload.data(), payload.size()) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+  void raw(void* out, std::size_t size);
+
+  std::size_t remaining() const { return size_ - pos_; }
+  /// Assert the payload was fully consumed.
+  void finish() const;
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Message serializers.
+
+/// A keyed tile message (FrameType::kTile / kCTile / kGather). The key is
+/// the engine's (row << 32 | col) tile key.
+struct TileMsg {
+  std::uint64_t key = 0;
+  Tile tile;
+};
+
+Frame encode_tile(FrameType type, std::uint64_t key, const Tile& tile);
+TileMsg decode_tile(const Frame& frame);
+
+/// Rank identification, sent as the first frame on every connection.
+struct HelloMsg {
+  std::uint32_t rank = 0;         ///< kUnassignedRank when joining rendezvous
+  std::uint32_t np = 0;           ///< 0 when unknown (rendezvous assigns)
+  std::uint16_t listen_port = 0;  ///< the sender's mesh accept port
+  std::uint64_t fingerprint = 0;  ///< problem/plan fingerprint (must agree)
+};
+inline constexpr std::uint32_t kUnassignedRank = 0xffffffffu;
+
+Frame encode_hello(const HelloMsg& msg);
+HelloMsg decode_hello(const Frame& frame);
+
+/// Rendezvous reply: the worker's rank and where every peer listens.
+struct WelcomeMsg {
+  std::uint32_t rank = 0;
+  std::uint32_t np = 0;
+  std::vector<std::pair<std::string, std::uint16_t>> peers;  ///< by rank
+};
+
+Frame encode_welcome(const WelcomeMsg& msg);
+WelcomeMsg decode_welcome(const Frame& frame);
+
+/// Count-carrying control frames (kCDone / kGatherDone) and barriers.
+Frame encode_count(FrameType type, std::uint64_t count);
+std::uint64_t decode_count(const Frame& frame, FrameType expected);
+
+Frame encode_barrier(std::uint32_t epoch);
+std::uint32_t decode_barrier(const Frame& frame);
+
+/// Per-worker traffic report sent to the launcher after the run.
+struct SummaryMsg {
+  std::uint32_t rank = 0;
+  double a_wire_bytes = 0.0;  ///< A-broadcast payload bytes this rank sent
+  double c_wire_bytes = 0.0;  ///< C-return payload bytes this rank sent
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t connect_retries = 0;
+  std::uint64_t reconnects = 0;
+  std::size_t tasks_executed = 0;
+  double engine_seconds = 0.0;
+};
+
+Frame encode_summary(const SummaryMsg& msg);
+SummaryMsg decode_summary(const Frame& frame);
+
+/// Rank 0's verdict: distributed C vs the single-process engine, plus the
+/// analytic communication volumes of the plan for the launcher to check
+/// measured wire traffic against.
+struct VerdictMsg {
+  bool bitwise_identical = false;
+  double max_abs_diff = 0.0;
+  double stats_a_network_bytes = 0.0;
+  double stats_c_network_bytes = 0.0;
+  double c_norm = 0.0;
+};
+
+Frame encode_verdict(const VerdictMsg& msg);
+VerdictMsg decode_verdict(const Frame& frame);
+
+Frame encode_shutdown(const std::string& reason);
+std::string decode_shutdown(const Frame& frame);
+
+}  // namespace bstc::net

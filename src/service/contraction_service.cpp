@@ -357,6 +357,7 @@ ServiceMetrics ContractionService::metrics() const {
   std::lock_guard lock(mutex_);
   ServiceMetrics out = metrics_;
   out.plan_cache = cache_.stats();
+  out.wire = net::global_wire_counters().snapshot();
   return out;
 }
 

@@ -23,6 +23,15 @@ TextTable metrics_table(const ServiceMetrics& m) {
   count("sessions opened", m.sessions_opened);
   count("sessions closed", m.sessions_closed);
   count("session iterations", m.iterations);
+  count("wire frames sent", static_cast<std::size_t>(m.wire.frames_sent));
+  count("wire frames received",
+        static_cast<std::size_t>(m.wire.frames_received));
+  count("wire bytes sent", static_cast<std::size_t>(m.wire.bytes_sent));
+  count("wire bytes received",
+        static_cast<std::size_t>(m.wire.bytes_received));
+  count("wire connect retries",
+        static_cast<std::size_t>(m.wire.connect_retries));
+  count("wire reconnects", static_cast<std::size_t>(m.wire.reconnects));
   duration("mean queue wait", m.mean_queue_wait_s());
   duration("max queue wait", m.max_queue_wait_s);
   duration("total inspect", m.total_inspect_s);

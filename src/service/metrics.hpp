@@ -6,6 +6,7 @@
 
 #include <cstddef>
 
+#include "net/counters.hpp"
 #include "service/plan_cache.hpp"
 #include "support/table.hpp"
 
@@ -26,6 +27,11 @@ struct ServiceMetrics {
   std::size_t sessions_opened = 0;
   std::size_t sessions_closed = 0;
   std::size_t iterations = 0;  ///< session iterate() executions
+
+  // Wire-level traffic of this process (frames, bytes, connect retries,
+  // reconnects) — the network layer's view, taken from the global
+  // WireCounters at snapshot time. All zero when no net transport ran.
+  net::WireCounterSnapshot wire;
 
   // Timing aggregates over completed work (seconds).
   double total_queue_wait_s = 0.0;

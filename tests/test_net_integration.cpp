@@ -1,0 +1,148 @@
+/// End-to-end test of the multi-process runtime: a 2x2 grid as four real
+/// OS processes on TCP loopback, checked *bitwise* against the
+/// single-process engine, with wire byte counts checked *exactly*
+/// against the analytic plan statistics.
+///
+/// Workers are fork()ed from the (single-threaded at this point) test
+/// process and run run_worker() directly — the same code path
+/// `bstc_cli launch` drives through exec.
+
+#include <gtest/gtest.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <vector>
+
+#include "net/launch.hpp"
+#include "support/error.hpp"
+
+namespace bstc::net {
+namespace {
+
+struct Child {
+  pid_t pid = -1;
+  bool reaped = false;
+  int status = 0;
+};
+
+/// fork() a worker that runs `spec` against the rendezvous and exits
+/// with run_worker's code (or 3 on an exception).
+void spawn_worker(std::vector<Child>& children, const NetProblemSpec& spec,
+                  const std::string& host, std::uint16_t port) {
+  const pid_t pid = fork();
+  if (pid < 0) throw Error("fork failed");
+  if (pid == 0) {
+    int rc = 3;
+    try {
+      WorkerOptions w;
+      w.host = host;
+      w.port = port;
+      w.spec = spec;
+      rc = run_worker(w);
+    } catch (...) {
+      rc = 3;
+    }
+    _exit(rc);
+  }
+  children.push_back(Child{pid, false, 0});
+}
+
+int poll_dead(std::vector<Child>& children) {
+  int dead = 0;
+  for (Child& c : children) {
+    if (!c.reaped && waitpid(c.pid, &c.status, WNOHANG) == c.pid) {
+      c.reaped = true;
+    }
+    if (c.reaped) ++dead;
+  }
+  return dead;
+}
+
+void reap_all(std::vector<Child>& children) {
+  for (Child& c : children) {
+    if (!c.reaped) {
+      waitpid(c.pid, &c.status, 0);
+      c.reaped = true;
+    }
+  }
+}
+
+TEST(NetIntegration, FourProcessGridMatchesSingleProcessBitwise) {
+  NetProblemSpec spec;  // defaults: 96 x 480 x 480, np = 4, p = 2
+  std::vector<Child> children;
+
+  LaunchOptions opts;
+  opts.spec = spec;
+  LaunchReport report;
+  try {
+    report = run_launcher(
+        opts,
+        [&](const std::string& host, std::uint16_t port, int) {
+          spawn_worker(children, spec, host, port);
+        },
+        [&] { return poll_dead(children); });
+  } catch (...) {
+    reap_all(children);
+    throw;
+  }
+  reap_all(children);
+
+  ASSERT_EQ(children.size(), 4u);
+  for (const Child& c : children) {
+    EXPECT_TRUE(WIFEXITED(c.status));
+    EXPECT_EQ(WEXITSTATUS(c.status), 0);
+  }
+
+  // The distributed C is bit-for-bit the single-process engine's C.
+  EXPECT_TRUE(report.verdict.bitwise_identical);
+  EXPECT_EQ(report.verdict.max_abs_diff, 0.0);
+  EXPECT_GT(report.verdict.c_norm, 0.0);
+
+  // Wire bytes, summed over ranks, equal the plan statistics *exactly* —
+  // whole tiles of integer byte counts, no tolerance.
+  EXPECT_GT(report.total_a_wire_bytes, 0.0);
+  EXPECT_GT(report.total_c_wire_bytes, 0.0);
+  EXPECT_EQ(report.total_a_wire_bytes, report.verdict.stats_a_network_bytes);
+  EXPECT_EQ(report.total_c_wire_bytes, report.verdict.stats_c_network_bytes);
+  EXPECT_TRUE(report.bytes_match);
+  EXPECT_TRUE(report.ok);
+
+  // Every rank computed a share and reported wire activity.
+  ASSERT_EQ(report.summaries.size(), 4u);
+  for (const SummaryMsg& s : report.summaries) {
+    EXPECT_GT(s.tasks_executed, 0u);
+    EXPECT_GT(s.frames_sent, 0u);
+    EXPECT_GT(s.frames_received, 0u);
+  }
+}
+
+TEST(NetIntegration, RendezvousRejectsMismatchedProblems) {
+  // A worker built from different flags must be caught at rendezvous by
+  // the fingerprint cross-check, not discovered as garbage results.
+  NetProblemSpec launcher_spec;
+  launcher_spec.np = 1;
+  launcher_spec.p = 1;
+  NetProblemSpec worker_spec = launcher_spec;
+  worker_spec.seed = 43;  // drift
+
+  std::vector<Child> children;
+  LaunchOptions opts;
+  opts.spec = launcher_spec;
+  EXPECT_THROW(
+      run_launcher(
+          opts,
+          [&](const std::string& host, std::uint16_t port, int) {
+            spawn_worker(children, worker_spec, host, port);
+          },
+          [&] { return poll_dead(children); }),
+      Error);
+  reap_all(children);
+  ASSERT_EQ(children.size(), 1u);
+  // The worker also exits nonzero (rendezvous socket closes on it).
+  EXPECT_TRUE(WIFEXITED(children[0].status));
+  EXPECT_NE(WEXITSTATUS(children[0].status), 0);
+}
+
+}  // namespace
+}  // namespace bstc::net

@@ -1,0 +1,148 @@
+/// Tests for NetTransport over real socket pairs: the deliver/wait
+/// contract across a wire, control-frame parking, barriers, byte
+/// accounting, and peer-failure poisoning.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "net/net_transport.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace bstc::net {
+namespace {
+
+/// A connected pair of rank-0 / rank-1 transports over an OS socket pair.
+struct LoopbackPair {
+  WireCounters counters0, counters1;
+  std::unique_ptr<NetTransport> t0, t1;
+
+  LoopbackPair() {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      throw Error("socketpair failed");
+    }
+    std::vector<PeerLink> l0;
+    l0.push_back(PeerLink{1, Socket(fds[0])});
+    t0 = std::make_unique<NetTransport>(2, 0, std::move(l0), &counters0);
+    std::vector<PeerLink> l1;
+    l1.push_back(PeerLink{0, Socket(fds[1])});
+    t1 = std::make_unique<NetTransport>(2, 1, std::move(l1), &counters1);
+  }
+};
+
+TEST(NetTransport, RemoteSendDeliversBitwise) {
+  LoopbackPair pair;
+  Rng rng(3);
+  Tile tile(7, 5);
+  tile.fill_random(rng);
+  const Tile original = tile;  // keep the exact bits
+  pair.t0->send(0, 1, 42, std::move(tile));
+
+  const Tile& got = pair.t1->mailbox(1).wait(42);
+  ASSERT_EQ(got.rows(), original.rows());
+  ASSERT_EQ(got.cols(), original.cols());
+  EXPECT_EQ(std::memcmp(got.data(), original.data(), original.bytes()), 0);
+  // Payload bytes recorded exactly as the in-process transport would.
+  EXPECT_DOUBLE_EQ(pair.t0->recorder().total_bytes(),
+                   static_cast<double>(original.bytes()));
+  // The tx progress thread bumps its counter only after the kernel accepts
+  // the bytes, so the receiver can observe delivery first; poll briefly.
+  for (int i = 0; i < 2000 && pair.counters0.snapshot().frames_sent == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(pair.counters0.snapshot().frames_sent, 1u);
+  EXPECT_GE(pair.counters1.snapshot().frames_received, 1u);
+}
+
+TEST(NetTransport, LocalSendNeverTouchesTheWire) {
+  LoopbackPair pair;
+  pair.t0->send(0, 0, 7, Tile(2, 2));
+  EXPECT_TRUE(pair.t0->mailbox(0).contains(7));
+  EXPECT_EQ(pair.counters0.snapshot().frames_sent, 0u);
+  // A rank may only originate its own messages.
+  EXPECT_THROW(pair.t0->send(1, 0, 8, Tile(1, 1)), Error);
+}
+
+TEST(NetTransport, ControlFramesParkByType) {
+  LoopbackPair pair;
+  pair.t0->post(1, encode_count(FrameType::kCDone, 11));
+  pair.t0->post(1, encode_count(FrameType::kGatherDone, 22));
+  // Waiting for the *second* type first proves frames park per type
+  // rather than forming one FIFO.
+  const auto [peer_g, frame_g] = pair.t1->wait_frame(FrameType::kGatherDone);
+  EXPECT_EQ(peer_g, 0);
+  EXPECT_EQ(decode_count(frame_g, FrameType::kGatherDone), 22u);
+  const auto [peer_c, frame_c] = pair.t1->wait_frame(FrameType::kCDone);
+  EXPECT_EQ(peer_c, 0);
+  EXPECT_EQ(decode_count(frame_c, FrameType::kCDone), 11u);
+}
+
+TEST(NetTransport, CTilesTravelOutsideTheMailbox) {
+  LoopbackPair pair;
+  Rng rng(9);
+  Tile c(4, 3);
+  c.fill_random(rng);
+  pair.t1->send_c_tile(0, 5, c);
+  const auto [peer, frame] = pair.t0->wait_frame(FrameType::kCTile);
+  EXPECT_EQ(peer, 1);
+  const TileMsg msg = decode_tile(frame);
+  EXPECT_EQ(msg.key, 5u);
+  EXPECT_EQ(std::memcmp(msg.tile.data(), c.data(), c.bytes()), 0);
+  // C returns are payload-accounted (CommRecorder) and tracked as the C
+  // share so A/C traffic can be split exactly.
+  EXPECT_DOUBLE_EQ(pair.t1->c_wire_bytes(), static_cast<double>(c.bytes()));
+  EXPECT_DOUBLE_EQ(pair.t1->recorder().total_bytes(),
+                   static_cast<double>(c.bytes()));
+  // The A-tile mailbox never saw it: keys (i,j) of C could collide with
+  // keys (i,k) of A, so C travels on its own frame type.
+  EXPECT_FALSE(pair.t0->mailbox(0).contains(5));
+}
+
+TEST(NetTransport, BarrierSynchronizesBothRanks) {
+  LoopbackPair pair;
+  std::thread other([&] {
+    pair.t1->barrier(1);
+    pair.t1->barrier(2);
+  });
+  pair.t0->barrier(1);
+  pair.t0->barrier(2);
+  other.join();
+  SUCCEED();
+}
+
+TEST(NetTransport, PeerDeathPoisonsWaitersAndSends) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::vector<PeerLink> links;
+  links.push_back(PeerLink{1, Socket(fds[0])});
+  NetTransport t0(2, 0, std::move(links), nullptr);
+  ::close(fds[1]);  // the peer dies without an orderly shutdown
+
+  // A stalled consumer aborts with an Error instead of hanging forever.
+  EXPECT_THROW(t0.mailbox(0).wait(1), Error);
+  EXPECT_THROW(t0.wait_frame(FrameType::kCDone), Error);
+  // After the failure surfaced, new sends are refused.
+  EXPECT_THROW(t0.send(0, 1, 2, Tile(1, 1)), Error);
+}
+
+TEST(NetTransport, OrderlyShutdownIsSilent) {
+  LoopbackPair pair;
+  pair.t0->send(0, 1, 1, Tile(3, 3));
+  (void)pair.t1->mailbox(1).wait(1);
+  pair.t0->shutdown("done");
+  pair.t1->shutdown("done");
+  // After shutdown the peer's EOF is expected: no poison, no failure.
+  EXPECT_FALSE(pair.t1->mailbox(1).poisoned());
+  EXPECT_FALSE(pair.t0->mailbox(0).poisoned());
+}
+
+}  // namespace
+}  // namespace bstc::net

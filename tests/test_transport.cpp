@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include "comm/transport.hpp"
@@ -44,6 +45,30 @@ TEST(Transport, DuplicateKeyRejected) {
   transport.send(0, 0, 1, Tile(1, 1));
   EXPECT_THROW(transport.send(0, 0, 1, Tile(1, 1)), Error);
   EXPECT_THROW(transport.mailbox(3), Error);
+}
+
+TEST(Transport, PoisonWakesAndThrowsForStalledWaiters) {
+  Transport transport(2);
+  std::string error;
+  std::thread consumer([&] {
+    try {
+      transport.mailbox(1).wait(99);  // never delivered
+    } catch (const Error& e) {
+      error = e.what();
+    }
+  });
+  // Poison after the consumer is (very likely) blocked; wait must wake
+  // and throw instead of hanging forever on the dead peer.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  transport.mailbox(1).poison("peer went away");
+  consumer.join();
+  EXPECT_NE(error.find("peer went away"), std::string::npos);
+  EXPECT_TRUE(transport.mailbox(1).poisoned());
+  // Already-delivered tiles stay readable; only absent keys throw.
+  transport.mailbox(0).deliver(5, Tile(1, 1));
+  transport.mailbox(0).poison("late failure");
+  EXPECT_NO_THROW(transport.mailbox(0).wait(5));
+  EXPECT_THROW(transport.mailbox(0).wait(6), Error);
 }
 
 TEST(Transport, LocalSendRecordsNoBytes) {

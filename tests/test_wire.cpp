@@ -1,0 +1,175 @@
+/// Tests for the BSTC wire protocol: binary round-trips (including
+/// degenerate tile extents), and rejection of corrupted, truncated, and
+/// trailing-garbage frames.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "net/wire.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace bstc::net {
+namespace {
+
+TEST(Wire, TileRoundTripsBitwise) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Index rows = static_cast<Index>(rng.uniform_int(1, 40));
+    const Index cols = static_cast<Index>(rng.uniform_int(1, 40));
+    Tile tile(rows, cols);
+    tile.fill_random(rng);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(trial) << 32) | 7u;
+
+    const Frame frame = encode_tile(FrameType::kTile, key, tile);
+    const std::vector<std::uint8_t> bytes = encode_frame(frame);
+    const TileMsg msg = decode_tile(decode_frame(bytes));
+
+    EXPECT_EQ(msg.key, key);
+    ASSERT_EQ(msg.tile.rows(), rows);
+    ASSERT_EQ(msg.tile.cols(), cols);
+    EXPECT_EQ(std::memcmp(msg.tile.data(), tile.data(), tile.bytes()), 0);
+  }
+}
+
+TEST(Wire, ZeroExtentFringeTilesRoundTrip) {
+  // 0-row and 0-col fringes occur for empty tilings; they must travel.
+  for (const auto& [rows, cols] : {std::pair<Index, Index>{0, 5},
+                                   std::pair<Index, Index>{5, 0},
+                                   std::pair<Index, Index>{0, 0}}) {
+    const Tile tile(rows, cols);
+    const Frame frame = encode_tile(FrameType::kCTile, 3, tile);
+    const TileMsg msg = decode_tile(decode_frame(encode_frame(frame)));
+    EXPECT_EQ(msg.tile.rows(), rows);
+    EXPECT_EQ(msg.tile.cols(), cols);
+  }
+}
+
+TEST(Wire, ControlMessagesRoundTrip) {
+  HelloMsg hello;
+  hello.rank = kUnassignedRank;
+  hello.np = 12;
+  hello.listen_port = 40123;
+  hello.fingerprint = 0xdeadbeefcafef00dull;
+  const HelloMsg h2 = decode_hello(decode_frame(
+      encode_frame(encode_hello(hello))));
+  EXPECT_EQ(h2.rank, hello.rank);
+  EXPECT_EQ(h2.np, hello.np);
+  EXPECT_EQ(h2.listen_port, hello.listen_port);
+  EXPECT_EQ(h2.fingerprint, hello.fingerprint);
+
+  WelcomeMsg welcome;
+  welcome.rank = 3;
+  welcome.np = 4;
+  welcome.peers = {{"127.0.0.1", 1111}, {"10.0.0.2", 2222},
+                   {"localhost", 3333}, {"127.0.0.1", 4444}};
+  const WelcomeMsg w2 = decode_welcome(decode_frame(
+      encode_frame(encode_welcome(welcome))));
+  EXPECT_EQ(w2.rank, welcome.rank);
+  EXPECT_EQ(w2.np, welcome.np);
+  EXPECT_EQ(w2.peers, welcome.peers);
+
+  EXPECT_EQ(decode_count(encode_count(FrameType::kCDone, 987654321ull),
+                         FrameType::kCDone),
+            987654321ull);
+  EXPECT_EQ(decode_barrier(encode_barrier(41)), 41u);
+  EXPECT_EQ(decode_shutdown(encode_shutdown("all done")), "all done");
+
+  SummaryMsg summary;
+  summary.rank = 2;
+  summary.a_wire_bytes = 123456.0;
+  summary.c_wire_bytes = 78910.0;
+  summary.frames_sent = 77;
+  summary.frames_received = 88;
+  summary.connect_retries = 3;
+  summary.reconnects = 1;
+  summary.tasks_executed = 999;
+  summary.engine_seconds = 0.125;
+  const SummaryMsg s2 = decode_summary(decode_frame(
+      encode_frame(encode_summary(summary))));
+  EXPECT_EQ(s2.rank, summary.rank);
+  EXPECT_EQ(s2.a_wire_bytes, summary.a_wire_bytes);
+  EXPECT_EQ(s2.c_wire_bytes, summary.c_wire_bytes);
+  EXPECT_EQ(s2.frames_sent, summary.frames_sent);
+  EXPECT_EQ(s2.tasks_executed, summary.tasks_executed);
+  EXPECT_EQ(s2.engine_seconds, summary.engine_seconds);
+
+  VerdictMsg verdict;
+  verdict.bitwise_identical = true;
+  verdict.max_abs_diff = 0.0;
+  verdict.stats_a_network_bytes = 42.0;
+  verdict.stats_c_network_bytes = 43.0;
+  verdict.c_norm = 3.5;
+  const VerdictMsg v2 = decode_verdict(decode_frame(
+      encode_frame(encode_verdict(verdict))));
+  EXPECT_EQ(v2.bitwise_identical, verdict.bitwise_identical);
+  EXPECT_EQ(v2.stats_a_network_bytes, verdict.stats_a_network_bytes);
+  EXPECT_EQ(v2.c_norm, verdict.c_norm);
+}
+
+TEST(Wire, CorruptedBytesAreRejected) {
+  Tile tile(6, 6);
+  Rng rng(5);
+  tile.fill_random(rng);
+  const std::vector<std::uint8_t> good =
+      encode_frame(encode_tile(FrameType::kTile, 9, tile));
+  // Flip every byte position in turn: header, payload, or checksum — any
+  // single corruption must be rejected (the checksum covers the header).
+  for (std::size_t pos = 0; pos < good.size();
+       pos += 1 + good.size() / 64) {
+    std::vector<std::uint8_t> bad = good;
+    bad[pos] ^= 0x40;
+    EXPECT_THROW(decode_frame(bad), Error) << "at byte " << pos;
+  }
+}
+
+TEST(Wire, TruncatedAndTrailingFramesAreRejected) {
+  const std::vector<std::uint8_t> good =
+      encode_frame(encode_count(FrameType::kGatherDone, 5));
+  // Every proper prefix is a truncated frame.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_THROW(decode_frame(good.data(), len), Error) << "len " << len;
+  }
+  // Trailing bytes after a complete frame are garbage, not silence.
+  std::vector<std::uint8_t> trailing = good;
+  trailing.push_back(0);
+  EXPECT_THROW(decode_frame(trailing), Error);
+}
+
+TEST(Wire, LengthBombIsRejected) {
+  // A corrupted length field must not cause a giant allocation: lengths
+  // above kMaxPayloadBytes are rejected before any payload is read.
+  std::vector<std::uint8_t> bytes =
+      encode_frame(encode_count(FrameType::kCDone, 1));
+  const std::uint32_t huge = kMaxPayloadBytes + 1;
+  std::memcpy(bytes.data() + 8, &huge, sizeof huge);
+  EXPECT_THROW(decode_frame(bytes), Error);
+}
+
+TEST(Wire, PayloadSizeMustMatchTileExtents) {
+  // A tile frame whose payload length disagrees with rows*cols is
+  // corrupt even if the checksum was recomputed by an attacker/bug.
+  Frame frame = encode_tile(FrameType::kTile, 1, Tile(2, 2));
+  frame.payload.pop_back();
+  EXPECT_THROW(decode_tile(frame), Error);
+}
+
+TEST(Wire, ReaderRejectsTruncatedPayloads) {
+  WireWriter w;
+  w.u32(7);
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_THROW(r.u64(), Error);  // nothing left
+
+  WireWriter w2;
+  w2.u64(1);
+  w2.u64(2);
+  WireReader r2(w2.bytes());
+  r2.u64();
+  EXPECT_THROW(r2.finish(), Error);  // trailing bytes flagged
+}
+
+}  // namespace
+}  // namespace bstc::net

@@ -9,6 +9,8 @@
 ///   plan         build a plan and print its structure/statistics
 ///   execute      run the REAL engine on a small synthetic problem + verify
 ///   serve-batch  drive the ContractionService with a scripted request mix
+///   launch       run the distributed executor as --np real OS processes
+///   worker       join a launch rendezvous (spawned by `launch`)
 ///   help         `bstc_cli help <cmd>` or `bstc_cli <cmd> --help`
 ///
 /// Examples:
@@ -17,10 +19,14 @@
 ///   bstc_cli plan --m 24000 --n 96000 --density 0.25 --nodes 8
 ///   bstc_cli execute --m 96 --n 480 --density 0.4 --nodes 2 --gpus 2
 ///   bstc_cli serve-batch --clients 4 --workers 2 --script requests.txt
+///   bstc_cli launch --np 4 --p 2 --m 96 --k 480 --n 480
 ///
 /// Unknown flags are rejected with a nearest-known-flag suggestion
 /// (Args::reject_unknown), so a typo fails loudly instead of silently
 /// running with the default.
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -37,6 +43,8 @@
 #include "chem/molecule.hpp"
 #include "chem/orbitals.hpp"
 #include "core/engine.hpp"
+#include "net/counters.hpp"
+#include "net/launch.hpp"
 #include "plan/builder.hpp"
 #include "plan/explain.hpp"
 #include "plan/serialize.hpp"
@@ -93,6 +101,24 @@ const CommandInfo kCommands[] = {
      "  --m --n --k --density --tile-lo --tile-hi   problem geometry\n"
      "  --verify true|false  compare against the reference product\n"
      "  --trace FILE.json    write a Chrome-tracing timeline\n"},
+    {"launch", "run the distributed executor as real OS processes",
+     "usage: bstc_cli launch [options]\n"
+     "  --np N               rank processes, one per grid node (default 4)\n"
+     "  --p P                grid rows; q = np / p (default 2)\n"
+     "  --m --k --n --density --tile-lo --tile-hi --seed   problem geometry\n"
+     "  --gpus-per-node G    device queues per rank (default 1)\n"
+     "  --gpu-mem BYTES      per-device memory budget (default 6e5)\n"
+     "  --host H             rendezvous host (default 127.0.0.1)\n"
+     "  --port P             rendezvous port (default: ephemeral)\n"
+     "  --spawn N            fork only N workers; the remaining np - N\n"
+     "                       join by hand via `bstc_cli worker` (default np)\n"
+     "  Forks --np workers of this binary, runs the 2D-grid contraction\n"
+     "  over TCP, verifies C bitwise against a single-process run, and\n"
+     "  checks measured wire bytes against the plan statistics exactly.\n"},
+    {"worker", "join a launch rendezvous (spawned by `launch`)",
+     "usage: bstc_cli worker --host H --port P [problem flags]\n"
+     "  Normally started by `bstc_cli launch`, not by hand; the problem\n"
+     "  flags must match the launcher's (fingerprints are cross-checked).\n"},
     {"serve-batch", "drive the ContractionService with a request mix",
      "usage: bstc_cli serve-batch [options]\n"
      "  --workers N          service worker threads (default 2)\n"
@@ -366,6 +392,150 @@ int cmd_execute(const Args& args) {
     return err < 1e-10 ? 0 : 1;
   }
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// launch / worker: the multi-process distributed executor (src/net).
+
+net::NetProblemSpec make_net_spec(const Args& args) {
+  net::NetProblemSpec spec;
+  spec.m = args.get_int("m", spec.m);
+  spec.k = args.get_int("k", spec.k);
+  spec.n = args.get_int("n", spec.n);
+  spec.density = args.get_double("density", spec.density);
+  spec.tile_lo = args.get_int("tile-lo", spec.tile_lo);
+  spec.tile_hi = args.get_int("tile-hi", spec.tile_hi);
+  spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  spec.np = static_cast<int>(args.get_int("np", spec.np));
+  spec.p = static_cast<int>(args.get_int("p", spec.p));
+  spec.gpus_per_node =
+      static_cast<int>(args.get_int("gpus-per-node", spec.gpus_per_node));
+  spec.gpu_mem = args.get_double("gpu-mem", spec.gpu_mem);
+  return spec;
+}
+
+int cmd_worker(const Args& args) {
+  net::WorkerOptions opts;
+  opts.host = args.get("host", "127.0.0.1");
+  opts.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  BSTC_REQUIRE(opts.port != 0, "worker: --port is required");
+  opts.spec = make_net_spec(args);
+  return net::run_worker(opts);
+}
+
+int cmd_launch(const Args& args) {
+  net::LaunchOptions opts;
+  opts.spec = make_net_spec(args);
+  opts.host = args.get("host", "127.0.0.1");
+  opts.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+
+  struct Child {
+    pid_t pid = -1;
+    bool reaped = false;
+    int status = 0;
+  };
+  std::vector<Child> children;
+  const std::vector<std::string> spec_flags = net::spec_to_flags(opts.spec);
+  const int spawn_local =
+      static_cast<int>(args.get_int("spawn", opts.spec.np));
+
+  // Workers are re-executions of this very binary (/proc/self/exe), so a
+  // launch never depends on PATH or the invocation spelling.
+  const auto spawn = [&](const std::string& host, std::uint16_t port,
+                         int index) {
+    if (index >= spawn_local) {
+      // Leave this slot to a hand-started worker; tell the operator where.
+      std::printf("launch: waiting for worker %d to join: "
+                  "bstc_cli worker --host %s --port %u [problem flags]\n",
+                  index, host.c_str(), static_cast<unsigned>(port));
+      std::fflush(stdout);
+      return;
+    }
+    const pid_t pid = fork();
+    BSTC_REQUIRE(pid >= 0, "launch: fork failed");
+    if (pid == 0) {
+      std::vector<std::string> argv_s = {"/proc/self/exe", "worker",
+                                         "--host", host, "--port",
+                                         std::to_string(port)};
+      argv_s.insert(argv_s.end(), spec_flags.begin(), spec_flags.end());
+      std::vector<char*> argv;
+      argv.reserve(argv_s.size() + 1);
+      for (std::string& s : argv_s) argv.push_back(s.data());
+      argv.push_back(nullptr);
+      execv(argv[0], argv.data());
+      std::perror("launch: execv /proc/self/exe");
+      _exit(127);
+    }
+    children.push_back(Child{pid, false, 0});
+  };
+  const auto dead_poll = [&]() -> int {
+    int dead = 0;
+    for (Child& c : children) {
+      if (c.reaped) {
+        ++dead;
+        continue;
+      }
+      if (waitpid(c.pid, &c.status, WNOHANG) == c.pid) {
+        c.reaped = true;
+        ++dead;
+      }
+    }
+    return dead;
+  };
+
+  net::LaunchReport report;
+  try {
+    report = net::run_launcher(opts, spawn, dead_poll);
+  } catch (...) {
+    for (Child& c : children) {
+      if (!c.reaped) waitpid(c.pid, &c.status, 0);
+    }
+    throw;
+  }
+  int worker_failures = 0;
+  for (Child& c : children) {
+    if (!c.reaped) waitpid(c.pid, &c.status, 0);
+    if (!WIFEXITED(c.status) || WEXITSTATUS(c.status) != 0) ++worker_failures;
+  }
+
+  const int q = opts.spec.np / opts.spec.p;
+  std::printf("grid           %d x %d (%d processes over TCP loopback)\n",
+              opts.spec.p, q, opts.spec.np);
+  TextTable table({"rank", "tasks", "A sent", "C sent", "frames tx", "frames rx",
+                   "retries", "engine"});
+  for (const net::SummaryMsg& s : report.summaries) {
+    table.add_row({std::to_string(s.rank), std::to_string(s.tasks_executed),
+                   fmt_bytes(s.a_wire_bytes), fmt_bytes(s.c_wire_bytes),
+                   std::to_string(s.frames_sent),
+                   std::to_string(s.frames_received),
+                   std::to_string(s.connect_retries),
+                   fmt_duration(s.engine_seconds)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("verdict        %s (max|diff| = %.3e, |C|_F = %.6e)\n",
+              report.verdict.bitwise_identical
+                  ? "bitwise-identical to the single-process engine"
+                  : "MISMATCH against the single-process engine",
+              report.verdict.max_abs_diff, report.verdict.c_norm);
+  std::printf("A wire         %.0f bytes measured vs %.0f analytic -> %s\n",
+              report.total_a_wire_bytes,
+              report.verdict.stats_a_network_bytes,
+              report.total_a_wire_bytes ==
+                      report.verdict.stats_a_network_bytes
+                  ? "exact"
+                  : "MISMATCH");
+  std::printf("C wire         %.0f bytes measured vs %.0f analytic -> %s\n",
+              report.total_c_wire_bytes,
+              report.verdict.stats_c_network_bytes,
+              report.total_c_wire_bytes ==
+                      report.verdict.stats_c_network_bytes
+                  ? "exact"
+                  : "MISMATCH");
+  if (worker_failures > 0) {
+    std::fprintf(stderr, "launch: %d worker(s) exited with a failure\n",
+                 worker_failures);
+  }
+  return report.ok && worker_failures == 0 ? 0 : 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -644,6 +814,10 @@ int main(int argc, char** argv) {
       rc = cmd_execute(args);
     } else if (cmd == "serve-batch") {
       rc = cmd_serve_batch(args);
+    } else if (cmd == "launch") {
+      rc = cmd_launch(args);
+    } else if (cmd == "worker") {
+      rc = cmd_worker(args);
     }
     // A typo'd flag is an error with a suggestion, not a silent default.
     args.reject_unknown();
