@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "comm/transport.hpp"
+#include "obs/obs.hpp"
 #include "plan/builder.hpp"
 #include "runtime/device.hpp"
 #include "runtime/scheduler.hpp"
@@ -437,10 +438,21 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
 
   BSTC_CHECK(graph.is_acyclic());
   TraceRecorder trace;
-  const bool want_trace = !cfg.trace_path.empty();
+  obs::Registry& reg = obs::Registry::instance();
+  const bool want_trace = !cfg.trace_path.empty() || reg.enabled();
+  // TraceRecorder times are relative to run_graph entry; anchor them to
+  // the registry epoch so task spans line up with comm/barrier spans.
+  const double trace_base = reg.enabled() ? reg.now() : 0.0;
   const SchedulerStats sched =
       run_graph(graph, num_queues, want_trace ? &trace : nullptr);
-  if (want_trace) trace.write_chrome_json(cfg.trace_path);
+  if (!cfg.trace_path.empty()) trace.write_chrome_json(cfg.trace_path);
+  if (reg.enabled()) {
+    for (const TraceEvent& e : trace.events()) {
+      reg.record(obs::Category::kTask, e.name, e.queue,
+                 trace_base + e.start_s, trace_base + e.end_s);
+      reg.name_lane(e.queue, "queue " + std::to_string(e.queue));
+    }
+  }
 
   // --- Assemble the global C and count return traffic. ---
   EngineResult result;

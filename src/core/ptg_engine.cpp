@@ -5,6 +5,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "plan/builder.hpp"
 #include "plan/stats.hpp"
 #include "runtime/device.hpp"
@@ -384,7 +385,20 @@ PtgEngineResult contract_ptg(const BlockSparseMatrix& a, const Shape& b_shape,
     }
   }
 
-  const PtgStats stats = run_ptg(program, next_queue);
+  TraceRecorder trace;
+  obs::Registry& reg = obs::Registry::instance();
+  const bool want_trace = !cfg.trace_path.empty() || reg.enabled();
+  const double trace_base = reg.enabled() ? reg.now() : 0.0;
+  const PtgStats stats =
+      run_ptg(program, next_queue, want_trace ? &trace : nullptr);
+  if (!cfg.trace_path.empty()) trace.write_chrome_json(cfg.trace_path);
+  if (reg.enabled()) {
+    for (const TraceEvent& e : trace.events()) {
+      reg.record(obs::Category::kTask, e.name, e.queue,
+                 trace_base + e.start_s, trace_base + e.end_s);
+      reg.name_lane(e.queue, "queue " + std::to_string(e.queue));
+    }
+  }
 
   PtgEngineResult result;
   result.c = BlockSparseMatrix(c_shape);

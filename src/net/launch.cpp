@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <utility>
 
@@ -9,6 +10,8 @@
 #include "core/engine.hpp"
 #include "net/counters.hpp"
 #include "net/net_transport.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_merge.hpp"
 #include "service/fingerprint.hpp"
 #include "shape/shape_algebra.hpp"
 #include "support/error.hpp"
@@ -25,6 +28,113 @@ std::string fmt_double(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.17g", v);
   return buf;
+}
+
+constexpr std::uint32_t kClockProbeRounds = 8;
+
+/// Rank 0 side of the clock handshake with `peer`: NTP-style probe
+/// rounds, offset taken at minimum RTT (least queueing noise), then the
+/// done-probe that tells the peer to snapshot and ship its trace.
+double probe_clock_offset(NetTransport& nt, obs::Registry& reg, int peer) {
+  double best_rtt = std::numeric_limits<double>::infinity();
+  double offset = 0.0;
+  for (std::uint32_t round = 0; round < kClockProbeRounds; ++round) {
+    ClockProbeMsg probe;
+    probe.seq = round;
+    probe.t0 = reg.now();
+    nt.post(peer, encode_clock_probe(probe));
+    const auto [from, frame] = nt.wait_frame(FrameType::kClockReply);
+    const double t1 = reg.now();
+    BSTC_REQUIRE(from == peer,
+                 "trace gather: clock reply from the wrong rank");
+    const ClockReplyMsg reply = decode_clock_reply(frame);
+    const double rtt = t1 - reply.t0;
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      offset = reply.t_peer - (reply.t0 + t1) / 2.0;
+    }
+  }
+  ClockProbeMsg done;
+  done.done = true;
+  nt.post(peer, encode_clock_probe(done));
+  return offset;
+}
+
+/// Snapshot this process's spans and wire totals atomically (the same
+/// lock the comm instrumentation commits under, so span byte sums equal
+/// the counter totals exactly).
+obs::RankTrace snapshot_local_trace(obs::Registry& reg,
+                                    WireCounters& counters, int rank) {
+  obs::RankTrace t;
+  t.rank = static_cast<std::uint32_t>(rank);
+  WireCounterSnapshot wc;
+  t.spans = reg.spans_with([&] { wc = counters.snapshot(); });
+  t.lane_names = reg.lane_names();
+  t.wire_frames_sent = wc.frames_sent;
+  t.wire_frames_received = wc.frames_received;
+  t.wire_bytes_sent = wc.bytes_sent;
+  t.wire_bytes_received = wc.bytes_received;
+  return t;
+}
+
+/// Post-barrier trace gather. Rank 0 probes each peer in turn and
+/// collects its kTrace; peers answer probes until the done-probe, then
+/// snapshot and ship. Runs strictly between the final barrier and the
+/// summaries, so every algorithm frame is already on the books; frames
+/// sent *during* the gather stay consistent too, because span and
+/// counter commit under one registry lock.
+void gather_and_write_trace(NetTransport& nt, obs::Registry& reg,
+                            WireCounters& counters, int rank, int np,
+                            const std::string& path) {
+  if (rank == 0) {
+    std::vector<obs::RankTrace> traces;
+    traces.reserve(static_cast<std::size_t>(np));
+    for (int r = 1; r < np; ++r) {
+      const double offset = probe_clock_offset(nt, reg, r);
+      const auto [from, frame] = nt.wait_frame(FrameType::kTrace);
+      BSTC_REQUIRE(from == r, "trace gather: trace from the wrong rank");
+      const TraceMsg msg = decode_trace(frame);
+      BSTC_REQUIRE(static_cast<int>(msg.rank) == r,
+                   "trace gather: trace claims the wrong rank");
+      obs::RankTrace t;
+      t.rank = msg.rank;
+      t.clock_offset_s = offset;
+      t.spans = msg.spans;
+      for (const auto& [lane, name] : msg.lane_names) {
+        t.lane_names[lane] = name;
+      }
+      t.wire_frames_sent = msg.wire_frames_sent;
+      t.wire_frames_received = msg.wire_frames_received;
+      t.wire_bytes_sent = msg.wire_bytes_sent;
+      t.wire_bytes_received = msg.wire_bytes_received;
+      traces.push_back(std::move(t));
+    }
+    // Rank 0 snapshots itself last, with offset 0 by definition.
+    traces.push_back(snapshot_local_trace(reg, counters, 0));
+    obs::write_merged_trace(path, traces);
+  } else {
+    while (true) {
+      const auto [from, frame] = nt.wait_frame(FrameType::kClockProbe);
+      BSTC_REQUIRE(from == 0, "trace gather: probe from a non-root rank");
+      const ClockProbeMsg probe = decode_clock_probe(frame);
+      if (probe.done) break;
+      ClockReplyMsg reply;
+      reply.seq = probe.seq;
+      reply.t0 = probe.t0;
+      reply.t_peer = reg.now();
+      nt.post(0, encode_clock_reply(reply));
+    }
+    const obs::RankTrace local = snapshot_local_trace(reg, counters, rank);
+    TraceMsg msg;
+    msg.rank = local.rank;
+    msg.wire_frames_sent = local.wire_frames_sent;
+    msg.wire_frames_received = local.wire_frames_received;
+    msg.wire_bytes_sent = local.wire_bytes_sent;
+    msg.wire_bytes_received = local.wire_bytes_received;
+    msg.lane_names.assign(local.lane_names.begin(), local.lane_names.end());
+    msg.spans = local.spans;
+    nt.post(0, encode_trace(msg));
+  }
 }
 
 }  // namespace
@@ -73,6 +183,18 @@ std::vector<std::string> spec_to_flags(const NetProblemSpec& spec) {
 
 int run_worker(const WorkerOptions& opts) {
   WireCounters& counters = global_wire_counters();
+  obs::Registry& reg = obs::Registry::instance();
+  if (!opts.trace_out.empty()) reg.set_enabled(true);
+  const std::uint32_t main_lane = obs::thread_lane();
+  if (reg.enabled()) reg.name_lane(main_lane, "main");
+  // Coarse worker phases on the main lane, recorded back-to-back.
+  double phase_start = reg.now();
+  const auto end_phase = [&](const char* name) {
+    const double now = reg.now();
+    reg.record(obs::Category::kPhase, name, main_lane, phase_start, now);
+    phase_start = now;
+  };
+
   // The mesh listener exists before our hello is sent, so every peer's
   // welcome-table entry is connectable by the time it is published.
   Listener mesh(opts.host, 0);
@@ -97,6 +219,7 @@ int run_worker(const WorkerOptions& opts) {
                "worker: the launcher runs a different --np");
   BSTC_REQUIRE(welcome.peers.size() == static_cast<std::size_t>(np),
                "worker: malformed peer table");
+  end_phase("rendezvous");
 
   // Mesh formation: dial every lower rank (their listeners predate their
   // hellos, so a connect can only race process scheduling, which the
@@ -135,6 +258,7 @@ int run_worker(const WorkerOptions& opts) {
 
   NetTransport nt(np, rank, std::move(links), &counters);
   const CyclicDist2D dist{prob.plan_cfg.p, np / prob.plan_cfg.p};
+  end_phase("mesh");
 
   EngineConfig ecfg;
   ecfg.plan = prob.plan_cfg;
@@ -142,6 +266,7 @@ int run_worker(const WorkerOptions& opts) {
   ecfg.local_rank = rank;
   const EngineResult res = contract(prob.a, prob.b_shape, prob.b_gen,
                                     prob.c_shape, nullptr, prob.machine, ecfg);
+  end_phase("engine");
 
   // --- C return: ship every locally computed tile to its 2D-cyclic home.
   // Each C tile has exactly one producing rank (a validated plan
@@ -182,6 +307,7 @@ int run_worker(const WorkerOptions& opts) {
     owned.tile(i, j) = std::move(msg.tile);
     owned_keys.push_back(msg.key);
   }
+  end_phase("c-exchange");
 
   // --- Gather every home-owned tile on rank 0 for verification. This
   // traffic is runtime plumbing, not part of the algorithm, so it counts
@@ -243,9 +369,18 @@ int run_worker(const WorkerOptions& opts) {
     nt.post(0, encode_count(FrameType::kGatherDone, owned_keys.size()));
   }
 
+  end_phase("gather");
+
   // No rank tears its mesh links down while another may still be pulling
   // gather frames off them.
   nt.barrier(1);
+
+  // Everything the algorithm sent is on the books; collect the per-rank
+  // traces into one merged timeline before the summaries go out.
+  if (!opts.trace_out.empty()) {
+    gather_and_write_trace(nt, reg, counters, rank, np, opts.trace_out);
+    end_phase("trace-gather");
+  }
 
   SummaryMsg summary;
   summary.rank = static_cast<std::uint32_t>(rank);

@@ -73,6 +73,11 @@ struct WorkerOptions {
   std::uint16_t port = 0;          ///< rendezvous port
   NetProblemSpec spec;
   RetryPolicy retry;
+  /// When non-empty, enable the obs registry for this process and run
+  /// the post-barrier trace gather: every rank ships its spans to rank
+  /// 0 (kClockProbe/kClockReply/kTrace), which writes one merged
+  /// Chrome/Perfetto JSON here. Must be set identically on all ranks.
+  std::string trace_out;
 };
 
 /// Run one rank process end to end (rendezvous, mesh, engine, C
@@ -86,6 +91,9 @@ struct LaunchOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;  ///< rendezvous port; 0 picks an ephemeral one
   int hello_timeout_ms = 60000;
+  /// Forwarded to every worker as --trace-out; rank 0 writes the merged
+  /// per-rank trace here.
+  std::string trace_out;
 };
 
 /// What the launcher learns from its workers.

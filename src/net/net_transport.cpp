@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace bstc::net {
 
 NetTransport::NetTransport(int nodes, int rank, std::vector<PeerLink> peers,
@@ -61,11 +63,17 @@ void NetTransport::send_c_tile(int home, std::uint64_t key, const Tile& tile) {
 
 void NetTransport::post(int peer, Frame frame) {
   link_of(peer);  // validate early, outside the progress thread
-  std::lock_guard lock(tx_mutex_);
-  if (failed_.load()) throw Error("net: transport failed");
-  BSTC_REQUIRE(!tx_stop_, "net: send after shutdown");
-  tx_queue_.emplace_back(peer, std::move(frame));
-  tx_cv_.notify_one();
+  std::size_t depth = 0;
+  {
+    std::lock_guard lock(tx_mutex_);
+    if (failed_.load()) throw Error("net: transport failed");
+    BSTC_REQUIRE(!tx_stop_, "net: send after shutdown");
+    tx_queue_.emplace_back(peer, std::move(frame));
+    depth = tx_queue_.size();
+    tx_cv_.notify_one();
+  }
+  obs::Registry::instance().gauge_set("bstc_net_tx_queue_depth",
+                                      static_cast<std::int64_t>(depth));
 }
 
 std::pair<int, Frame> NetTransport::wait_frame(FrameType type) {
@@ -83,12 +91,22 @@ std::pair<int, Frame> NetTransport::wait_frame(FrameType type) {
 }
 
 void NetTransport::barrier(std::uint32_t epoch) {
+  obs::ScopedSpan span(obs::Category::kBarrier,
+                       "barrier(" + std::to_string(epoch) + ")");
   for (const PeerLink& link : links_) {
     post(link.rank, encode_barrier(epoch));
   }
   // Tokens of later epochs can overtake a slow peer's current token (a
-  // fast peer may already have advanced); count per epoch.
+  // fast peer may already have advanced); count per epoch. Tokens for
+  // *this* epoch may equally have arrived during an earlier barrier and
+  // been stashed — credit them first, or this rank waits forever for a
+  // token it already consumed.
   std::size_t seen = 0;
+  const auto stashed = barrier_ahead_.find(epoch);
+  if (stashed != barrier_ahead_.end()) {
+    seen = std::min(static_cast<std::size_t>(stashed->second), links_.size());
+    barrier_ahead_.erase(stashed);
+  }
   while (seen < links_.size()) {
     const auto [peer, frame] = wait_frame(FrameType::kBarrier);
     (void)peer;
@@ -100,8 +118,6 @@ void NetTransport::barrier(std::uint32_t epoch) {
       barrier_ahead_[got] += 1;
     }
   }
-  const auto it = barrier_ahead_.find(epoch);
-  if (it != barrier_ahead_.end()) barrier_ahead_.erase(it);
 }
 
 double NetTransport::c_wire_bytes() const {
@@ -144,6 +160,14 @@ void NetTransport::fail(const std::string& reason) {
     if (failed_.exchange(true)) return;  // first failure wins
     fail_reason_ = reason;
   }
+  obs::Registry& reg = obs::Registry::instance();
+  reg.counter_add("bstc_net_poison_total");
+  if (reg.enabled()) {
+    // Instant event: when the transport was poisoned, and why.
+    const double t = reg.now();
+    reg.record(obs::Category::kCommRx, "poison: " + reason,
+               obs::thread_lane(), t, t);
+  }
   {
     // Stop the progress thread; anything still queued cannot be trusted
     // to reach its peer, and send() now throws to abort the engine.
@@ -165,6 +189,9 @@ void NetTransport::progress_loop() {
       if (failed_.load()) return;     // drop the queue on failure
       item = std::move(tx_queue_.front());
       tx_queue_.pop_front();
+      obs::Registry::instance().gauge_set(
+          "bstc_net_tx_queue_depth",
+          static_cast<std::int64_t>(tx_queue_.size()));
     }
     try {
       send_frame(link_of(item.first).socket, item.second, counters_);

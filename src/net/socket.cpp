@@ -13,6 +13,8 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace bstc::net {
 namespace {
 
@@ -148,20 +150,27 @@ std::optional<Socket> Listener::accept(int timeout_ms) {
 
 Socket connect_with_retry(const std::string& host, std::uint16_t port,
                           const RetryPolicy& policy, WireCounters* counters) {
-  const sockaddr_in addr = resolve(host, port);
   int backoff = policy.initial_backoff_ms;
   std::string last_error;
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    BSTC_REQUIRE(fd >= 0, errno_text("net: socket() failed"));
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof addr) == 0) {
-      set_nodelay(fd);
-      if (attempt > 0 && counters != nullptr) counters->add_reconnect();
-      return Socket(fd);
+    // Resolution lives inside the loop: at worker startup the resolver
+    // can fail transiently just like connect() can, and both must be
+    // absorbed by the same backoff policy rather than aborting the rank.
+    try {
+      const sockaddr_in addr = resolve(host, port);
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      BSTC_REQUIRE(fd >= 0, errno_text("net: socket() failed"));
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof addr) == 0) {
+        set_nodelay(fd);
+        if (attempt > 0 && counters != nullptr) counters->add_reconnect();
+        return Socket(fd);
+      }
+      last_error = errno_text("connect");
+      ::close(fd);
+    } catch (const std::exception& e) {
+      last_error = e.what();
     }
-    last_error = errno_text("connect");
-    ::close(fd);
     if (attempt + 1 < policy.max_attempts) {
       if (counters != nullptr) counters->add_connect_retry();
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
@@ -175,8 +184,24 @@ Socket connect_with_retry(const std::string& host, std::uint16_t port,
 
 void send_frame(Socket& sock, const Frame& frame, WireCounters* counters) {
   const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  obs::Registry& reg = obs::Registry::instance();
+  if (!reg.enabled()) {
+    sock.send_all(bytes.data(), bytes.size());
+    if (counters != nullptr) counters->add_frame_sent(bytes.size());
+    return;
+  }
+  // Span and counter commit under one registry lock (record_with): a
+  // trace snapshot taken mid-run must see either both or neither, so
+  // summed tx-span bytes always equal the counter exactly.
+  const double start = reg.now();
   sock.send_all(bytes.data(), bytes.size());
-  if (counters != nullptr) counters->add_frame_sent(bytes.size());
+  reg.record_with(obs::Category::kCommTx,
+                  std::string("tx(") + frame_type_name(frame.type) + ")",
+                  obs::thread_lane(), start, reg.now(), bytes.size(), [&] {
+                    if (counters != nullptr) {
+                      counters->add_frame_sent(bytes.size());
+                    }
+                  });
 }
 
 std::optional<Frame> recv_frame(Socket& sock, WireCounters* counters) {
@@ -192,11 +217,25 @@ std::optional<Frame> recv_frame(Socket& sock, WireCounters* counters) {
   std::vector<std::uint8_t> buffer(kWireHeaderBytes + len +
                                    kWireChecksumBytes);
   std::memcpy(buffer.data(), header, kWireHeaderBytes);
+  // The rx span starts after the header: blocking idle time between
+  // frames is not receive work.
+  obs::Registry& reg = obs::Registry::instance();
+  const double start = reg.enabled() ? reg.now() : 0.0;
   const bool ok = sock.recv_exact(buffer.data() + kWireHeaderBytes,
                                   len + kWireChecksumBytes);
   BSTC_REQUIRE(ok, "wire: peer closed mid-frame");
   Frame frame = decode_frame(buffer.data(), buffer.size());
-  if (counters != nullptr) counters->add_frame_received(buffer.size());
+  if (!reg.enabled()) {
+    if (counters != nullptr) counters->add_frame_received(buffer.size());
+    return frame;
+  }
+  reg.record_with(obs::Category::kCommRx,
+                  std::string("rx(") + frame_type_name(frame.type) + ")",
+                  obs::thread_lane(), start, reg.now(), buffer.size(), [&] {
+                    if (counters != nullptr) {
+                      counters->add_frame_received(buffer.size());
+                    }
+                  });
   return frame;
 }
 

@@ -15,6 +15,9 @@ const char* frame_type_name(FrameType type) {
     case FrameType::kSummary: return "summary";
     case FrameType::kVerdict: return "verdict";
     case FrameType::kShutdown: return "shutdown";
+    case FrameType::kClockProbe: return "clockprobe";
+    case FrameType::kClockReply: return "clockreply";
+    case FrameType::kTrace: return "trace";
   }
   return "unknown";
 }
@@ -32,7 +35,7 @@ namespace {
 
 bool valid_frame_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         raw <= static_cast<std::uint8_t>(FrameType::kShutdown);
+         raw <= static_cast<std::uint8_t>(FrameType::kTrace);
 }
 
 }  // namespace
@@ -317,6 +320,101 @@ std::string decode_shutdown(const Frame& frame) {
   std::string reason = r.str();
   r.finish();
   return reason;
+}
+
+Frame encode_clock_probe(const ClockProbeMsg& msg) {
+  WireWriter w;
+  w.u8(msg.done ? 1 : 0);
+  w.u32(msg.seq);
+  w.f64(msg.t0);
+  return Frame{FrameType::kClockProbe, w.take()};
+}
+
+ClockProbeMsg decode_clock_probe(const Frame& frame) {
+  BSTC_REQUIRE(frame.type == FrameType::kClockProbe,
+               "wire: expected clock-probe frame");
+  WireReader r(frame.payload);
+  ClockProbeMsg msg;
+  msg.done = r.u8() != 0;
+  msg.seq = r.u32();
+  msg.t0 = r.f64();
+  r.finish();
+  return msg;
+}
+
+Frame encode_clock_reply(const ClockReplyMsg& msg) {
+  WireWriter w;
+  w.u32(msg.seq);
+  w.f64(msg.t0);
+  w.f64(msg.t_peer);
+  return Frame{FrameType::kClockReply, w.take()};
+}
+
+ClockReplyMsg decode_clock_reply(const Frame& frame) {
+  BSTC_REQUIRE(frame.type == FrameType::kClockReply,
+               "wire: expected clock-reply frame");
+  WireReader r(frame.payload);
+  ClockReplyMsg msg;
+  msg.seq = r.u32();
+  msg.t0 = r.f64();
+  msg.t_peer = r.f64();
+  r.finish();
+  return msg;
+}
+
+Frame encode_trace(const TraceMsg& msg) {
+  WireWriter w;
+  w.u32(msg.rank);
+  w.u64(msg.wire_frames_sent);
+  w.u64(msg.wire_frames_received);
+  w.u64(msg.wire_bytes_sent);
+  w.u64(msg.wire_bytes_received);
+  w.u32(static_cast<std::uint32_t>(msg.lane_names.size()));
+  for (const auto& [lane, name] : msg.lane_names) {
+    w.u32(lane);
+    w.str(name);
+  }
+  w.u32(static_cast<std::uint32_t>(msg.spans.size()));
+  for (const obs::Span& s : msg.spans) {
+    w.u8(static_cast<std::uint8_t>(s.category));
+    w.u32(s.lane);
+    w.f64(s.start_s);
+    w.f64(s.end_s);
+    w.u64(s.bytes);
+    w.str(s.name);
+  }
+  return Frame{FrameType::kTrace, w.take()};
+}
+
+TraceMsg decode_trace(const Frame& frame) {
+  BSTC_REQUIRE(frame.type == FrameType::kTrace, "wire: expected trace frame");
+  WireReader r(frame.payload);
+  TraceMsg msg;
+  msg.rank = r.u32();
+  msg.wire_frames_sent = r.u64();
+  msg.wire_frames_received = r.u64();
+  msg.wire_bytes_sent = r.u64();
+  msg.wire_bytes_received = r.u64();
+  const std::uint32_t lanes = r.u32();
+  msg.lane_names.reserve(lanes);
+  for (std::uint32_t i = 0; i < lanes; ++i) {
+    const std::uint32_t lane = r.u32();
+    msg.lane_names.emplace_back(lane, r.str());
+  }
+  const std::uint32_t count = r.u32();
+  msg.spans.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    obs::Span s;
+    s.category = static_cast<obs::Category>(r.u8());
+    s.lane = r.u32();
+    s.start_s = r.f64();
+    s.end_s = r.f64();
+    s.bytes = r.u64();
+    s.name = r.str();
+    msg.spans.push_back(std::move(s));
+  }
+  r.finish();
+  return msg;
 }
 
 }  // namespace bstc::net

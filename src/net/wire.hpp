@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "tile/tile.hpp"
 
@@ -61,6 +62,9 @@ enum class FrameType : std::uint8_t {
   kSummary = 9,   ///< worker -> launcher: per-rank traffic report
   kVerdict = 10,  ///< rank 0 -> launcher: correctness + accounting verdict
   kShutdown = 11, ///< orderly teardown (reason attached)
+  kClockProbe = 12,  ///< rank 0 -> peer: clock-offset probe (t0 attached)
+  kClockReply = 13,  ///< peer -> rank 0: echo of t0 + the peer's clock
+  kTrace = 14,       ///< peer -> rank 0: serialized span trace + counters
 };
 
 const char* frame_type_name(FrameType type);
@@ -207,5 +211,42 @@ VerdictMsg decode_verdict(const Frame& frame);
 
 Frame encode_shutdown(const std::string& reason);
 std::string decode_shutdown(const Frame& frame);
+
+/// NTP-style clock-offset probe: rank 0 stamps t0 (its clock) on the way
+/// out; the peer replies with {t0, t_peer}; rank 0 receives at t1 and
+/// estimates offset = t_peer - (t0 + t1) / 2. `done` ends the exchange
+/// and tells the peer to ship its trace.
+struct ClockProbeMsg {
+  bool done = false;
+  std::uint32_t seq = 0;
+  double t0 = 0.0;
+};
+
+Frame encode_clock_probe(const ClockProbeMsg& msg);
+ClockProbeMsg decode_clock_probe(const Frame& frame);
+
+struct ClockReplyMsg {
+  std::uint32_t seq = 0;
+  double t0 = 0.0;      ///< echoed from the probe
+  double t_peer = 0.0;  ///< the peer's clock at reply time
+};
+
+Frame encode_clock_reply(const ClockReplyMsg& msg);
+ClockReplyMsg decode_clock_reply(const Frame& frame);
+
+/// One rank's span trace plus its wire totals at snapshot time
+/// (obs/trace_merge cross-checks span byte sums against these).
+struct TraceMsg {
+  std::uint32_t rank = 0;
+  std::uint64_t wire_frames_sent = 0;
+  std::uint64_t wire_frames_received = 0;
+  std::uint64_t wire_bytes_sent = 0;
+  std::uint64_t wire_bytes_received = 0;
+  std::vector<std::pair<std::uint32_t, std::string>> lane_names;
+  std::vector<obs::Span> spans;
+};
+
+Frame encode_trace(const TraceMsg& msg);
+TraceMsg decode_trace(const Frame& frame);
 
 }  // namespace bstc::net

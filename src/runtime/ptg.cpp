@@ -56,7 +56,24 @@ struct RunState {
 
 }  // namespace
 
-PtgStats run_ptg(const PtgProgram& program, std::uint32_t num_queues) {
+namespace {
+
+/// Display name of one instance: "class(p0,p1,...)".
+std::string instance_name(const TaskClass& tc, const PtgParams& params) {
+  std::string name = tc.name;
+  name += '(';
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i != 0) name += ',';
+    name += std::to_string(params[i]);
+  }
+  name += ')';
+  return name;
+}
+
+}  // namespace
+
+PtgStats run_ptg(const PtgProgram& program, std::uint32_t num_queues,
+                 TraceRecorder* trace) {
   BSTC_REQUIRE(num_queues > 0, "need at least one queue");
   for (const TaskClass& tc : program.classes) {
     BSTC_REQUIRE(tc.queue && tc.body && tc.dependence_count && tc.successors,
@@ -134,7 +151,12 @@ PtgStats run_ptg(const PtgProgram& program, std::uint32_t num_queues) {
       std::vector<PtgTaskRef> next;
       try {
         const TaskClass& tc = program.classes[key.task_class];
+        const double body_start = trace ? timer.elapsed_s() : 0.0;
         tc.body(key.params);
+        if (trace) {
+          trace->record(instance_name(tc, key.params), queue, body_start,
+                        timer.elapsed_s());
+        }
         next = tc.successors(key.params);
       } catch (...) {
         lock.lock();

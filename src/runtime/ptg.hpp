@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "runtime/trace.hpp"
+
 namespace bstc {
 
 /// Parameter vector identifying one task instance within its class.
@@ -76,7 +78,9 @@ struct PtgStats {
 /// bstc::Error on contract violations (a task released more often than
 /// its dependence count, or a dependence count that is never satisfied —
 /// i.e. the run ends with pending instances). Task-body exceptions
-/// propagate like in run_graph.
-PtgStats run_ptg(const PtgProgram& program, std::uint32_t num_queues);
+/// propagate like in run_graph. When `trace` is non-null, every executed
+/// instance is recorded as "class(params)" on its queue's lane.
+PtgStats run_ptg(const PtgProgram& program, std::uint32_t num_queues,
+                 TraceRecorder* trace = nullptr);
 
 }  // namespace bstc

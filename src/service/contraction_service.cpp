@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "plan/builder.hpp"
 #include "service/fingerprint.hpp"
 #include "support/error.hpp"
@@ -175,6 +176,11 @@ void ContractionService::worker_loop() {
 void ContractionService::process(Job& job) {
   ContractionResponse& resp = *job.response;
   resp.queue_wait_s = job.since_submit.elapsed_s();
+  obs::Registry& reg = obs::Registry::instance();
+  reg.observe("bstc_service_queue_wait_seconds", resp.queue_wait_s, 0.0, 1.0,
+              20);
+  obs::ScopedSpan span(obs::Category::kServiceRequest,
+                       job.request != nullptr ? "submit" : "iterate");
   try {
     if (job.request != nullptr) {
       const ContractionRequest& req = *job.request;
@@ -218,6 +224,7 @@ void ContractionService::process(Job& job) {
       resp.c = std::move(result.c);
       ++session.iterations;
     }
+    reg.observe("bstc_service_execute_seconds", resp.execute_s, 0.0, 5.0, 20);
     job.status = ServiceStatus::kOk;
   } catch (const std::exception& e) {
     job.status = ServiceStatus::kExecutionError;

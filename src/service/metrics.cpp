@@ -1,5 +1,8 @@
 #include "service/metrics.hpp"
 
+#include <cstdio>
+
+#include "obs/obs.hpp"
 #include "support/format.hpp"
 
 namespace bstc {
@@ -19,6 +22,7 @@ TextTable metrics_table(const ServiceMetrics& m) {
   count("plan cache hits", m.plan_cache.hits);
   count("plan cache misses", m.plan_cache.misses);
   count("plan cache evictions", m.plan_cache.evictions);
+  count("plan builds failed", m.plan_cache.failed_builds);
   count("plans cached", m.plan_cache.size);
   count("sessions opened", m.sessions_opened);
   count("sessions closed", m.sessions_closed);
@@ -38,6 +42,46 @@ TextTable metrics_table(const ServiceMetrics& m) {
   duration("total execute", m.total_execute_s);
   duration("mean execute", m.mean_execute_s());
   return table;
+}
+
+std::string metrics_prometheus(const ServiceMetrics& m) {
+  std::string out;
+  const auto line = [&out](const char* name, double v) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%s %.9g\n", name, v);
+    out += buf;
+  };
+  line("bstc_service_submitted_total", static_cast<double>(m.submitted));
+  line("bstc_service_rejected_total", static_cast<double>(m.rejected));
+  line("bstc_service_completed_total", static_cast<double>(m.completed));
+  line("bstc_service_failed_total", static_cast<double>(m.failed));
+  line("bstc_plan_cache_hits_total", static_cast<double>(m.plan_cache.hits));
+  line("bstc_plan_cache_misses_total",
+       static_cast<double>(m.plan_cache.misses));
+  line("bstc_plan_cache_evictions_total",
+       static_cast<double>(m.plan_cache.evictions));
+  line("bstc_plan_cache_failed_builds_total",
+       static_cast<double>(m.plan_cache.failed_builds));
+  line("bstc_plan_cache_size", static_cast<double>(m.plan_cache.size));
+  line("bstc_sessions_opened_total", static_cast<double>(m.sessions_opened));
+  line("bstc_sessions_closed_total", static_cast<double>(m.sessions_closed));
+  line("bstc_session_iterations_total", static_cast<double>(m.iterations));
+  line("bstc_wire_frames_sent_total",
+       static_cast<double>(m.wire.frames_sent));
+  line("bstc_wire_frames_received_total",
+       static_cast<double>(m.wire.frames_received));
+  line("bstc_wire_bytes_sent_total", static_cast<double>(m.wire.bytes_sent));
+  line("bstc_wire_bytes_received_total",
+       static_cast<double>(m.wire.bytes_received));
+  line("bstc_wire_connect_retries_total",
+       static_cast<double>(m.wire.connect_retries));
+  line("bstc_wire_reconnects_total", static_cast<double>(m.wire.reconnects));
+  line("bstc_service_queue_wait_seconds_total", m.total_queue_wait_s);
+  line("bstc_service_queue_wait_seconds_max", m.max_queue_wait_s);
+  line("bstc_service_inspect_seconds_total", m.total_inspect_s);
+  line("bstc_service_execute_seconds_total", m.total_execute_s);
+  out += obs::prometheus_text(obs::Registry::instance());
+  return out;
 }
 
 }  // namespace bstc

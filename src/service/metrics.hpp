@@ -52,4 +52,9 @@ struct ServiceMetrics {
 /// Two-column (metric, value) table of a snapshot.
 TextTable metrics_table(const ServiceMetrics& m);
 
+/// Prometheus-style text exposition of a snapshot (`name{labels} value`
+/// lines), followed by the obs registry's counters, gauges and latency
+/// histograms. Suitable for a file scrape or a /metrics endpoint.
+std::string metrics_prometheus(const ServiceMetrics& m);
+
 }  // namespace bstc

@@ -1,5 +1,6 @@
 #include "service/plan_cache.hpp"
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "support/timer.hpp"
 
@@ -44,17 +45,25 @@ PlanCache::PlanPtr PlanCache::get_or_build(std::uint64_t key,
     if (fit != inflight_.end()) {
       // Another thread is building this plan right now: join its result
       // instead of running the inspector again (single-flight).
-      ++stats_.hits;
       pending = fit->second;
     } else {
       inflight_.emplace(key, promise.get_future().share());
     }
   }
-  if (pending.valid()) return pending.get();  // may rethrow the build error
+  if (pending.valid()) {
+    // A joined build is a hit only if it succeeds — counting before
+    // get() resolves would inflate the hit rate under failing builds
+    // (the owner alone accounts the failure, as failed_builds).
+    PlanPtr plan = pending.get();  // may rethrow the build error
+    std::lock_guard lock(mutex_);
+    ++stats_.hits;
+    return plan;
+  }
 
   // We own the build. Run the inspector outside the lock.
   Timer timer;
   try {
+    obs::ScopedSpan span(obs::Category::kPlan, "plan-build");
     PlanPtr plan = std::make_shared<const ExecutionPlan>(build());
     const double seconds = timer.elapsed_s();
     {
@@ -70,6 +79,7 @@ PlanCache::PlanPtr PlanCache::get_or_build(std::uint64_t key,
   } catch (...) {
     {
       std::lock_guard lock(mutex_);
+      ++stats_.failed_builds;
       inflight_.erase(key);
     }
     promise.set_exception(std::current_exception());

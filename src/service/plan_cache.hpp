@@ -26,10 +26,12 @@ namespace bstc {
 
 /// Cumulative cache counters (monotonic; snapshot with stats()).
 struct PlanCacheStats {
-  std::size_t hits = 0;       ///< served from cache or a joined in-flight build
-  std::size_t misses = 0;     ///< builds actually executed
-  std::size_t evictions = 0;  ///< plans dropped by LRU capacity
-  std::size_t size = 0;       ///< plans currently cached
+  std::size_t hits = 0;    ///< served from cache or a joined *successful* build
+  std::size_t misses = 0;  ///< builds that executed and succeeded
+  std::size_t evictions = 0;      ///< plans dropped by LRU capacity
+  std::size_t failed_builds = 0;  ///< builds that threw (joiners rethrow but
+                                  ///< count neither as hit nor miss)
+  std::size_t size = 0;           ///< plans currently cached
 };
 
 /// Thread-safe LRU plan cache. Plans are immutable once built and shared
@@ -45,10 +47,11 @@ class PlanCache {
 
   /// Return the plan for `key`, building it with `build` on a miss.
   /// Concurrent calls for the same key share one build (single-flight);
-  /// joiners count as hits. `build_seconds` (optional) receives the
-  /// inspector wall-clock (0 on a hit), `was_hit` (optional) whether the
-  /// plan came from cache / a joined build. If `build` throws, every
-  /// waiter observes the exception and the key stays absent.
+  /// joiners count as hits only once the joined build succeeds.
+  /// `build_seconds` (optional) receives the inspector wall-clock (0 on
+  /// a hit), `was_hit` (optional) whether the plan came from cache / a
+  /// joined build. If `build` throws, every waiter observes the
+  /// exception, the key stays absent, and failed_builds increments once.
   PlanPtr get_or_build(std::uint64_t key, const Builder& build,
                        bool* was_hit = nullptr,
                        double* build_seconds = nullptr);

@@ -118,6 +118,88 @@ TEST(NetTransport, BarrierSynchronizesBothRanks) {
   SUCCEED();
 }
 
+/// Three fully meshed ranks over socket pairs — the smallest topology
+/// where one peer's epoch-N+1 token can land in the parked queue before
+/// another peer's epoch-N token.
+struct LoopbackTrio {
+  WireCounters counters[3];
+  std::unique_ptr<NetTransport> t[3];
+
+  LoopbackTrio() {
+    int p01[2], p02[2], p12[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, p01) != 0 ||
+        ::socketpair(AF_UNIX, SOCK_STREAM, 0, p02) != 0 ||
+        ::socketpair(AF_UNIX, SOCK_STREAM, 0, p12) != 0) {
+      throw Error("socketpair failed");
+    }
+    std::vector<PeerLink> l0;
+    l0.push_back(PeerLink{1, Socket(p01[0])});
+    l0.push_back(PeerLink{2, Socket(p02[0])});
+    t[0] = std::make_unique<NetTransport>(3, 0, std::move(l0), &counters[0]);
+    std::vector<PeerLink> l1;
+    l1.push_back(PeerLink{0, Socket(p01[1])});
+    l1.push_back(PeerLink{2, Socket(p12[0])});
+    t[1] = std::make_unique<NetTransport>(3, 1, std::move(l1), &counters[1]);
+    std::vector<PeerLink> l2;
+    l2.push_back(PeerLink{0, Socket(p02[1])});
+    l2.push_back(PeerLink{1, Socket(p12[1])});
+    t[2] = std::make_unique<NetTransport>(3, 2, std::move(l2), &counters[2]);
+  }
+};
+
+TEST(NetTransport, BarrierCreditsTokensStashedDuringAnEarlierEpoch) {
+  // Deterministic replay of the overtaking arrival order: rank 0's
+  // parked queue holds rank 1's epoch-2 token ahead of its epoch-1
+  // token, so barrier(1) pops the epoch-2 token first and stashes it.
+  // barrier(2) must then credit the stash instead of waiting for a
+  // token it already consumed — before the fix this deadlocked.
+  LoopbackPair pair;
+  pair.t1->post(0, encode_barrier(2));
+  pair.t1->post(0, encode_barrier(1));
+  // Give both tokens time to be parked before barrier(1) starts popping.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pair.t0->barrier(1);
+  pair.t0->barrier(2);
+  SUCCEED();
+}
+
+TEST(NetTransport, BarrierSurvivesSkewedRanksAcrossEpochs) {
+  // The organic version of the stash: rank 2 enters barrier(1) late, so
+  // ranks 0 and 1 block in barrier(1) while rank 2's arrival lets the
+  // *other* fast rank complete and post its epoch-2 token — which can
+  // overtake rank 2's epoch-1 token in the blocked rank's parked queue.
+  for (int round = 0; round < 5; ++round) {
+    LoopbackTrio trio;
+    std::thread r1([&] {
+      trio.t[1]->barrier(1);
+      trio.t[1]->barrier(2);
+    });
+    std::thread r2([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      trio.t[2]->barrier(1);
+      trio.t[2]->barrier(2);
+    });
+    trio.t[0]->barrier(1);
+    trio.t[0]->barrier(2);
+    r1.join();
+    r2.join();
+  }
+  SUCCEED();
+}
+
+TEST(NetTransport, ConnectRetryAbsorbsResolutionFailures) {
+  // Resolution used to happen once, outside the retry loop, so a
+  // transient resolver failure aborted the rank immediately instead of
+  // being retried with backoff like a refused connect.
+  WireCounters counters;
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff_ms = 1;
+  EXPECT_THROW(connect_with_retry("host.invalid", 1, policy, &counters),
+               Error);
+  EXPECT_GE(counters.snapshot().connect_retries, 1u);
+}
+
 TEST(NetTransport, PeerDeathPoisonsWaitersAndSends) {
   int fds[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);

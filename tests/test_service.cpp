@@ -214,8 +214,76 @@ TEST(PlanCache, BuilderFailurePropagatesAndLeavesKeyAbsent) {
       }),
       Error);
   EXPECT_EQ(cache.lookup(9), nullptr);
+  const PlanCacheStats st = cache.stats();
+  EXPECT_EQ(st.failed_builds, 1u);
+  EXPECT_EQ(st.hits, 0u);
+  EXPECT_EQ(st.misses, 0u);
   // The key is retryable after a failure.
   EXPECT_NE(cache.get_or_build(9, tiny_plan), nullptr);
+}
+
+TEST(PlanCache, JoinersOfAFailedBuildDoNotCountAsHits) {
+  // A joiner used to book its hit before the owning build resolved, so a
+  // failing build inflated the hit count even though every joiner
+  // rethrew. The outcome must be booked after pending.get() resolves:
+  // nobody got a plan, so nobody is a hit.
+  PlanCache cache(4);
+  std::atomic<bool> building{false};
+  std::atomic<bool> joiner_started{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> throws_seen{0};
+
+  std::thread owner([&] {
+    try {
+      (void)cache.get_or_build(5, [&]() -> ExecutionPlan {
+        building = true;
+        while (!release) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        throw Error("inspector exploded");
+      });
+    } catch (const Error&) {
+      ++throws_seen;
+    }
+  });
+  while (!building) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread joiner([&] {
+    joiner_started = true;
+    try {
+      // The build is in flight (its inflight entry outlives `release`),
+      // so this joins it — the builder here must never run.
+      (void)cache.get_or_build(5, []() -> ExecutionPlan {
+        throw Error("joiner built instead of joining");
+      });
+    } catch (const Error&) {
+      ++throws_seen;
+    }
+  });
+  while (!joiner_started) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  release = true;
+  owner.join();
+  joiner.join();
+
+  EXPECT_EQ(throws_seen.load(), 2);  // both rethrow the build error
+  PlanCacheStats st = cache.stats();
+  EXPECT_EQ(st.hits, 0u);
+  EXPECT_EQ(st.misses, 0u);
+  EXPECT_EQ(st.failed_builds, 1u);
+  EXPECT_EQ(cache.lookup(5), nullptr);
+
+  // A later successful build counts normally, and joiners of *that* one
+  // are genuine hits again.
+  EXPECT_NE(cache.get_or_build(5, tiny_plan), nullptr);
+  EXPECT_NE(cache.get_or_build(5, tiny_plan), nullptr);
+  st = cache.stats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.failed_builds, 1u);
 }
 
 // ---------------------------------------------------------------------------

@@ -45,6 +45,8 @@
 #include "core/engine.hpp"
 #include "net/counters.hpp"
 #include "net/launch.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_merge.hpp"
 #include "plan/builder.hpp"
 #include "plan/explain.hpp"
 #include "plan/serialize.hpp"
@@ -100,7 +102,8 @@ const CommandInfo kCommands[] = {
      "usage: bstc_cli execute [options]\n"
      "  --m --n --k --density --tile-lo --tile-hi   problem geometry\n"
      "  --verify true|false  compare against the reference product\n"
-     "  --trace FILE.json    write a Chrome-tracing timeline\n"},
+     "  --trace FILE.json    write a Chrome-tracing timeline (tasks only)\n"
+     "  --trace-out F.json   write a unified obs trace (tasks + plan spans)\n"},
     {"launch", "run the distributed executor as real OS processes",
      "usage: bstc_cli launch [options]\n"
      "  --np N               rank processes, one per grid node (default 4)\n"
@@ -112,13 +115,17 @@ const CommandInfo kCommands[] = {
      "  --port P             rendezvous port (default: ephemeral)\n"
      "  --spawn N            fork only N workers; the remaining np - N\n"
      "                       join by hand via `bstc_cli worker` (default np)\n"
+     "  --trace-out F.json   gather every rank's spans and write one merged\n"
+     "                       Chrome/Perfetto trace (per-rank process lanes)\n"
      "  Forks --np workers of this binary, runs the 2D-grid contraction\n"
      "  over TCP, verifies C bitwise against a single-process run, and\n"
      "  checks measured wire bytes against the plan statistics exactly.\n"},
     {"worker", "join a launch rendezvous (spawned by `launch`)",
      "usage: bstc_cli worker --host H --port P [problem flags]\n"
      "  Normally started by `bstc_cli launch`, not by hand; the problem\n"
-     "  flags must match the launcher's (fingerprints are cross-checked).\n"},
+     "  flags must match the launcher's (fingerprints are cross-checked).\n"
+     "  --trace-out F.json   must match the launcher's --trace-out (every\n"
+     "                       rank takes part in the trace gather)\n"},
     {"serve-batch", "drive the ContractionService with a request mix",
      "usage: bstc_cli serve-batch [options]\n"
      "  --workers N          service worker threads (default 2)\n"
@@ -131,7 +138,9 @@ const CommandInfo kCommands[] = {
      "  script lines:  problem m=96 k=480 n=480 density=0.4 seed=1 \\\n"
      "                   repeat=4 gpus=2 gpu-mem=1e6 [tile-lo=8 tile-hi=24]\n"
      "                 session m=64 k=320 n=320 density=0.5 iters=6 ...\n"
-     "                 ('#' starts a comment)\n"},
+     "                 ('#' starts a comment)\n"
+     "  --trace-out F.json   write a span trace of the whole batch\n"
+     "  --metrics-out F.txt  write Prometheus-style text metrics\n"},
 };
 
 const CommandInfo* find_command(const std::string& name) {
@@ -358,7 +367,27 @@ int cmd_plan(const Args& args) {
   return violations.empty() ? 0 : 1;
 }
 
+/// Single-process trace: this process is the only "rank" in the merged
+/// JSON, with its wire totals (zero unless a transport ran) attached.
+void write_local_trace(const std::string& path) {
+  obs::Registry& reg = obs::Registry::instance();
+  obs::RankTrace t;
+  t.rank = 0;
+  net::WireCounterSnapshot wc;
+  t.spans =
+      reg.spans_with([&] { wc = net::global_wire_counters().snapshot(); });
+  t.lane_names = reg.lane_names();
+  t.wire_frames_sent = wc.frames_sent;
+  t.wire_frames_received = wc.frames_received;
+  t.wire_bytes_sent = wc.bytes_sent;
+  t.wire_bytes_received = wc.bytes_received;
+  obs::write_merged_trace(path, {t});
+  std::printf("trace          %s\n", path.c_str());
+}
+
 int cmd_execute(const Args& args) {
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) obs::Registry::instance().set_enabled(true);
   const SynthProblem p = make_problem(args);
   const MachineModel machine = make_machine(args);
   EngineConfig cfg;
@@ -376,6 +405,7 @@ int cmd_execute(const Args& args) {
   std::printf("A broadcast    %s, C return %s\n",
               fmt_bytes(result.a_network_bytes).c_str(),
               fmt_bytes(result.c_network_bytes).c_str());
+  if (!trace_out.empty()) write_local_trace(trace_out);
 
   if (args.get_bool("verify", true)) {
     BlockSparseMatrix b_full(p.b);
@@ -420,6 +450,7 @@ int cmd_worker(const Args& args) {
   opts.port = static_cast<std::uint16_t>(args.get_int("port", 0));
   BSTC_REQUIRE(opts.port != 0, "worker: --port is required");
   opts.spec = make_net_spec(args);
+  opts.trace_out = args.get("trace-out", "");
   return net::run_worker(opts);
 }
 
@@ -428,6 +459,7 @@ int cmd_launch(const Args& args) {
   opts.spec = make_net_spec(args);
   opts.host = args.get("host", "127.0.0.1");
   opts.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  opts.trace_out = args.get("trace-out", "");
 
   struct Child {
     pid_t pid = -1;
@@ -458,6 +490,10 @@ int cmd_launch(const Args& args) {
                                          "--host", host, "--port",
                                          std::to_string(port)};
       argv_s.insert(argv_s.end(), spec_flags.begin(), spec_flags.end());
+      if (!opts.trace_out.empty()) {
+        argv_s.push_back("--trace-out");
+        argv_s.push_back(opts.trace_out);
+      }
       std::vector<char*> argv;
       argv.reserve(argv_s.size() + 1);
       for (std::string& s : argv_s) argv.push_back(s.data());
@@ -531,6 +567,10 @@ int cmd_launch(const Args& args) {
                       report.verdict.stats_c_network_bytes
                   ? "exact"
                   : "MISMATCH");
+  if (!opts.trace_out.empty()) {
+    std::printf("trace          %s (merged across %d ranks)\n",
+                opts.trace_out.c_str(), opts.spec.np);
+  }
   if (worker_failures > 0) {
     std::fprintf(stderr, "launch: %d worker(s) exited with a failure\n",
                  worker_failures);
@@ -657,6 +697,8 @@ void record_response(ServeWorkload& w, ServiceStatus status,
 }
 
 int cmd_serve_batch(const Args& args) {
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) obs::Registry::instance().set_enabled(true);
   ServiceConfig service_cfg;
   service_cfg.workers = static_cast<int>(args.get_int("workers", 2));
   service_cfg.queue_capacity =
@@ -761,6 +803,15 @@ int cmd_serve_batch(const Args& args) {
   std::printf("wall           %s (%.1f requests/s)\n",
               fmt_duration(wall_s).c_str(),
               static_cast<double>(m.completed) / std::max(wall_s, 1e-9));
+  if (!trace_out.empty()) write_local_trace(trace_out);
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    BSTC_REQUIRE(out.good(), "cannot open " + metrics_out);
+    out << metrics_prometheus(m);
+    BSTC_REQUIRE(out.good(), "failed writing " + metrics_out);
+    std::printf("metrics        %s\n", metrics_out.c_str());
+  }
 
   int failed = 0;
   for (const auto& w : workloads) failed += w->failed;

@@ -1,0 +1,199 @@
+/// \file trace_check.cpp
+/// Structural validator for the merged Chrome/Perfetto traces that
+/// `bstc_cli launch --trace-out` (and execute/serve-batch) emit. Used by
+/// the CI tracing smoke step and handy after any manual run:
+///
+///   bstc_trace_check trace.json --ranks 4
+///
+/// Checks, per the exact-accounting discipline of the launcher:
+///   - the file is the expected line-structured {"traceEvents":[...]}
+///   - exactly --ranks distinct pids 0..N-1, each with a process_name
+///     and a wire_counters metadata event
+///   - every rank has at least one task span and (for N > 1) comm spans
+///   - X events are sorted by ts, with ts >= 0 and dur >= 0
+///   - per rank, summed comm.tx span bytes == wire_counters bytes_sent
+///     and summed comm.rx span bytes == bytes_received — exactly
+///
+/// The parser is deliberately narrow: it reads the one-event-per-line
+/// format merge_traces_json produces, not arbitrary JSON.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/args.hpp"
+
+namespace {
+
+int g_failures = 0;
+
+void fail(const std::string& msg) {
+  std::fprintf(stderr, "trace_check: %s\n", msg.c_str());
+  ++g_failures;
+}
+
+/// Value of `"key":` in `line`, or empty when absent. Handles the two
+/// shapes the merger emits: quoted strings and bare numbers.
+std::string field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  std::size_t start = at + needle.size();
+  if (start >= line.size()) return "";
+  if (line[start] == '"') {
+    ++start;
+    std::string out;
+    for (std::size_t i = start; i < line.size(); ++i) {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        out += line[++i];
+        continue;
+      }
+      if (line[i] == '"') return out;
+      out += line[i];
+    }
+    return out;  // unterminated; caller validates
+  }
+  std::size_t end = start;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(start, end - start);
+}
+
+struct PerRank {
+  bool has_process_name = false;
+  bool has_wire_counters = false;
+  std::uint64_t expect_tx_bytes = 0;
+  std::uint64_t expect_rx_bytes = 0;
+  std::uint64_t sum_tx_bytes = 0;
+  std::uint64_t sum_rx_bytes = 0;
+  std::size_t task_spans = 0;
+  std::size_t comm_spans = 0;
+  std::size_t events = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bstc::Args args(argc, argv);
+  if (args.positional().empty()) {
+    std::fprintf(stderr, "usage: bstc_trace_check <trace.json> --ranks N\n");
+    return 2;
+  }
+  const std::string path = args.positional().front();
+  const long ranks = static_cast<long>(args.get_int("ranks", 1));
+
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", path.c_str());
+    return 2;
+  }
+
+  std::map<long, PerRank> by_rank;
+  std::string line;
+  bool saw_header = false;
+  bool saw_footer = false;
+  double last_ts = -1.0;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string at = " (line " + std::to_string(lineno) + ")";
+    if (line.rfind("{\"traceEvents\":[", 0) == 0) {
+      saw_header = true;
+      continue;
+    }
+    if (line.rfind("]}", 0) == 0) {
+      saw_footer = true;
+      continue;
+    }
+    if (line.empty()) continue;
+    const std::string ph = field(line, "ph");
+    const std::string pid_s = field(line, "pid");
+    if (ph.empty() || pid_s.empty()) {
+      fail("event without ph/pid" + at);
+      continue;
+    }
+    const long pid = std::strtol(pid_s.c_str(), nullptr, 10);
+    PerRank& r = by_rank[pid];
+    if (ph == "M") {
+      const std::string name = field(line, "name");
+      if (name == "process_name") r.has_process_name = true;
+      if (name == "wire_counters") {
+        r.has_wire_counters = true;
+        r.expect_tx_bytes = std::strtoull(
+            field(line, "bytes_sent").c_str(), nullptr, 10);
+        r.expect_rx_bytes = std::strtoull(
+            field(line, "bytes_received").c_str(), nullptr, 10);
+      }
+      continue;
+    }
+    if (ph != "X") {
+      fail("unexpected phase '" + ph + "'" + at);
+      continue;
+    }
+    ++r.events;
+    const double ts = std::strtod(field(line, "ts").c_str(), nullptr);
+    const double dur = std::strtod(field(line, "dur").c_str(), nullptr);
+    if (ts < 0.0) fail("negative ts" + at);
+    if (dur < 0.0) fail("negative dur" + at);
+    if (ts < last_ts) fail("events not sorted by ts" + at);
+    last_ts = ts;
+    const std::string cat = field(line, "cat");
+    const std::uint64_t bytes =
+        std::strtoull(field(line, "bytes").c_str(), nullptr, 10);
+    if (cat == "task") ++r.task_spans;
+    if (cat == "comm.tx") {
+      ++r.comm_spans;
+      r.sum_tx_bytes += bytes;
+    }
+    if (cat == "comm.rx") {
+      ++r.comm_spans;
+      r.sum_rx_bytes += bytes;
+    }
+  }
+
+  if (!saw_header) fail("missing {\"traceEvents\":[ header");
+  if (!saw_footer) fail("missing ]} footer");
+  if (static_cast<long>(by_rank.size()) != ranks) {
+    fail("expected " + std::to_string(ranks) + " ranks, found " +
+         std::to_string(by_rank.size()));
+  }
+  for (const auto& [pid, r] : by_rank) {
+    const std::string who = "rank " + std::to_string(pid);
+    if (pid < 0 || pid >= ranks) {
+      fail(who + ": pid outside 0.." + std::to_string(ranks - 1));
+      continue;
+    }
+    if (!r.has_process_name) fail(who + ": no process_name metadata");
+    if (!r.has_wire_counters) fail(who + ": no wire_counters metadata");
+    if (r.task_spans == 0) fail(who + ": no task spans");
+    if (ranks > 1 && r.comm_spans == 0) fail(who + ": no comm spans");
+    if (r.sum_tx_bytes != r.expect_tx_bytes) {
+      fail(who + ": comm.tx span bytes sum to " +
+           std::to_string(r.sum_tx_bytes) + " but wire_counters says " +
+           std::to_string(r.expect_tx_bytes));
+    }
+    if (r.sum_rx_bytes != r.expect_rx_bytes) {
+      fail(who + ": comm.rx span bytes sum to " +
+           std::to_string(r.sum_rx_bytes) + " but wire_counters says " +
+           std::to_string(r.expect_rx_bytes));
+    }
+    std::printf(
+        "%s: %zu events, %zu task spans, %zu comm spans, "
+        "tx %llu bytes, rx %llu bytes\n",
+        who.c_str(), r.events, r.task_spans, r.comm_spans,
+        static_cast<unsigned long long>(r.sum_tx_bytes),
+        static_cast<unsigned long long>(r.sum_rx_bytes));
+  }
+
+  if (g_failures > 0) {
+    std::fprintf(stderr, "trace_check: %d failure(s) in %s\n", g_failures,
+                 path.c_str());
+    return 1;
+  }
+  std::printf("trace_check: %s ok (%ld ranks)\n", path.c_str(), ranks);
+  return 0;
+}
