@@ -18,6 +18,9 @@ const char* frame_type_name(FrameType type) {
     case FrameType::kClockProbe: return "clockprobe";
     case FrameType::kClockReply: return "clockreply";
     case FrameType::kTrace: return "trace";
+    case FrameType::kRequest: return "request";
+    case FrameType::kResponse: return "response";
+    case FrameType::kServiceCtl: return "servicectl";
   }
   return "unknown";
 }
@@ -35,7 +38,7 @@ namespace {
 
 bool valid_frame_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         raw <= static_cast<std::uint8_t>(FrameType::kTrace);
+         raw <= static_cast<std::uint8_t>(FrameType::kServiceCtl);
 }
 
 }  // namespace
@@ -413,6 +416,165 @@ TraceMsg decode_trace(const Frame& frame) {
     s.name = r.str();
     msg.spans.push_back(std::move(s));
   }
+  r.finish();
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
+// Serving frames.
+
+Frame encode_request(const RequestMsg& msg) {
+  WireWriter w;
+  w.u64(msg.request_id);
+  w.u8(msg.kind);
+  w.u64(static_cast<std::uint64_t>(msg.m));
+  w.u64(static_cast<std::uint64_t>(msg.k));
+  w.u64(static_cast<std::uint64_t>(msg.n));
+  w.f64(msg.density);
+  w.u64(static_cast<std::uint64_t>(msg.tile_lo));
+  w.u64(static_cast<std::uint64_t>(msg.tile_hi));
+  w.u64(msg.seed);
+  w.u32(msg.gpus);
+  w.f64(msg.gpu_mem);
+  w.u32(msg.p);
+  w.u64(msg.a_seed);
+  w.u8(msg.want_c ? 1 : 0);
+  return Frame{FrameType::kRequest, w.take()};
+}
+
+RequestMsg decode_request(const Frame& frame) {
+  BSTC_REQUIRE(frame.type == FrameType::kRequest,
+               "wire: expected request frame");
+  WireReader r(frame.payload);
+  RequestMsg msg;
+  msg.request_id = r.u64();
+  msg.kind = r.u8();
+  BSTC_REQUIRE(msg.kind >= 1 && msg.kind <= 4,
+               "wire: unknown serving request kind");
+  msg.m = static_cast<std::int64_t>(r.u64());
+  msg.k = static_cast<std::int64_t>(r.u64());
+  msg.n = static_cast<std::int64_t>(r.u64());
+  msg.density = r.f64();
+  msg.tile_lo = static_cast<std::int64_t>(r.u64());
+  msg.tile_hi = static_cast<std::int64_t>(r.u64());
+  msg.seed = r.u64();
+  msg.gpus = r.u32();
+  msg.gpu_mem = r.f64();
+  msg.p = r.u32();
+  msg.a_seed = r.u64();
+  msg.want_c = r.u8() != 0;
+  r.finish();
+  return msg;
+}
+
+Frame encode_response(const ResponseMsg& msg) {
+  WireWriter w;
+  w.u64(msg.request_id);
+  w.u8(msg.status);
+  w.u64(msg.fingerprint);
+  w.u64(msg.routing_key);
+  w.u32(msg.served_by);
+  w.u8(msg.plan_cache_hit ? 1 : 0);
+  w.f64(msg.queue_wait_s);
+  w.f64(msg.inspect_s);
+  w.f64(msg.execute_s);
+  w.u64(msg.tasks_executed);
+  w.u64(msg.b_max_generations);
+  w.u64(msg.c_checksum);
+  w.f64(msg.c_norm);
+  w.str(msg.text);
+  w.str(msg.error);
+  w.u8(msg.has_c ? 1 : 0);
+  if (msg.has_c) {
+    w.u32(static_cast<std::uint32_t>(msg.c_tiles.size()));
+    for (const auto& [key, tile] : msg.c_tiles) {
+      w.u64(key);
+      w.u32(static_cast<std::uint32_t>(tile.rows()));
+      w.u32(static_cast<std::uint32_t>(tile.cols()));
+      w.raw(tile.data(), tile.bytes());
+    }
+  }
+  return Frame{FrameType::kResponse, w.take()};
+}
+
+ResponseMsg decode_response(const Frame& frame) {
+  BSTC_REQUIRE(frame.type == FrameType::kResponse,
+               "wire: expected response frame");
+  WireReader r(frame.payload);
+  ResponseMsg msg;
+  msg.request_id = r.u64();
+  msg.status = r.u8();
+  msg.fingerprint = r.u64();
+  msg.routing_key = r.u64();
+  msg.served_by = r.u32();
+  msg.plan_cache_hit = r.u8() != 0;
+  msg.queue_wait_s = r.f64();
+  msg.inspect_s = r.f64();
+  msg.execute_s = r.f64();
+  msg.tasks_executed = r.u64();
+  msg.b_max_generations = r.u64();
+  msg.c_checksum = r.u64();
+  msg.c_norm = r.f64();
+  msg.text = r.str();
+  msg.error = r.str();
+  msg.has_c = r.u8() != 0;
+  if (msg.has_c) {
+    const std::uint32_t count = r.u32();
+    msg.c_tiles.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint64_t key = r.u64();
+      const auto rows = static_cast<Index>(r.u32());
+      const auto cols = static_cast<Index>(r.u32());
+      const std::uint64_t bytes = static_cast<std::uint64_t>(rows) *
+                                  static_cast<std::uint64_t>(cols) *
+                                  sizeof(double);
+      BSTC_REQUIRE(bytes <= r.remaining(),
+                   "wire: response tile extents disagree with payload size");
+      Tile tile(rows, cols);
+      r.raw(tile.data(), tile.bytes());
+      msg.c_tiles.emplace_back(key, std::move(tile));
+    }
+  }
+  r.finish();
+  return msg;
+}
+
+const char* service_ctl_op_name(ServiceCtlOp op) {
+  switch (op) {
+    case ServiceCtlOp::kMetricsQuery: return "metrics-query";
+    case ServiceCtlOp::kMetricsReply: return "metrics-reply";
+    case ServiceCtlOp::kDrain: return "drain";
+    case ServiceCtlOp::kDrainAck: return "drain-ack";
+    case ServiceCtlOp::kCrash: return "crash";
+  }
+  return "unknown";
+}
+
+Frame encode_service_ctl(const ServiceCtlMsg& msg) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(msg.op));
+  w.u32(msg.rank);
+  w.u32(static_cast<std::uint32_t>(msg.counters.size()));
+  for (const std::uint64_t v : msg.counters) w.u64(v);
+  w.str(msg.text);
+  return Frame{FrameType::kServiceCtl, w.take()};
+}
+
+ServiceCtlMsg decode_service_ctl(const Frame& frame) {
+  BSTC_REQUIRE(frame.type == FrameType::kServiceCtl,
+               "wire: expected service-ctl frame");
+  WireReader r(frame.payload);
+  ServiceCtlMsg msg;
+  const std::uint8_t op = r.u8();
+  BSTC_REQUIRE(op >= 1 && op <= 5, "wire: unknown service-ctl op");
+  msg.op = static_cast<ServiceCtlOp>(op);
+  msg.rank = r.u32();
+  const std::uint32_t count = r.u32();
+  BSTC_REQUIRE(static_cast<std::uint64_t>(count) * 8 <= r.remaining(),
+               "wire: truncated service-ctl counters");
+  msg.counters.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) msg.counters.push_back(r.u64());
+  msg.text = r.str();
   r.finish();
   return msg;
 }

@@ -65,6 +65,9 @@ enum class FrameType : std::uint8_t {
   kClockProbe = 12,  ///< rank 0 -> peer: clock-offset probe (t0 attached)
   kClockReply = 13,  ///< peer -> rank 0: echo of t0 + the peer's clock
   kTrace = 14,       ///< peer -> rank 0: serialized span trace + counters
+  kRequest = 15,     ///< front -> worker: one serving request (spec, no data)
+  kResponse = 16,    ///< worker -> front: request outcome (+ C tiles)
+  kServiceCtl = 17,  ///< service control (metrics gather, drain, fault inj.)
 };
 
 const char* frame_type_name(FrameType type);
@@ -248,5 +251,82 @@ struct TraceMsg {
 
 Frame encode_trace(const TraceMsg& msg);
 TraceMsg decode_trace(const Frame& frame);
+
+// ---------------------------------------------------------------------------
+// Serving frames (the distributed ContractionService mode).
+
+/// One serving request, front rank -> worker rank. The problem never
+/// travels — only its deterministic spec (ServeProblemSpec fields, packed
+/// raw so the wire layer stays independent of src/service): the worker
+/// rebuilds bit-identical shapes and inputs from the seeds.
+struct RequestMsg {
+  std::uint64_t request_id = 0;
+  std::uint8_t kind = 1;  ///< ServeRequestKind value (validated on decode)
+  std::int64_t m = 0;
+  std::int64_t k = 0;
+  std::int64_t n = 0;
+  double density = 0.0;
+  std::int64_t tile_lo = 0;
+  std::int64_t tile_hi = 0;
+  std::uint64_t seed = 0;
+  std::uint32_t gpus = 1;
+  double gpu_mem = 0.0;
+  std::uint32_t p = 1;
+  std::uint64_t a_seed = 0;
+  bool want_c = true;  ///< ship result tiles back (checksum always comes)
+};
+
+Frame encode_request(const RequestMsg& msg);
+RequestMsg decode_request(const Frame& frame);
+
+/// The outcome of one request, worker rank -> front rank. Carries the
+/// bitwise checksum witness always, and the raw C tiles when the request
+/// asked for them (keys are the engine's row<<32|col tile keys).
+struct ResponseMsg {
+  std::uint64_t request_id = 0;
+  std::uint8_t status = 0;  ///< ServiceStatus value
+  std::uint64_t fingerprint = 0;
+  std::uint64_t routing_key = 0;
+  std::uint32_t served_by = 0;
+  bool plan_cache_hit = false;
+  double queue_wait_s = 0.0;
+  double inspect_s = 0.0;
+  double execute_s = 0.0;
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t b_max_generations = 0;
+  std::uint64_t c_checksum = 0;
+  double c_norm = 0.0;
+  std::string text;   ///< plan-explain narrative
+  std::string error;  ///< failure detail
+  bool has_c = false;
+  std::vector<std::pair<std::uint64_t, Tile>> c_tiles;
+};
+
+Frame encode_response(const ResponseMsg& msg);
+ResponseMsg decode_response(const Frame& frame);
+
+/// Service-control verbs multiplexed on one frame type.
+enum class ServiceCtlOp : std::uint8_t {
+  kMetricsQuery = 1,  ///< front -> worker: snapshot your counters
+  kMetricsReply = 2,  ///< worker -> front: counters + Prometheus text
+  kDrain = 3,         ///< front -> worker: finish in-flight work and exit
+  kDrainAck = 4,      ///< worker -> front: drained, about to exit
+  kCrash = 5,         ///< fault injection: die immediately (tests only)
+};
+
+const char* service_ctl_op_name(ServiceCtlOp op);
+
+/// A control exchange on the service mesh. `counters` is an opaque
+/// ordered vector whose layout the serve layer defines (ServeRankCounter);
+/// `text` carries the worker's Prometheus exposition on kMetricsReply.
+struct ServiceCtlMsg {
+  ServiceCtlOp op = ServiceCtlOp::kMetricsQuery;
+  std::uint32_t rank = 0;
+  std::vector<std::uint64_t> counters;
+  std::string text;
+};
+
+Frame encode_service_ctl(const ServiceCtlMsg& msg);
+ServiceCtlMsg decode_service_ctl(const Frame& frame);
 
 }  // namespace bstc::net

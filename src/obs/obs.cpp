@@ -14,6 +14,7 @@ const char* category_name(Category cat) {
     case Category::kPlan: return "plan";
     case Category::kServiceRequest: return "service.request";
     case Category::kPhase: return "phase";
+    case Category::kServiceNet: return "service.net";
   }
   return "unknown";
 }

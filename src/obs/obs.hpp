@@ -44,6 +44,7 @@ enum class Category : std::uint8_t {
   kPlan,            ///< an inspector (plan) build
   kServiceRequest,  ///< one ContractionService request lifecycle
   kPhase,           ///< a coarse worker phase (rendezvous, mesh, ...)
+  kServiceNet,      ///< one distributed-serving request over the wire
 };
 
 const char* category_name(Category cat);

@@ -5,6 +5,7 @@
 
 #include "obs/obs.hpp"
 #include "plan/builder.hpp"
+#include "plan/explain.hpp"
 #include "service/fingerprint.hpp"
 #include "support/error.hpp"
 #include "support/timer.hpp"
@@ -19,6 +20,7 @@ const char* service_status_name(ServiceStatus status) {
     case ServiceStatus::kInvalidRequest: return "invalid-request";
     case ServiceStatus::kSessionNotFound: return "session-not-found";
     case ServiceStatus::kExecutionError: return "execution-error";
+    case ServiceStatus::kWorkerLost: return "worker-lost";
   }
   return "unknown";
 }
@@ -356,6 +358,43 @@ ServiceStatus ContractionService::close_session(std::uint64_t session_id) {
   {
     std::lock_guard lock(mutex_);
     ++metrics_.sessions_closed;
+  }
+  return ServiceStatus::kOk;
+}
+
+ServiceStatus ContractionService::explain(
+    const Shape& a_shape, const Shape& b_shape, const Shape& c_shape,
+    const MachineModel& machine, const EngineConfig& engine,
+    std::string& text, bool* cache_hit) {
+  text.clear();
+  if (cache_hit != nullptr) *cache_hit = false;
+  std::string error;
+  TileGenerator probe = [](std::size_t, std::size_t) { return Tile(); };
+  const ServiceStatus valid =
+      validate_problem(a_shape, &b_shape, &c_shape, probe, error);
+  if (valid != ServiceStatus::kOk) return valid;
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return ServiceStatus::kShuttingDown;
+  }
+  try {
+    double inspect_s = 0.0;
+    bool hit = false;
+    const std::uint64_t fp =
+        fingerprint_problem(a_shape, b_shape, c_shape, machine, engine.plan);
+    const PlanCache::PlanPtr plan = cache_.get_or_build(
+        fp,
+        [&] {
+          return build_plan(a_shape, b_shape, c_shape, machine, engine.plan);
+        },
+        &hit, &inspect_s);
+    text = explain_plan(*plan, a_shape, b_shape, c_shape);
+    if (cache_hit != nullptr) *cache_hit = hit;
+    std::lock_guard lock(mutex_);
+    metrics_.total_inspect_s += inspect_s;
+    ++metrics_.explains;
+  } catch (const std::exception&) {
+    return ServiceStatus::kExecutionError;
   }
   return ServiceStatus::kOk;
 }

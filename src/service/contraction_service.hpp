@@ -57,6 +57,7 @@ enum class ServiceStatus : std::uint8_t {
   kInvalidRequest,   ///< malformed request (null fields, tiling mismatch)
   kSessionNotFound,  ///< unknown / already-closed session id
   kExecutionError,   ///< inspector or executor failed; see response.error
+  kWorkerLost,       ///< the remote worker rank died mid-request
 };
 
 /// Human-readable status name ("ok", "queue-full", ...).
@@ -146,6 +147,14 @@ class ContractionService {
 
   /// Release the session (its plan may stay in the shared plan cache).
   ServiceStatus close_session(std::uint64_t session_id);
+
+  /// Render the plan narrative for a problem, resolving (or building) the
+  /// plan through the shared cache — metadata only, no execution. Runs the
+  /// inspector inline on the calling thread on a cache miss.
+  ServiceStatus explain(const Shape& a_shape, const Shape& b_shape,
+                        const Shape& c_shape, const MachineModel& machine,
+                        const EngineConfig& engine, std::string& text,
+                        bool* cache_hit = nullptr);
 
   /// Snapshot of service counters (thread-safe, any time).
   ServiceMetrics metrics() const;

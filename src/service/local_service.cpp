@@ -1,0 +1,175 @@
+#include "service/local_service.hpp"
+
+#include <utility>
+
+namespace bstc {
+
+LocalService::LocalService(ServiceConfig cfg, int rank)
+    : service_(cfg), rank_(rank) {}
+
+std::shared_ptr<const BuiltServeProblem> LocalService::built_for(
+    const ServeRequest& request, ServeOutcome& outcome,
+    ServiceStatus& status) {
+  outcome.routing_key = serve_routing_key(request.spec);
+  outcome.served_by = rank_;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = built_.find(outcome.routing_key);
+    if (it != built_.end()) {
+      outcome.fingerprint = it->second->fingerprint;
+      status = ServiceStatus::kOk;
+      return it->second;
+    }
+  }
+  std::shared_ptr<const BuiltServeProblem> built;
+  try {
+    built = std::make_shared<const BuiltServeProblem>(
+        build_serve_problem(request.spec));
+  } catch (const std::exception& e) {
+    outcome.error = e.what();
+    status = ServiceStatus::kInvalidRequest;
+    return nullptr;
+  }
+  outcome.fingerprint = built->fingerprint;
+  status = ServiceStatus::kOk;
+  std::lock_guard lock(mutex_);
+  return built_.emplace(outcome.routing_key, std::move(built)).first->second;
+}
+
+namespace {
+
+/// Copy the fields common to submit() and iterate() responses.
+void fill_outcome(const ContractionResponse& resp, bool want_c,
+                  ServeOutcome& outcome) {
+  outcome.plan_cache_hit = resp.plan_cache_hit;
+  outcome.queue_wait_s = resp.queue_wait_s;
+  outcome.inspect_s = resp.inspect_s;
+  outcome.execute_s = resp.execute_s;
+  outcome.tasks_executed = resp.tasks_executed;
+  outcome.b_max_generations = resp.b_max_generations;
+  outcome.error = resp.error;
+  if (resp.error.empty()) {
+    outcome.c_checksum = bsm_content_checksum(resp.c);
+    outcome.c_norm = resp.c.norm();
+    if (want_c) {
+      outcome.c = resp.c;
+      outcome.has_c = true;
+    }
+  }
+}
+
+}  // namespace
+
+ServiceStatus LocalService::Contract(const ServeRequest& request,
+                                     ServeOutcome& outcome) {
+  outcome = ServeOutcome{};
+  ServiceStatus status = ServiceStatus::kOk;
+  const auto built = built_for(request, outcome, status);
+  if (built == nullptr) return status;
+
+  const BlockSparseMatrix a =
+      build_serve_a(*built, effective_a_seed(request));
+  ContractionRequest req;
+  req.a = &a;
+  req.b_shape = &built->b_shape;
+  req.b_generator = built->b_gen;
+  req.c_shape = &built->c_shape;
+  req.machine = built->machine;
+  req.engine = built->engine;
+  ContractionResponse resp;
+  status = service_.submit(req, resp);
+  if (status == ServiceStatus::kOk) {
+    fill_outcome(resp, request.want_c, outcome);
+  } else {
+    outcome.error = resp.error;
+  }
+  return status;
+}
+
+ServiceStatus LocalService::SessionIterate(const ServeRequest& request,
+                                           ServeOutcome& outcome) {
+  outcome = ServeOutcome{};
+  ServiceStatus status = ServiceStatus::kOk;
+  const auto built = built_for(request, outcome, status);
+  if (built == nullptr) return status;
+
+  std::uint64_t session_id = 0;
+  bool have_session = false;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = sessions_.find(outcome.routing_key);
+    if (it != sessions_.end()) {
+      session_id = it->second;
+      have_session = true;
+    }
+  }
+  if (!have_session) {
+    SessionConfig scfg;
+    scfg.a_shape = built->a_shape;
+    scfg.b_shape = built->b_shape;
+    scfg.c_shape = built->c_shape;
+    scfg.b_generator = built->b_gen;
+    scfg.machine = built->machine;
+    scfg.engine = built->engine;
+    status = service_.open_session(scfg, session_id);
+    if (status != ServiceStatus::kOk) {
+      outcome.error = "session open failed";
+      return status;
+    }
+    std::lock_guard lock(mutex_);
+    // A concurrent first-iterate may have raced us to the session slot;
+    // keep the registered one and close ours.
+    const auto [it, inserted] =
+        sessions_.emplace(outcome.routing_key, session_id);
+    if (!inserted) {
+      service_.close_session(session_id);
+      session_id = it->second;
+    }
+  }
+
+  const BlockSparseMatrix a =
+      build_serve_a(*built, effective_a_seed(request));
+  ContractionResponse resp;
+  status = service_.iterate(session_id, a, nullptr, resp);
+  if (status == ServiceStatus::kOk) {
+    fill_outcome(resp, request.want_c, outcome);
+  } else {
+    outcome.error = resp.error;
+  }
+  return status;
+}
+
+ServiceStatus LocalService::SessionClose(const ServeRequest& request,
+                                         ServeOutcome& outcome) {
+  outcome = ServeOutcome{};
+  outcome.routing_key = serve_routing_key(request.spec);
+  outcome.served_by = rank_;
+  std::uint64_t session_id = 0;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = sessions_.find(outcome.routing_key);
+    if (it == sessions_.end()) {
+      outcome.error = "no open session for this spec";
+      return ServiceStatus::kSessionNotFound;
+    }
+    session_id = it->second;
+    sessions_.erase(it);
+  }
+  return service_.close_session(session_id);
+}
+
+ServiceStatus LocalService::PlanExplain(const ServeRequest& request,
+                                        ServeOutcome& outcome) {
+  outcome = ServeOutcome{};
+  ServiceStatus status = ServiceStatus::kOk;
+  const auto built = built_for(request, outcome, status);
+  if (built == nullptr) return status;
+  bool hit = false;
+  status = service_.explain(built->a_shape, built->b_shape, built->c_shape,
+                            built->machine, built->engine, outcome.text, &hit);
+  outcome.plan_cache_hit = hit;
+  if (status != ServiceStatus::kOk) outcome.error = "plan explain failed";
+  return status;
+}
+
+}  // namespace bstc

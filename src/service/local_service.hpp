@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file local_service.hpp
+/// LocalService — the in-process ServeInterface implementation.
+///
+/// Wraps a ContractionService and speaks the spec-based request boundary:
+/// every request's problem is expanded deterministically from its
+/// ServeProblemSpec (built problems are cached by routing key, so repeat
+/// fingerprints skip shape construction too), sessions are keyed by the
+/// spec's routing key and auto-opened on the first iterate. This is both
+/// the single-process serve-batch backend and the per-worker-rank backend
+/// of the distributed mode — identical semantics by construction.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "service/contraction_service.hpp"
+#include "service/serve_api.hpp"
+
+namespace bstc {
+
+class LocalService final : public ServeInterface {
+ public:
+  /// `rank` stamps ServeOutcome::served_by (0 for the single-process
+  /// mode; the worker's mesh rank in the distributed mode).
+  explicit LocalService(ServiceConfig cfg = {}, int rank = 0);
+
+  ServiceStatus Contract(const ServeRequest& request,
+                         ServeOutcome& outcome) override;
+  ServiceStatus SessionIterate(const ServeRequest& request,
+                               ServeOutcome& outcome) override;
+  ServiceStatus SessionClose(const ServeRequest& request,
+                             ServeOutcome& outcome) override;
+  ServiceStatus PlanExplain(const ServeRequest& request,
+                            ServeOutcome& outcome) override;
+
+  ServiceMetrics metrics() const { return service_.metrics(); }
+  ContractionService& service() { return service_; }
+  int rank() const { return rank_; }
+
+ private:
+  /// Expand the spec (or fetch the cached expansion) and stamp the
+  /// outcome's identity fields. Returns nullptr + kInvalidRequest into
+  /// `status` when the spec itself is malformed.
+  std::shared_ptr<const BuiltServeProblem> built_for(
+      const ServeRequest& request, ServeOutcome& outcome,
+      ServiceStatus& status);
+
+  static std::uint64_t effective_a_seed(const ServeRequest& request) {
+    return request.a_seed != 0 ? request.a_seed : request.spec.seed + 1;
+  }
+
+  ContractionService service_;
+  int rank_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const BuiltServeProblem>>
+      built_;  ///< routing key -> cached expansion
+  std::unordered_map<std::uint64_t, std::uint64_t>
+      sessions_;  ///< routing key -> open session id
+};
+
+}  // namespace bstc

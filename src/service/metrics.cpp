@@ -27,6 +27,7 @@ TextTable metrics_table(const ServiceMetrics& m) {
   count("sessions opened", m.sessions_opened);
   count("sessions closed", m.sessions_closed);
   count("session iterations", m.iterations);
+  count("plan explains", m.explains);
   count("wire frames sent", static_cast<std::size_t>(m.wire.frames_sent));
   count("wire frames received",
         static_cast<std::size_t>(m.wire.frames_received));
@@ -44,11 +45,13 @@ TextTable metrics_table(const ServiceMetrics& m) {
   return table;
 }
 
-std::string metrics_prometheus(const ServiceMetrics& m) {
+std::string metrics_prometheus(const ServiceMetrics& m, int rank) {
   std::string out;
-  const auto line = [&out](const char* name, double v) {
-    char buf[96];
-    std::snprintf(buf, sizeof buf, "%s %.9g\n", name, v);
+  char labels[32] = "";
+  if (rank >= 0) std::snprintf(labels, sizeof labels, "{rank=\"%d\"}", rank);
+  const auto line = [&out, &labels](const char* name, double v) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%s%s %.9g\n", name, labels, v);
     out += buf;
   };
   line("bstc_service_submitted_total", static_cast<double>(m.submitted));
@@ -66,6 +69,7 @@ std::string metrics_prometheus(const ServiceMetrics& m) {
   line("bstc_sessions_opened_total", static_cast<double>(m.sessions_opened));
   line("bstc_sessions_closed_total", static_cast<double>(m.sessions_closed));
   line("bstc_session_iterations_total", static_cast<double>(m.iterations));
+  line("bstc_plan_explains_total", static_cast<double>(m.explains));
   line("bstc_wire_frames_sent_total",
        static_cast<double>(m.wire.frames_sent));
   line("bstc_wire_frames_received_total",
@@ -80,7 +84,7 @@ std::string metrics_prometheus(const ServiceMetrics& m) {
   line("bstc_service_queue_wait_seconds_max", m.max_queue_wait_s);
   line("bstc_service_inspect_seconds_total", m.total_inspect_s);
   line("bstc_service_execute_seconds_total", m.total_execute_s);
-  out += obs::prometheus_text(obs::Registry::instance());
+  if (rank < 0) out += obs::prometheus_text(obs::Registry::instance());
   return out;
 }
 

@@ -27,6 +27,7 @@ struct ServiceMetrics {
   std::size_t sessions_opened = 0;
   std::size_t sessions_closed = 0;
   std::size_t iterations = 0;  ///< session iterate() executions
+  std::size_t explains = 0;    ///< plan-explain requests served
 
   // Wire-level traffic of this process (frames, bytes, connect retries,
   // reconnects) — the network layer's view, taken from the global
@@ -55,6 +56,11 @@ TextTable metrics_table(const ServiceMetrics& m);
 /// Prometheus-style text exposition of a snapshot (`name{labels} value`
 /// lines), followed by the obs registry's counters, gauges and latency
 /// histograms. Suitable for a file scrape or a /metrics endpoint.
-std::string metrics_prometheus(const ServiceMetrics& m);
+///
+/// When `rank >= 0` every bstc_* line gets a `{rank="N"}` label — the
+/// per-rank sections of a distributed-serve metrics artifact — and the
+/// process-local obs registry text is omitted (it has no rank labels and
+/// would collide across sections).
+std::string metrics_prometheus(const ServiceMetrics& m, int rank = -1);
 
 }  // namespace bstc

@@ -1,0 +1,103 @@
+#include "service/serve_api.hpp"
+
+#include <bit>
+
+#include "service/fingerprint.hpp"
+#include "shape/shape_algebra.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace bstc {
+
+const char* serve_request_kind_name(ServeRequestKind kind) {
+  switch (kind) {
+    case ServeRequestKind::kContract: return "contract";
+    case ServeRequestKind::kSessionIterate: return "session-iterate";
+    case ServeRequestKind::kSessionClose: return "session-close";
+    case ServeRequestKind::kPlanExplain: return "plan-explain";
+  }
+  return "unknown";
+}
+
+std::uint64_t serve_routing_key(const ServeProblemSpec& spec) {
+  std::uint64_t h = fnv1a64("bstc-serve-spec-v1");
+  h = fnv1a64_u64(static_cast<std::uint64_t>(spec.m), h);
+  h = fnv1a64_u64(static_cast<std::uint64_t>(spec.k), h);
+  h = fnv1a64_u64(static_cast<std::uint64_t>(spec.n), h);
+  h = fnv1a64_u64(std::bit_cast<std::uint64_t>(spec.density), h);
+  h = fnv1a64_u64(static_cast<std::uint64_t>(spec.tile_lo), h);
+  h = fnv1a64_u64(static_cast<std::uint64_t>(spec.tile_hi), h);
+  h = fnv1a64_u64(spec.seed, h);
+  h = fnv1a64_u64(static_cast<std::uint64_t>(spec.gpus), h);
+  h = fnv1a64_u64(std::bit_cast<std::uint64_t>(spec.gpu_mem), h);
+  h = fnv1a64_u64(static_cast<std::uint64_t>(spec.p), h);
+  return h;
+}
+
+BuiltServeProblem build_serve_problem(const ServeProblemSpec& spec) {
+  BSTC_REQUIRE(spec.m >= 1 && spec.k >= 1 && spec.n >= 1,
+               "serve: problem extents must be >= 1");
+  BSTC_REQUIRE(spec.gpus >= 1, "serve: spec.gpus must be >= 1");
+  BSTC_REQUIRE(spec.p >= 1, "serve: spec.p must be >= 1");
+  BuiltServeProblem b;
+  Rng rng(spec.seed);
+  const Tiling mt =
+      Tiling::random_uniform(spec.m, spec.tile_lo, spec.tile_hi, rng);
+  const Tiling kt =
+      Tiling::random_uniform(spec.k, spec.tile_lo, spec.tile_hi, rng);
+  const Tiling nt =
+      Tiling::random_uniform(spec.n, spec.tile_lo, spec.tile_hi, rng);
+  b.a_shape = Shape::random(mt, kt, spec.density, rng);
+  b.b_shape = Shape::random(kt, nt, spec.density, rng);
+  b.c_shape = contract_shape(b.a_shape, b.b_shape);
+  b.b_gen = random_tile_generator(b.b_shape, spec.seed * 31 + 7);
+  b.machine = MachineModel::summit_gpus(spec.gpus);
+  b.machine.node.gpu.memory_bytes = spec.gpu_mem;
+  b.engine.plan.p = spec.p;
+  b.fingerprint = fingerprint_problem(b.a_shape, b.b_shape, b.c_shape,
+                                      b.machine, b.engine.plan);
+  return b;
+}
+
+BlockSparseMatrix build_serve_a(const BuiltServeProblem& built,
+                                std::uint64_t a_seed) {
+  Rng rng(a_seed);
+  return BlockSparseMatrix::random(built.a_shape, rng);
+}
+
+std::uint64_t bsm_content_checksum(const BlockSparseMatrix& m) {
+  std::uint64_t h = fnv1a64("bstc-bsm-v1");
+  const Shape& s = m.shape();
+  for (std::size_t i = 0; i < s.tile_rows(); ++i) {
+    for (std::size_t j = 0; j < s.tile_cols(); ++j) {
+      if (!s.nonzero(i, j)) continue;
+      const Tile& t = m.tile(i, j);
+      h = fnv1a64_u64((static_cast<std::uint64_t>(i) << 32) | j, h);
+      h = fnv1a64_u64(static_cast<std::uint64_t>(t.rows()), h);
+      h = fnv1a64_u64(static_cast<std::uint64_t>(t.cols()), h);
+      h = fnv1a64(std::string_view(reinterpret_cast<const char*>(t.data()),
+                                   t.bytes()),
+                  h);
+    }
+  }
+  return h;
+}
+
+ServiceStatus serve_dispatch(ServeInterface& service,
+                             const ServeRequest& request,
+                             ServeOutcome& outcome) {
+  switch (request.kind) {
+    case ServeRequestKind::kContract:
+      return service.Contract(request, outcome);
+    case ServeRequestKind::kSessionIterate:
+      return service.SessionIterate(request, outcome);
+    case ServeRequestKind::kSessionClose:
+      return service.SessionClose(request, outcome);
+    case ServeRequestKind::kPlanExplain:
+      return service.PlanExplain(request, outcome);
+  }
+  outcome.error = "unknown request kind";
+  return ServiceStatus::kInvalidRequest;
+}
+
+}  // namespace bstc

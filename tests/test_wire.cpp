@@ -156,6 +156,201 @@ TEST(Wire, PayloadSizeMustMatchTileExtents) {
   EXPECT_THROW(decode_tile(frame), Error);
 }
 
+// ---------------------------------------------------------------------------
+// Serving frames (kRequest / kResponse / kServiceCtl).
+
+RequestMsg sample_request() {
+  RequestMsg msg;
+  msg.request_id = 0x1122334455667788ull;
+  msg.kind = 2;  // session-iterate
+  msg.m = 96;
+  msg.k = 480;
+  msg.n = 481;
+  msg.density = 0.375;
+  msg.tile_lo = 8;
+  msg.tile_hi = 24;
+  msg.seed = 42;
+  msg.gpus = 3;
+  msg.gpu_mem = 1.5e6;
+  msg.p = 2;
+  msg.a_seed = 4242;
+  msg.want_c = true;
+  return msg;
+}
+
+TEST(Wire, RequestRoundTripsBitwise) {
+  const RequestMsg msg = sample_request();
+  const RequestMsg r2 =
+      decode_request(decode_frame(encode_frame(encode_request(msg))));
+  EXPECT_EQ(r2.request_id, msg.request_id);
+  EXPECT_EQ(r2.kind, msg.kind);
+  EXPECT_EQ(r2.m, msg.m);
+  EXPECT_EQ(r2.k, msg.k);
+  EXPECT_EQ(r2.n, msg.n);
+  EXPECT_EQ(r2.density, msg.density);
+  EXPECT_EQ(r2.tile_lo, msg.tile_lo);
+  EXPECT_EQ(r2.tile_hi, msg.tile_hi);
+  EXPECT_EQ(r2.seed, msg.seed);
+  EXPECT_EQ(r2.gpus, msg.gpus);
+  EXPECT_EQ(r2.gpu_mem, msg.gpu_mem);
+  EXPECT_EQ(r2.p, msg.p);
+  EXPECT_EQ(r2.a_seed, msg.a_seed);
+  EXPECT_EQ(r2.want_c, msg.want_c);
+}
+
+TEST(Wire, RequestRejectsUnknownKind) {
+  RequestMsg msg = sample_request();
+  msg.kind = 0;
+  EXPECT_THROW(decode_request(decode_frame(encode_frame(
+                   encode_request(msg)))),
+               Error);
+  msg.kind = 5;
+  EXPECT_THROW(decode_request(decode_frame(encode_frame(
+                   encode_request(msg)))),
+               Error);
+}
+
+TEST(Wire, ResponseRoundTripsBitwise) {
+  Rng rng(17);
+  ResponseMsg msg;
+  msg.request_id = 31337;
+  msg.status = 0;
+  msg.fingerprint = 0xfeedface12345678ull;
+  msg.routing_key = 0x8765432187654321ull;
+  msg.served_by = 3;
+  msg.plan_cache_hit = true;
+  msg.queue_wait_s = 0.001;
+  msg.inspect_s = 0.002;
+  msg.execute_s = 0.5;
+  msg.tasks_executed = 999;
+  msg.b_max_generations = 2;
+  msg.c_checksum = 0xabcdefull;
+  msg.c_norm = 12.75;
+  msg.text = "plan narrative";
+  msg.error = "";
+  msg.has_c = true;
+  for (int i = 0; i < 4; ++i) {
+    Tile tile(static_cast<Index>(1 + i), static_cast<Index>(3 + i));
+    tile.fill_random(rng);
+    msg.c_tiles.emplace_back(
+        (static_cast<std::uint64_t>(i) << 32) | static_cast<unsigned>(i + 1),
+        std::move(tile));
+  }
+  // A zero-extent fringe tile must travel too.
+  msg.c_tiles.emplace_back(77, Tile(0, 5));
+
+  const ResponseMsg r2 =
+      decode_response(decode_frame(encode_frame(encode_response(msg))));
+  EXPECT_EQ(r2.request_id, msg.request_id);
+  EXPECT_EQ(r2.status, msg.status);
+  EXPECT_EQ(r2.fingerprint, msg.fingerprint);
+  EXPECT_EQ(r2.routing_key, msg.routing_key);
+  EXPECT_EQ(r2.served_by, msg.served_by);
+  EXPECT_EQ(r2.plan_cache_hit, msg.plan_cache_hit);
+  EXPECT_EQ(r2.execute_s, msg.execute_s);
+  EXPECT_EQ(r2.tasks_executed, msg.tasks_executed);
+  EXPECT_EQ(r2.b_max_generations, msg.b_max_generations);
+  EXPECT_EQ(r2.c_checksum, msg.c_checksum);
+  EXPECT_EQ(r2.c_norm, msg.c_norm);
+  EXPECT_EQ(r2.text, msg.text);
+  EXPECT_EQ(r2.has_c, msg.has_c);
+  ASSERT_EQ(r2.c_tiles.size(), msg.c_tiles.size());
+  for (std::size_t i = 0; i < msg.c_tiles.size(); ++i) {
+    EXPECT_EQ(r2.c_tiles[i].first, msg.c_tiles[i].first);
+    ASSERT_EQ(r2.c_tiles[i].second.rows(), msg.c_tiles[i].second.rows());
+    ASSERT_EQ(r2.c_tiles[i].second.cols(), msg.c_tiles[i].second.cols());
+    EXPECT_EQ(std::memcmp(r2.c_tiles[i].second.data(),
+                          msg.c_tiles[i].second.data(),
+                          msg.c_tiles[i].second.bytes()),
+              0);
+  }
+}
+
+TEST(Wire, ServiceCtlRoundTrips) {
+  ServiceCtlMsg msg;
+  msg.op = ServiceCtlOp::kMetricsReply;
+  msg.rank = 4;
+  msg.counters = {1, 2, 3, 0xffffffffffffffffull, 5};
+  msg.text = "bstc_service_completed_total{rank=\"4\"} 3\n";
+  const ServiceCtlMsg c2 = decode_service_ctl(
+      decode_frame(encode_frame(encode_service_ctl(msg))));
+  EXPECT_EQ(c2.op, msg.op);
+  EXPECT_EQ(c2.rank, msg.rank);
+  EXPECT_EQ(c2.counters, msg.counters);
+  EXPECT_EQ(c2.text, msg.text);
+}
+
+TEST(Wire, ServiceCtlRejectsUnknownOp) {
+  ServiceCtlMsg msg;
+  msg.op = static_cast<ServiceCtlOp>(0);
+  EXPECT_THROW(decode_service_ctl(decode_frame(encode_frame(
+                   encode_service_ctl(msg)))),
+               Error);
+  msg.op = static_cast<ServiceCtlOp>(6);
+  EXPECT_THROW(decode_service_ctl(decode_frame(encode_frame(
+                   encode_service_ctl(msg)))),
+               Error);
+}
+
+TEST(Wire, ServeFramesRejectCorruptionAndTruncation) {
+  Rng rng(23);
+  ResponseMsg resp;
+  resp.request_id = 5;
+  resp.has_c = true;
+  Tile tile(3, 4);
+  tile.fill_random(rng);
+  resp.c_tiles.emplace_back(42, std::move(tile));
+  const std::vector<std::vector<std::uint8_t>> frames = {
+      encode_frame(encode_request(sample_request())),
+      encode_frame(encode_response(resp)),
+      encode_frame(encode_service_ctl(
+          {ServiceCtlOp::kMetricsQuery, 0, {}, ""})),
+  };
+  for (const auto& good : frames) {
+    // Single-byte corruption anywhere must be rejected by the checksum.
+    for (std::size_t pos = 0; pos < good.size();
+         pos += 1 + good.size() / 64) {
+      std::vector<std::uint8_t> bad = good;
+      bad[pos] ^= 0x40;
+      EXPECT_THROW(decode_frame(bad), Error) << "at byte " << pos;
+    }
+    // Every proper prefix is a truncated frame.
+    for (std::size_t len = 0; len < good.size();
+         len += 1 + good.size() / 64) {
+      EXPECT_THROW(decode_frame(good.data(), len), Error) << "len " << len;
+    }
+    // Trailing bytes after a complete frame are garbage, not silence.
+    std::vector<std::uint8_t> trailing = good;
+    trailing.push_back(0);
+    EXPECT_THROW(decode_frame(trailing), Error);
+  }
+}
+
+TEST(Wire, ResponseTilePayloadMustMatchExtents) {
+  // A response whose tile payload disagrees with the declared extents is
+  // corrupt even if the frame checksum was recomputed.
+  ResponseMsg resp;
+  resp.request_id = 1;
+  resp.has_c = true;
+  resp.c_tiles.emplace_back(1, Tile(2, 2));
+  Frame frame = encode_response(resp);
+  frame.payload.pop_back();
+  EXPECT_THROW(decode_response(frame), Error);
+}
+
+TEST(Wire, ServiceCtlCounterLengthBombIsRejected) {
+  // A counter count that exceeds the remaining payload must be rejected
+  // before any allocation sized by it.
+  ServiceCtlMsg msg;
+  msg.op = ServiceCtlOp::kMetricsReply;
+  msg.counters = {1, 2};
+  Frame frame = encode_service_ctl(msg);
+  // The count field sits right after op (u8) + rank (u32).
+  std::uint32_t huge = 0x10000000u;
+  std::memcpy(frame.payload.data() + 5, &huge, sizeof huge);
+  EXPECT_THROW(decode_service_ctl(frame), Error);
+}
+
 TEST(Wire, ReaderRejectsTruncatedPayloads) {
   WireWriter w;
   w.u32(7);

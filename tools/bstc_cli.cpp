@@ -45,6 +45,7 @@
 #include "core/engine.hpp"
 #include "net/counters.hpp"
 #include "net/launch.hpp"
+#include "net/serve.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace_merge.hpp"
 #include "plan/builder.hpp"
@@ -53,6 +54,7 @@
 #include "plan/stats.hpp"
 #include "service/contraction_service.hpp"
 #include "service/fingerprint.hpp"
+#include "service/local_service.hpp"
 #include "shape/shape_algebra.hpp"
 #include "sim/simulator.hpp"
 #include "support/args.hpp"
@@ -140,7 +142,18 @@ const CommandInfo kCommands[] = {
      "                 session m=64 k=320 n=320 density=0.5 iters=6 ...\n"
      "                 ('#' starts a comment)\n"
      "  --trace-out F.json   write a span trace of the whole batch\n"
-     "  --metrics-out F.txt  write Prometheus-style text metrics\n"},
+     "  --metrics-out F.txt  write Prometheus-style text metrics\n"
+     "  --ranks N            distributed mode: fork N serve-worker ranks\n"
+     "                       and route the same request stream over TCP\n"
+     "  --inflight N         per-worker in-flight admission bound (def 8)\n"},
+    {"serve-worker", "join a distributed serve-batch (spawned by it)",
+     "usage: bstc_cli serve-worker --host H --port P [options]\n"
+     "  Normally started by `bstc_cli serve-batch --ranks N`, not by\n"
+     "  hand. Dials the front rank and serves spec-based requests until\n"
+     "  drained.\n"
+     "  --workers N          service worker threads (default 2)\n"
+     "  --queue N            admission-control queue capacity (default 16)\n"
+     "  --cache N            LRU plan-cache capacity (default 32)\n"},
 };
 
 const CommandInfo* find_command(const std::string& name) {
@@ -580,23 +593,25 @@ int cmd_launch(const Args& args) {
 
 // ---------------------------------------------------------------------------
 // serve-batch: drive the ContractionService with a scripted request mix.
+//
+// Requests are ServeProblemSpecs (everything rebuilt from seeds), driven
+// through the ServeInterface boundary — so the same script runs against
+// the in-process LocalService or, with --ranks N, against a RemoteService
+// routing to N forked worker ranks, with no change to the request format.
 
 /// One scripted workload: a problem class submitted `repeat` times, or a
 /// CCSD-style session iterated `session_iters` times.
 struct ServeWorkload {
   std::string label;
-  SynthProblem shapes;
-  BlockSparseMatrix a;
-  TileGenerator b_gen;
-  MachineModel machine;
-  EngineConfig engine;
+  ServeProblemSpec spec;
   int repeat = 1;
   int session_iters = 0;  ///< > 0: session workload instead of submits
 
   // Aggregated outcomes (filled by the drivers).
   std::uint64_t fingerprint = 0;
   int ok = 0, rejected = 0, failed = 0, cache_hits = 0;
-  double inspect_s = 0.0, execute_s = 0.0, start_latency_s = 0.0;
+  int served_by = -1;  ///< rank of the last kOk outcome
+  double inspect_s = 0.0, execute_s = 0.0, wait_s = 0.0;
   std::mutex mutex;
 };
 
@@ -619,34 +634,26 @@ std::unique_ptr<ServeWorkload> make_workload(const std::string& kind,
                                              const ScriptLine& kv,
                                              int default_repeat) {
   auto w = std::make_unique<ServeWorkload>();
-  const auto m = static_cast<Index>(script_num(kv, "m", 96));
-  const auto k = static_cast<Index>(script_num(kv, "k", 480));
-  const auto n = static_cast<Index>(script_num(kv, "n", k));
-  const double density = script_num(kv, "density", 0.4);
-  const auto tile_lo = static_cast<Index>(script_num(kv, "tile-lo", 8));
-  const auto tile_hi = static_cast<Index>(script_num(kv, "tile-hi", 24));
-  const auto seed = static_cast<std::uint64_t>(script_num(kv, "seed", 42));
-  Rng rng(seed);
-  w->shapes.mt = Tiling::random_uniform(m, tile_lo, tile_hi, rng);
-  w->shapes.kt = Tiling::random_uniform(k, tile_lo, tile_hi, rng);
-  w->shapes.nt = Tiling::random_uniform(n, tile_lo, tile_hi, rng);
-  w->shapes.a = Shape::random(w->shapes.mt, w->shapes.kt, density, rng);
-  w->shapes.b = Shape::random(w->shapes.kt, w->shapes.nt, density, rng);
-  w->shapes.c = contract_shape(w->shapes.a, w->shapes.b);
-  w->a = BlockSparseMatrix::random(w->shapes.a, rng);
-  w->b_gen = random_tile_generator(w->shapes.b, seed * 31 + 7);
-  w->machine = MachineModel::summit_gpus(
-      static_cast<int>(script_num(kv, "gpus", 2)));
-  w->machine.node.gpu.memory_bytes = script_num(kv, "gpu-mem", 1.0e6);
-  w->engine.plan.p = static_cast<int>(script_num(kv, "p", 1));
+  w->spec.m = static_cast<Index>(script_num(kv, "m", 96));
+  w->spec.k = static_cast<Index>(script_num(kv, "k", 480));
+  w->spec.n = static_cast<Index>(
+      script_num(kv, "n", static_cast<double>(w->spec.k)));
+  w->spec.density = script_num(kv, "density", 0.4);
+  w->spec.tile_lo = static_cast<Index>(script_num(kv, "tile-lo", 8));
+  w->spec.tile_hi = static_cast<Index>(script_num(kv, "tile-hi", 24));
+  w->spec.seed = static_cast<std::uint64_t>(script_num(kv, "seed", 42));
+  w->spec.gpus = static_cast<int>(script_num(kv, "gpus", 1));
+  w->spec.gpu_mem = script_num(kv, "gpu-mem", 1.0e6);
+  w->spec.p = static_cast<int>(script_num(kv, "p", 1));
+  const std::string extent = std::to_string(w->spec.m) + "x" +
+                             std::to_string(w->spec.k) + "x" +
+                             std::to_string(w->spec.n);
   if (kind == "session") {
     w->session_iters = static_cast<int>(script_num(kv, "iters", 4));
-    w->label = "session " + std::to_string(m) + "x" + std::to_string(k) +
-               "x" + std::to_string(n);
+    w->label = "session " + extent;
   } else {
     w->repeat = static_cast<int>(script_num(kv, "repeat", default_repeat));
-    w->label = "problem " + std::to_string(m) + "x" + std::to_string(k) +
-               "x" + std::to_string(n);
+    w->label = "problem " + extent;
   }
   return w;
 }
@@ -677,23 +684,88 @@ std::vector<std::unique_ptr<ServeWorkload>> parse_script(
   return out;
 }
 
-void record_response(ServeWorkload& w, ServiceStatus status,
-                     const ContractionResponse& resp) {
+void record_outcome(ServeWorkload& w, ServiceStatus status,
+                    const ServeOutcome& outcome) {
   std::lock_guard lock(w.mutex);
   if (status == ServiceStatus::kOk) {
-    w.fingerprint = resp.fingerprint;
+    w.fingerprint = outcome.fingerprint;
+    w.served_by = outcome.served_by;
     ++w.ok;
-    if (resp.plan_cache_hit) ++w.cache_hits;
-    w.inspect_s += resp.inspect_s;
-    w.execute_s += resp.execute_s;
-    w.start_latency_s += resp.start_latency_s;
+    if (outcome.plan_cache_hit) ++w.cache_hits;
+    w.inspect_s += outcome.inspect_s;
+    w.execute_s += outcome.execute_s;
+    w.wait_s += outcome.queue_wait_s;
   } else if (status == ServiceStatus::kQueueFull) {
     ++w.rejected;
   } else {
     ++w.failed;
     std::fprintf(stderr, "%s: %s (%s)\n", w.label.c_str(),
-                 service_status_name(status), resp.error.c_str());
+                 service_status_name(status), outcome.error.c_str());
   }
+}
+
+/// Run the whole scripted mix against any ServeInterface: `clients`
+/// threads deal the batch submits round-robin; each session gets its own
+/// thread (a CCSD loop is sequential by nature). Iteration a_seeds are
+/// deterministic, so local and distributed runs compute identical bits.
+void drive_serve(ServeInterface& service,
+                 std::vector<std::unique_ptr<ServeWorkload>>& workloads,
+                 int clients) {
+  std::vector<ServeWorkload*> submits;
+  for (const auto& w : workloads) {
+    for (int r = 0; r < w->repeat && w->session_iters == 0; ++r) {
+      submits.push_back(w.get());
+    }
+  }
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&submits, &service, c, clients] {
+      for (std::size_t i = static_cast<std::size_t>(c); i < submits.size();
+           i += static_cast<std::size_t>(clients)) {
+        ServeWorkload& w = *submits[i];
+        ServeRequest req;
+        req.spec = w.spec;
+        req.want_c = false;  // throughput mode: the checksum witness is enough
+        ServeOutcome outcome;
+        record_outcome(w, service.Contract(req, outcome), outcome);
+      }
+    });
+  }
+  for (const auto& w : workloads) {
+    if (w->session_iters == 0) continue;
+    threads.emplace_back([&service, w = w.get()] {
+      for (int it = 0; it < w->session_iters; ++it) {
+        ServeRequest req;
+        req.spec = w->spec;
+        req.a_seed = w->spec.seed + 100 + static_cast<std::uint64_t>(it);
+        req.want_c = false;
+        ServeOutcome outcome;
+        record_outcome(*w, service.SessionIterate(req, outcome), outcome);
+      }
+      ServeRequest close_req;
+      close_req.spec = w->spec;
+      ServeOutcome outcome;
+      service.SessionClose(close_req, outcome);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+void report_workloads(
+    const std::vector<std::unique_ptr<ServeWorkload>>& workloads) {
+  TextTable table({"workload", "fingerprint", "rank", "ok", "rejected",
+                   "failed", "plan hits", "inspect", "mean exec",
+                   "mean wait"});
+  for (const auto& w : workloads) {
+    const int n = std::max(1, w->ok);
+    table.add_row({w->label, fingerprint_hex(w->fingerprint),
+                   std::to_string(w->served_by), std::to_string(w->ok),
+                   std::to_string(w->rejected), std::to_string(w->failed),
+                   std::to_string(w->cache_hits), fmt_duration(w->inspect_s),
+                   fmt_duration(w->execute_s / n),
+                   fmt_duration(w->wait_s / n)});
+  }
+  std::printf("%s\n", table.render().c_str());
 }
 
 int cmd_serve_batch(const Args& args) {
@@ -707,7 +779,11 @@ int cmd_serve_batch(const Args& args) {
       static_cast<std::size_t>(args.get_int("cache", 32));
   const int clients = static_cast<int>(args.get_int("clients", 4));
   const int default_repeat = static_cast<int>(args.get_int("repeat", 4));
+  const int ranks = static_cast<int>(args.get_int("ranks", 0));
+  const auto inflight =
+      static_cast<std::size_t>(args.get_int("inflight", 8));
   BSTC_REQUIRE(clients >= 1, "--clients must be >= 1");
+  BSTC_REQUIRE(ranks >= 0, "--ranks must be >= 0");
 
   std::vector<std::unique_ptr<ServeWorkload>> workloads;
   const std::string script_path = args.get("script", "");
@@ -724,98 +800,157 @@ int cmd_serve_batch(const Args& args) {
   }
   BSTC_REQUIRE(!workloads.empty(), "the request script is empty");
 
-  ContractionService service(service_cfg);
-  Timer wall;
-
-  // Expand batch submits into a flat list dealt round-robin to clients.
-  std::vector<ServeWorkload*> submits;
-  for (const auto& w : workloads) {
-    for (int r = 0; r < w->repeat && w->session_iters == 0; ++r) {
-      submits.push_back(w.get());
-    }
-  }
-  std::vector<std::thread> client_threads;
-  for (int c = 0; c < clients; ++c) {
-    client_threads.emplace_back([&submits, &service, c, clients] {
-      for (std::size_t i = static_cast<std::size_t>(c); i < submits.size();
-           i += static_cast<std::size_t>(clients)) {
-        ServeWorkload& w = *submits[i];
-        ContractionRequest req;
-        req.a = &w.a;
-        req.b_shape = &w.shapes.b;
-        req.b_generator = w.b_gen;
-        req.c_shape = &w.shapes.c;
-        req.machine = w.machine;
-        req.engine = w.engine;
-        ContractionResponse resp;
-        record_response(w, service.submit(req, resp), resp);
-      }
-    });
-  }
-  // Sessions run concurrently with the batch, one client thread each
-  // (a CCSD loop is sequential by nature).
-  for (const auto& w : workloads) {
-    if (w->session_iters == 0) continue;
-    client_threads.emplace_back([&service, w = w.get()] {
-      SessionConfig scfg;
-      scfg.a_shape = w->shapes.a;
-      scfg.b_shape = w->shapes.b;
-      scfg.c_shape = w->shapes.c;
-      scfg.b_generator = w->b_gen;
-      scfg.machine = w->machine;
-      scfg.engine = w->engine;
-      std::uint64_t id = 0;
-      if (service.open_session(scfg, id) != ServiceStatus::kOk) {
-        std::lock_guard lock(w->mutex);
-        ++w->failed;
-        return;
-      }
-      Rng rng(99);
-      for (int it = 0; it < w->session_iters; ++it) {
-        const BlockSparseMatrix a_iter =
-            BlockSparseMatrix::random(w->shapes.a, rng);
-        ContractionResponse resp;
-        record_response(*w, service.iterate(id, a_iter, nullptr, resp),
-                        resp);
-        service.trim_session(id);  // the between-iterations memory hook
-      }
-      service.close_session(id);
-    });
-  }
-  for (std::thread& t : client_threads) t.join();
-  const double wall_s = wall.elapsed_s();
-
-  TextTable table({"workload", "fingerprint", "ok", "rejected", "failed",
-                   "plan hits", "inspect", "mean exec", "mean start"});
-  for (const auto& w : workloads) {
-    const int n = std::max(1, w->ok);
-    table.add_row({w->label, fingerprint_hex(w->fingerprint),
-                   std::to_string(w->ok), std::to_string(w->rejected),
-                   std::to_string(w->failed), std::to_string(w->cache_hits),
-                   fmt_duration(w->inspect_s),
-                   fmt_duration(w->execute_s / n),
-                   fmt_duration(w->start_latency_s / n)});
-  }
-  std::printf("%s\n", table.render().c_str());
-
-  const ServiceMetrics m = service.metrics();
-  std::printf("%s\n", metrics_table(m).render().c_str());
-  std::printf("wall           %s (%.1f requests/s)\n",
-              fmt_duration(wall_s).c_str(),
-              static_cast<double>(m.completed) / std::max(wall_s, 1e-9));
-  if (!trace_out.empty()) write_local_trace(trace_out);
   const std::string metrics_out = args.get("metrics-out", "");
-  if (!metrics_out.empty()) {
-    std::ofstream out(metrics_out);
-    BSTC_REQUIRE(out.good(), "cannot open " + metrics_out);
-    out << metrics_prometheus(m);
-    BSTC_REQUIRE(out.good(), "failed writing " + metrics_out);
-    std::printf("metrics        %s\n", metrics_out.c_str());
+  Timer wall;
+  int failed = 0;
+
+  if (ranks == 0) {
+    // Single-process mode: the same request boundary, served in-process.
+    LocalService local(service_cfg);
+    drive_serve(local, workloads, clients);
+    const double wall_s = wall.elapsed_s();
+    report_workloads(workloads);
+    const ServiceMetrics m = local.metrics();
+    std::printf("%s\n", metrics_table(m).render().c_str());
+    std::printf("wall           %s (%.1f requests/s)\n",
+                fmt_duration(wall_s).c_str(),
+                static_cast<double>(m.completed) / std::max(wall_s, 1e-9));
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      BSTC_REQUIRE(out.good(), "cannot open " + metrics_out);
+      out << metrics_prometheus(m);
+      BSTC_REQUIRE(out.good(), "failed writing " + metrics_out);
+      std::printf("metrics        %s\n", metrics_out.c_str());
+    }
+    for (const auto& w : workloads) failed += w->failed;
+  } else {
+    // Distributed mode: fork --ranks serve-worker processes of this very
+    // binary, route the identical request stream through a ServeRouter.
+    net::Listener listener("127.0.0.1", 0);
+    const std::uint16_t port = listener.local_port();
+    struct Child {
+      pid_t pid = -1;
+      bool reaped = false;
+      int status = 0;
+    };
+    std::vector<Child> children;
+    for (int i = 0; i < ranks; ++i) {
+      const pid_t pid = fork();
+      BSTC_REQUIRE(pid >= 0, "serve-batch: fork failed");
+      if (pid == 0) {
+        std::vector<std::string> argv_s = {
+            "/proc/self/exe", "serve-worker",
+            "--host", "127.0.0.1",
+            "--port", std::to_string(port),
+            "--workers", std::to_string(service_cfg.workers),
+            "--queue", std::to_string(service_cfg.queue_capacity),
+            "--cache", std::to_string(service_cfg.plan_cache_capacity)};
+        std::vector<char*> argv;
+        argv.reserve(argv_s.size() + 1);
+        for (std::string& s : argv_s) argv.push_back(s.data());
+        argv.push_back(nullptr);
+        execv(argv[0], argv.data());
+        std::perror("serve-batch: execv /proc/self/exe");
+        _exit(127);
+      }
+      children.push_back(Child{pid, false, 0});
+    }
+    const auto dead_poll = [&]() -> int {
+      int dead = 0;
+      for (Child& c : children) {
+        if (c.reaped) {
+          ++dead;
+          continue;
+        }
+        if (waitpid(c.pid, &c.status, WNOHANG) == c.pid) {
+          c.reaped = true;
+          ++dead;
+        }
+      }
+      return dead;
+    };
+    std::vector<net::PeerLink> links =
+        net::accept_serve_workers(listener, ranks, 60000, dead_poll);
+    net::ServeRouterConfig router_cfg;
+    router_cfg.max_inflight_per_worker = inflight;
+    net::ServeRouter router(std::move(links), router_cfg);
+    net::RemoteService remote(router);
+
+    drive_serve(remote, workloads, clients);
+    const double wall_s = wall.elapsed_s();
+    report_workloads(workloads);
+
+    const std::vector<net::ServeRankMetrics> per_rank =
+        router.gather_metrics();
+    TextTable rank_table({"rank", "submitted", "completed", "failed",
+                          "plan hits", "plan misses", "sessions", "iters"});
+    for (const net::ServeRankMetrics& r : per_rank) {
+      rank_table.add_row(
+          {std::to_string(r.rank), std::to_string(r.submitted),
+           std::to_string(r.completed), std::to_string(r.failed),
+           std::to_string(r.plan_hits), std::to_string(r.plan_misses),
+           std::to_string(r.sessions_opened), std::to_string(r.iterations)});
+    }
+    std::printf("%s\n", rank_table.render().c_str());
+    const net::ServeRouterStats rs = router.stats();
+    std::printf("router         %llu routed, %llu rejected, %llu affinity "
+                "hits, %llu lost, %zu/%d workers live\n",
+                static_cast<unsigned long long>(rs.routed),
+                static_cast<unsigned long long>(rs.rejected),
+                static_cast<unsigned long long>(rs.affinity_hits),
+                static_cast<unsigned long long>(rs.worker_lost),
+                rs.live_workers, ranks);
+    std::printf("wall           %s\n", fmt_duration(wall_s).c_str());
+
+    if (!metrics_out.empty()) {
+      // One artifact: front-side router counters, then every worker
+      // rank's section (each line already rank-labeled).
+      std::ofstream out(metrics_out);
+      BSTC_REQUIRE(out.good(), "cannot open " + metrics_out);
+      out << "bstc_router_routed_total " << rs.routed << "\n"
+          << "bstc_router_rejected_total " << rs.rejected << "\n"
+          << "bstc_router_affinity_hits_total " << rs.affinity_hits << "\n"
+          << "bstc_router_reassigned_total " << rs.reassigned << "\n"
+          << "bstc_router_worker_lost_total " << rs.worker_lost << "\n"
+          << "bstc_router_live_workers " << rs.live_workers << "\n";
+      for (const net::ServeRankMetrics& r : per_rank) out << r.prometheus;
+      BSTC_REQUIRE(out.good(), "failed writing " + metrics_out);
+      std::printf("metrics        %s\n", metrics_out.c_str());
+    }
+
+    router.shutdown();
+    int worker_failures = 0;
+    for (Child& c : children) {
+      if (!c.reaped) waitpid(c.pid, &c.status, 0);
+      if (!WIFEXITED(c.status) || WEXITSTATUS(c.status) != 0) {
+        ++worker_failures;
+      }
+    }
+    if (worker_failures > 0) {
+      std::fprintf(stderr, "serve-batch: %d worker(s) exited abnormally\n",
+                   worker_failures);
+    }
+    for (const auto& w : workloads) failed += w->failed;
+    failed += worker_failures;
   }
 
-  int failed = 0;
-  for (const auto& w : workloads) failed += w->failed;
+  if (!trace_out.empty()) write_local_trace(trace_out);
   return failed == 0 ? 0 : 1;
+}
+
+int cmd_serve_worker(const Args& args) {
+  net::ServeWorkerOptions opts;
+  opts.host = args.get("host", "127.0.0.1");
+  opts.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  BSTC_REQUIRE(opts.port != 0, "serve-worker: --port is required");
+  opts.service.workers = static_cast<int>(args.get_int("workers", 2));
+  opts.service.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue", 16));
+  opts.service.plan_cache_capacity =
+      static_cast<std::size_t>(args.get_int("cache", 32));
+  // The kCrash fault-injection op stays dead in production workers; only
+  // the test harness runs workers with it armed.
+  return net::run_serve_worker(opts);
 }
 
 }  // namespace
@@ -863,6 +998,8 @@ int main(int argc, char** argv) {
       rc = cmd_plan(args);
     } else if (cmd == "execute") {
       rc = cmd_execute(args);
+    } else if (cmd == "serve-worker") {
+      rc = cmd_serve_worker(args);
     } else if (cmd == "serve-batch") {
       rc = cmd_serve_batch(args);
     } else if (cmd == "launch") {
