@@ -12,6 +12,8 @@
 /// admission-control rejects reported (the queue is bounded; clients see
 /// kQueueFull instead of blocking).
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -59,6 +61,32 @@ struct Problem {
     req.machine = machine;
     return req;
   }
+};
+
+/// Resident set size of this process (Linux: /proc/self/statm field 2 in
+/// pages). 0 where statm is unavailable — the column degrades, the bench
+/// still runs. This is what the shared-memory store moves: N co-located
+/// services each privately caching B shows up here N times; one mapped
+/// store shows up once per node.
+std::size_t resident_bytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long total = 0, resident = 0;
+  const int got = std::fscanf(f, "%llu %llu", &total, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<std::size_t>(resident) *
+         static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+}
+
+/// One throughput row, kept for the BENCH JSON artifact.
+struct ThroughputPoint {
+  int workers = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  double wall_s = 0.0;
+  double requests_per_s = 0.0;
+  std::size_t resident_bytes = 0;
 };
 
 }  // namespace
@@ -115,8 +143,9 @@ int main() {
     constexpr int kClients = 8;
     constexpr int kSubmits = 32;
 
+    std::vector<ThroughputPoint> points;
     TextTable table({"workers", "completed", "rejected", "wall",
-                     "requests/s", "mean queue wait"});
+                     "requests/s", "mean queue wait", "resident"});
     for (int workers : {1, 2, 4}) {
       ServiceConfig cfg;
       cfg.workers = workers;
@@ -138,12 +167,42 @@ int main() {
       for (std::thread& t : clients) t.join();
       const double wall_s = wall.elapsed_s();
       const ServiceMetrics m = service.metrics();
+      ThroughputPoint point;
+      point.workers = workers;
+      point.completed = m.completed;
+      point.rejected = m.rejected;
+      point.wall_s = wall_s;
+      point.requests_per_s = static_cast<double>(m.completed) / wall_s;
+      point.resident_bytes = resident_bytes();
+      points.push_back(point);
       table.add_row({std::to_string(workers), std::to_string(m.completed),
                      std::to_string(m.rejected), fmt_duration(wall_s),
-                     fmt_fixed(static_cast<double>(m.completed) / wall_s, 1),
-                     fmt_duration(m.mean_queue_wait_s())});
+                     fmt_fixed(point.requests_per_s, 1),
+                     fmt_duration(m.mean_queue_wait_s()),
+                     fmt_bytes(static_cast<double>(point.resident_bytes))});
     }
     std::printf("%s\n", table.render().c_str());
+
+    std::FILE* out = std::fopen("BENCH_service.json", "w");
+    if (out != nullptr) {
+      std::fprintf(out, "{\n  \"bench\": \"service\",\n");
+      std::fprintf(out, "  \"throughput\": [\n");
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const ThroughputPoint& p = points[i];
+        std::fprintf(out,
+                     "    {\"workers\": %d, \"completed\": %llu, "
+                     "\"rejected\": %llu, \"wall_s\": %.6f, "
+                     "\"requests_per_s\": %.1f, \"resident_bytes\": %zu}%s\n",
+                     p.workers,
+                     static_cast<unsigned long long>(p.completed),
+                     static_cast<unsigned long long>(p.rejected), p.wall_s,
+                     p.requests_per_s, p.resident_bytes,
+                     i + 1 < points.size() ? "," : "");
+      }
+      std::fprintf(out, "  ]\n}\n");
+      std::fclose(out);
+      std::printf("wrote BENCH_service.json\n");
+    }
   }
   return 0;
 }

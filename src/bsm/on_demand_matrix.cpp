@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace bstc {
@@ -32,6 +33,10 @@ OnDemandMatrix::Entry& OnDemandMatrix::locate_or_generate(std::size_t r,
     cached_bytes_ += entry.tile.bytes();
     peak_cached_bytes_ = std::max(peak_cached_bytes_, cached_bytes_);
     ++generations_[k];
+    // Process-wide generation counter: the distributed-serve metrics
+    // gather sums this across ranks to prove one-materialization-per-node
+    // (with a shared store it stays 0 on every worker).
+    obs::Registry::instance().counter_add("bstc_b_tiles_generated_total");
     it = cache_.emplace(k, std::move(entry)).first;
   }
   return it->second;

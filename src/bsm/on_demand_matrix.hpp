@@ -11,12 +11,21 @@
 /// reproduces that data collection: tile access triggers generation, tiles
 /// are reference-counted, and generation counts are tracked so the
 /// at-most-once invariant is testable.
+///
+/// OnDemandMatrix is the *generating* backend of the TileSource seam —
+/// each process pays the generation cost and caches privately. Its
+/// zero-copy sibling, shm::SharedStoreSource, serves the same contract
+/// out of a sealed shared-memory tile store so N co-located workers
+/// share one materialization (the §4 at-most-once guarantee extended
+/// across processes on a node). Engines and service sessions consume
+/// either backend unchanged.
 
 #include <cstdint>
 #include <functional>
 #include <mutex>
 #include <unordered_map>
 
+#include "bsm/tile_source.hpp"
 #include "shape/shape.hpp"
 #include "tile/tile.hpp"
 
@@ -27,7 +36,7 @@ using TileGenerator = std::function<Tile(std::size_t r, std::size_t c)>;
 
 /// A read-only block-sparse matrix whose tiles are generated on demand and
 /// cached while pinned.
-class OnDemandMatrix {
+class OnDemandMatrix final : public TileSource {
  public:
   OnDemandMatrix(Shape shape, TileGenerator generator);
 
@@ -42,14 +51,14 @@ class OnDemandMatrix {
   /// Acquire tile (r, c): generates it on first acquisition, pins it in the
   /// cache, and returns a reference valid until the matching release().
   /// Throws if (r, c) is a zero block.
-  const Tile& acquire(std::size_t r, std::size_t c);
+  const Tile& acquire(std::size_t r, std::size_t c) override;
 
   /// Release a pinned tile; when the pin count reaches zero the tile is
   /// discarded (it will be re-generated if acquired again) — unless the
   /// tile is persistent, in which case it stays cached. release() never
   /// frees a persistent tile out from under reference paths: the only way
   /// to drop a persistent tile is evict_unpinned().
-  void release(std::size_t r, std::size_t c);
+  void release(std::size_t r, std::size_t c) override;
 
   /// Acquire without pinning management: generate-if-needed, mark the tile
   /// persistent and keep it cached until evict_unpinned(). Used by
@@ -61,27 +70,27 @@ class OnDemandMatrix {
   /// releasing the last pin keeps it (persistent wins), and
   /// evict_unpinned() skips it while any pin is held. Releasing a
   /// persistent tile that was never pinned is still an error.
-  const Tile& acquire_persistent(std::size_t r, std::size_t c);
+  const Tile& acquire_persistent(std::size_t r, std::size_t c) override;
 
   /// Drop every cached tile with no outstanding pin — including
   /// persistent ones, whose mark is cleared (deterministic generators
   /// make regeneration safe). The serving layer calls this between
   /// iterations to bound the host B footprint. Returns the bytes freed.
-  std::size_t evict_unpinned();
+  std::size_t evict_unpinned() override;
 
   /// How many times tile (r, c) has been generated so far.
   std::size_t generation_count(std::size_t r, std::size_t c) const;
   /// Total generations across all tiles.
-  std::size_t total_generations() const;
+  std::size_t total_generations() const override;
   /// Largest per-tile generation count (1 means the paper's at-most-once
   /// per consumer guarantee held for a single-node run).
-  std::size_t max_generation_count() const;
+  std::size_t max_generation_count() const override;
   /// Bytes currently held in cached tiles.
-  std::size_t cached_bytes() const;
+  std::size_t cached_bytes() const override;
   /// Largest cache footprint seen (host-memory pressure of the B cache —
   /// the paper's "price to pay" for replicating columns across grid rows
   /// "puts pressure on CPU memory", §3.1).
-  std::size_t peak_cached_bytes() const;
+  std::size_t peak_cached_bytes() const override;
 
  private:
   struct Entry {

@@ -35,7 +35,7 @@ struct BlockResidence {
 
 /// Host-side state of one simulated rank.
 struct NodeState {
-  OnDemandMatrix* b = nullptr;  ///< per-node on-demand B (paper §4)
+  TileSource* b = nullptr;  ///< per-node B backend (paper §4)
   std::unordered_map<std::uint64_t, Tile> c_store;  ///< computed C tiles
   std::unordered_set<std::uint64_t> a_received;     ///< A tiles fetched
   std::mutex mutex;
@@ -106,7 +106,7 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
   // mode (cfg.b_cache) the caches are caller-owned and survive this call;
   // otherwise they are fresh and die with it.
   const bool persistent_b = cfg.b_cache != nullptr;
-  std::vector<std::unique_ptr<OnDemandMatrix>> owned_b;
+  std::vector<std::unique_ptr<TileSource>> owned_b;
   if (persistent_b && cfg.b_cache->empty()) {
     for (int n = 0; n < num_nodes; ++n) {
       cfg.b_cache->push_back(

@@ -24,6 +24,7 @@
 
 #include "bsm/block_sparse_matrix.hpp"
 #include "bsm/on_demand_matrix.hpp"
+#include "bsm/tile_source.hpp"
 #include "comm/comm.hpp"
 #include "comm/transport.hpp"
 #include "machine/machine.hpp"
@@ -60,17 +61,21 @@ struct EngineConfig {
   /// aggregates across ranks (see net/launch.hpp). -1 (default) executes
   /// every rank in-process as before.
   int local_rank = -1;
-  /// When non-null, the per-node on-demand B caches live here and survive
-  /// across calls — the serving layer's session path: B tiles are held
-  /// persistently (OnDemandMatrix::acquire_persistent) instead of being
+  /// When non-null, the per-node B sources live here and survive across
+  /// calls — the serving layer's session path: B tiles are held
+  /// persistently (TileSource::acquire_persistent) instead of being
   /// discarded after device staging, so later iterations of a CCSD-style
-  /// loop skip regeneration entirely (b_max_generations stays 1 for the
-  /// whole session). The vector is filled on first use and must then be
-  /// passed unchanged (same plan/shapes) on every subsequent call; the
-  /// owner may call evict_unpinned() on the entries between iterations to
-  /// bound host memory. When null (default), each call uses fresh
-  /// per-node caches and tiles are discarded as soon as they are staged.
-  std::vector<std::unique_ptr<OnDemandMatrix>>* b_cache = nullptr;
+  /// loop skip regeneration entirely (b_max_generations stays <= 1 for
+  /// the whole session). The slots may hold either backend of the
+  /// TileSource seam: generator-backed OnDemandMatrix caches (the engine
+  /// fills an empty vector with these on first use) or zero-copy
+  /// shm::SharedStoreSource readers the caller pre-filled. The vector
+  /// must then be passed unchanged (same plan/shapes) on every subsequent
+  /// call; the owner may call evict_unpinned() on the entries between
+  /// iterations to bound host memory. When null (default), each call uses
+  /// fresh per-node generator caches and tiles are discarded as soon as
+  /// they are staged.
+  std::vector<std::unique_ptr<TileSource>>* b_cache = nullptr;
 };
 
 /// Everything a run produces.

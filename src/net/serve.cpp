@@ -139,6 +139,12 @@ std::vector<std::uint64_t> pack_rank_counters(const ServiceMetrics& m) {
   c[kCtrSessionsClosed] = m.sessions_closed;
   c[kCtrIterations] = m.iterations;
   c[kCtrExplains] = m.explains;
+  c[kCtrBTilesGenerated] = m.b_tiles_generated;
+  c[kCtrShmStoreBuilds] = m.shm_store_builds;
+  c[kCtrShmAttaches] = m.shm_attaches;
+  c[kCtrShmSwaps] = m.shm_swaps;
+  c[kCtrShmResidentBytes] = m.shm_resident_bytes;
+  c[kCtrShmGeneration] = m.shm_generation;
   return c;
 }
 
@@ -161,6 +167,12 @@ ServeRankMetrics unpack_rank_metrics(const ServiceCtlMsg& msg) {
   m.sessions_closed = msg.counters[kCtrSessionsClosed];
   m.iterations = msg.counters[kCtrIterations];
   m.explains = msg.counters[kCtrExplains];
+  m.b_tiles_generated = msg.counters[kCtrBTilesGenerated];
+  m.shm_store_builds = msg.counters[kCtrShmStoreBuilds];
+  m.shm_attaches = msg.counters[kCtrShmAttaches];
+  m.shm_swaps = msg.counters[kCtrShmSwaps];
+  m.shm_resident_bytes = msg.counters[kCtrShmResidentBytes];
+  m.shm_generation = msg.counters[kCtrShmGeneration];
   m.prometheus = msg.text;
   return m;
 }
@@ -180,7 +192,21 @@ int run_serve_worker(const ServeWorkerOptions& opts) {
   const WelcomeMsg welcome = decode_welcome(*welcome_frame);
   const int rank = static_cast<int>(welcome.rank);
 
-  LocalService local(opts.service, rank);
+  // Shared-memory data plane: attach the node's store registry and swap
+  // to the currently published generation before serving anything.
+  // Attach failure is fatal (the operator asked for --shm-store); a
+  // merely-empty control segment just means generator fallback until
+  // the first kStoreSwap doorbell.
+  std::shared_ptr<shm::StoreRegistry> store;
+  if (!opts.shm_ctl.empty()) {
+    store = std::make_shared<shm::StoreRegistry>();
+    if (shm::Status st = shm::StoreRegistry::attach(opts.shm_ctl, *store);
+        !st) {
+      return 1;
+    }
+    if (shm::Status st = store->refresh(); !st) return 1;
+  }
+  LocalService local(opts.service, rank, store);
   std::mutex tx_mutex;
   const auto send = [&](const Frame& frame) {
     std::lock_guard lock(tx_mutex);
@@ -253,6 +279,21 @@ int run_serve_worker(const ServeWorkerOptions& opts) {
           reply.counters = pack_rank_counters(m);
           reply.text = metrics_prometheus(m, rank);
           send(encode_service_ctl(reply));
+        } else if (ctl.op == ServiceCtlOp::kStoreSwap) {
+          // Generation doorbell: re-read the control segment and swap.
+          // The swap happens here, between requests at this rank's recv
+          // loop — in-flight dispatches keep their old reader alive via
+          // shared_ptr until they finish.
+          const shm::Status swapped = local.swap_store();
+          ServiceCtlMsg ack;
+          ack.op = ServiceCtlOp::kStoreSwapAck;
+          ack.rank = static_cast<std::uint32_t>(rank);
+          ack.counters = {swapped ? 1ull : 0ull,
+                          store != nullptr
+                              ? store->current_handle().generation
+                              : 0ull};
+          if (!swapped) ack.text = swapped.message;
+          send(encode_service_ctl(ack));
         } else if (ctl.op == ServiceCtlOp::kDrain) {
           rc = 0;
           break;
@@ -331,6 +372,8 @@ struct ServeRouter::Worker {
   std::size_t inflight = 0;
   bool metrics_ready = false;
   ServiceCtlMsg metrics_reply;
+  bool swap_ready = false;
+  ServiceCtlMsg swap_reply;
   bool drain_acked = false;
 };
 
@@ -397,6 +440,9 @@ void ServeRouter::reader_loop(Worker& w) {
       if (ctl.op == ServiceCtlOp::kMetricsReply) {
         w.metrics_reply = std::move(ctl);
         w.metrics_ready = true;
+      } else if (ctl.op == ServiceCtlOp::kStoreSwapAck) {
+        w.swap_reply = std::move(ctl);
+        w.swap_ready = true;
       } else if (ctl.op == ServiceCtlOp::kDrainAck) {
         w.drain_acked = true;
       }
@@ -551,6 +597,58 @@ std::vector<ServeRankMetrics> ServeRouter::gather_metrics() {
     if (w.metrics_ready) out.push_back(unpack_rank_metrics(w.metrics_reply));
   }
   return out;
+}
+
+std::size_t ServeRouter::swap_store(std::size_t* failed,
+                                    std::string* first_error) {
+  if (failed != nullptr) *failed = 0;
+  if (first_error != nullptr) first_error->clear();
+  std::vector<int> targets;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& w : workers_) {
+      if (!w->alive) continue;
+      w->swap_ready = false;
+      targets.push_back(w->rank);
+    }
+  }
+  ServiceCtlMsg doorbell;
+  doorbell.op = ServiceCtlOp::kStoreSwap;
+  const Frame frame = encode_service_ctl(doorbell);
+  for (const int rank : targets) {
+    Worker& w = *workers_[static_cast<std::size_t>(rank) - 1];
+    try {
+      std::lock_guard tx(w.tx_mutex);
+      send_frame(w.sock, frame, &global_wire_counters());
+    } catch (const std::exception&) {
+      on_worker_dead(w);
+    }
+  }
+  std::size_t swapped = 0;
+  std::unique_lock lock(mutex_);
+  ctl_cv_.wait_for(lock, std::chrono::seconds(60), [&] {
+    return std::all_of(targets.begin(), targets.end(), [&](int rank) {
+      const Worker& w = *workers_[static_cast<std::size_t>(rank) - 1];
+      return w.swap_ready || !w.alive;
+    });
+  });
+  for (const int rank : targets) {
+    const Worker& w = *workers_[static_cast<std::size_t>(rank) - 1];
+    const bool ok = w.swap_ready && !w.swap_reply.counters.empty() &&
+                    w.swap_reply.counters[0] == 1;
+    if (ok) {
+      ++swapped;
+    } else {
+      if (failed != nullptr) ++*failed;
+      if (first_error != nullptr && first_error->empty()) {
+        *first_error = w.swap_ready && !w.swap_reply.text.empty()
+                           ? w.swap_reply.text
+                           : "rank " + std::to_string(rank) +
+                                 " never acked the store swap";
+      }
+    }
+  }
+  return swapped;
 }
 
 void ServeRouter::crash_worker(int rank) {

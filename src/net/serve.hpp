@@ -83,6 +83,14 @@ enum ServeRankCounter : std::size_t {
   kCtrSessionsClosed,
   kCtrIterations,
   kCtrExplains,
+  // Shared-memory data plane (appended; both ends of one serve mesh run
+  // the same binary, and unpack tolerates longer vectors).
+  kCtrBTilesGenerated,
+  kCtrShmStoreBuilds,
+  kCtrShmAttaches,
+  kCtrShmSwaps,
+  kCtrShmResidentBytes,
+  kCtrShmGeneration,
   kServeRankCounterCount,
 };
 
@@ -103,6 +111,12 @@ struct ServeRankMetrics {
   std::uint64_t sessions_closed = 0;
   std::uint64_t iterations = 0;
   std::uint64_t explains = 0;
+  std::uint64_t b_tiles_generated = 0;  ///< local B materializations
+  std::uint64_t shm_store_builds = 0;
+  std::uint64_t shm_attaches = 0;
+  std::uint64_t shm_swaps = 0;
+  std::uint64_t shm_resident_bytes = 0;
+  std::uint64_t shm_generation = 0;
   std::string prometheus;  ///< rank-labeled exposition text
 };
 
@@ -119,6 +133,11 @@ struct ServeWorkerOptions {
   /// Honor the kCrash fault-injection op (_exit mid-request). Tests only;
   /// the CLI never sets it.
   bool allow_crash_op = false;
+  /// Shared-memory control segment name ("/bstc_...ctl"). When non-empty
+  /// the worker attaches a shm::StoreRegistry on it, swaps to the
+  /// published store generation at startup, and honors the kStoreSwap
+  /// doorbell. Empty (default): private generator caches only.
+  std::string shm_ctl;
 };
 
 /// Run one worker rank: dial the front, hello/welcome, then serve
@@ -187,6 +206,15 @@ class ServeRouter {
 
   /// Broadcast kMetricsQuery and gather one reply per live worker.
   std::vector<ServeRankMetrics> gather_metrics();
+
+  /// Broadcast the kStoreSwap doorbell (a new store generation was
+  /// published on the shm control segment) and wait for every live
+  /// worker's ack. Returns the number of workers that swapped
+  /// successfully; failures (no registry, attach error) are counted in
+  /// `failed` (optional) with their error text discarded after the
+  /// first, returned via `first_error` (optional).
+  std::size_t swap_store(std::size_t* failed = nullptr,
+                         std::string* first_error = nullptr);
 
   /// Fault injection (tests): tell a worker to _exit mid-stream.
   void crash_worker(int rank);

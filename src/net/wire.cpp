@@ -546,6 +546,8 @@ const char* service_ctl_op_name(ServiceCtlOp op) {
     case ServiceCtlOp::kDrain: return "drain";
     case ServiceCtlOp::kDrainAck: return "drain-ack";
     case ServiceCtlOp::kCrash: return "crash";
+    case ServiceCtlOp::kStoreSwap: return "store-swap";
+    case ServiceCtlOp::kStoreSwapAck: return "store-swap-ack";
   }
   return "unknown";
 }
@@ -566,7 +568,7 @@ ServiceCtlMsg decode_service_ctl(const Frame& frame) {
   WireReader r(frame.payload);
   ServiceCtlMsg msg;
   const std::uint8_t op = r.u8();
-  BSTC_REQUIRE(op >= 1 && op <= 5, "wire: unknown service-ctl op");
+  BSTC_REQUIRE(op >= 1 && op <= 7, "wire: unknown service-ctl op");
   msg.op = static_cast<ServiceCtlOp>(op);
   msg.rank = r.u32();
   const std::uint32_t count = r.u32();

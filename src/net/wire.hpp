@@ -312,6 +312,10 @@ enum class ServiceCtlOp : std::uint8_t {
   kDrain = 3,         ///< front -> worker: finish in-flight work and exit
   kDrainAck = 4,      ///< worker -> front: drained, about to exit
   kCrash = 5,         ///< fault injection: die immediately (tests only)
+  kStoreSwap = 6,     ///< front -> worker: re-read the shm control segment
+                      ///< and swap to the published store generation
+  kStoreSwapAck = 7,  ///< worker -> front: swap outcome (counters =
+                      ///< {ok, generation}; text = error detail)
 };
 
 const char* service_ctl_op_name(ServiceCtlOp op);

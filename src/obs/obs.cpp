@@ -15,6 +15,7 @@ const char* category_name(Category cat) {
     case Category::kServiceRequest: return "service.request";
     case Category::kPhase: return "phase";
     case Category::kServiceNet: return "service.net";
+    case Category::kShm: return "shm";
   }
   return "unknown";
 }

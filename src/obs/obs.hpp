@@ -45,6 +45,7 @@ enum class Category : std::uint8_t {
   kServiceRequest,  ///< one ContractionService request lifecycle
   kPhase,           ///< a coarse worker phase (rendezvous, mesh, ...)
   kServiceNet,      ///< one distributed-serving request over the wire
+  kShm,             ///< shared-memory store builds, attaches, swaps
 };
 
 const char* category_name(Category cat);

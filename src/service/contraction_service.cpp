@@ -30,8 +30,10 @@ struct ContractionService::Session {
   SessionConfig cfg;
   PlanCache::PlanPtr plan;
   std::uint64_t fingerprint = 0;
-  /// Per-node B caches shared across iterations (engine session mode).
-  std::vector<std::unique_ptr<OnDemandMatrix>> b_cache;
+  /// Per-node B sources shared across iterations (engine session mode).
+  /// Generator caches by default; zero-copy shared-store sources when
+  /// the session config carried a b_source_factory.
+  std::vector<std::unique_ptr<TileSource>> b_cache;
   /// Iterations of one session are serialized (the loop is sequential by
   /// nature; concurrent iterate() calls on one id would race on b_cache
   /// semantics even though OnDemandMatrix itself is thread-safe).
@@ -198,7 +200,19 @@ void ContractionService::process(Job& job) {
           &resp.plan_cache_hit, &resp.inspect_s);
       resp.start_latency_s = job.since_submit.elapsed_s();
       EngineConfig engine = req.engine;
-      engine.b_cache = nullptr;  // per-request B caches; sessions persist
+      // Service-owned B backend: zero-copy store sources when the
+      // request carries a factory, else fresh per-request generator
+      // caches (engine-filled when b_cache is null).
+      std::vector<std::unique_ptr<TileSource>> request_b;
+      if (req.b_source_factory) {
+        request_b.reserve(plan->nodes.size());
+        for (std::size_t n = 0; n < plan->nodes.size(); ++n) {
+          request_b.push_back(req.b_source_factory());
+        }
+        engine.b_cache = &request_b;
+      } else {
+        engine.b_cache = nullptr;
+      }
       Timer exec;
       EngineResult result =
           contract_with_plan(*plan, *req.a, *req.b_shape, req.b_generator,
@@ -214,7 +228,17 @@ void ContractionService::process(Job& job) {
       resp.plan_cache_hit = true;  // resolved at open_session
       resp.start_latency_s = job.since_submit.elapsed_s();
       EngineConfig engine = session.cfg.engine;
-      engine.b_cache = session.cfg.persistent_b ? &session.b_cache : nullptr;
+      std::vector<std::unique_ptr<TileSource>> iteration_b;
+      if (session.cfg.persistent_b) {
+        engine.b_cache = &session.b_cache;
+      } else if (session.cfg.b_source_factory) {
+        for (std::size_t n = 0; n < session.plan->nodes.size(); ++n) {
+          iteration_b.push_back(session.cfg.b_source_factory());
+        }
+        engine.b_cache = &iteration_b;
+      } else {
+        engine.b_cache = nullptr;
+      }
       Timer exec;
       EngineResult result = contract_with_plan(
           *session.plan, *job.a, session.cfg.b_shape,
@@ -286,6 +310,14 @@ ServiceStatus ContractionService::open_session(const SessionConfig& cfg,
     metrics_.total_inspect_s += inspect_s;
   } catch (const std::exception&) {
     return ServiceStatus::kExecutionError;
+  }
+  // Attach-by-fingerprint: a session opened against a shared store binds
+  // its per-node B slots to zero-copy sources up front, so no iteration
+  // ever generates a tile locally.
+  if (cfg.b_source_factory && cfg.persistent_b) {
+    for (std::size_t n = 0; n < session->plan->nodes.size(); ++n) {
+      session->b_cache.push_back(cfg.b_source_factory());
+    }
   }
 
   std::lock_guard lock(sessions_mutex_);
@@ -400,10 +432,37 @@ ServiceStatus ContractionService::explain(
 }
 
 ServiceMetrics ContractionService::metrics() const {
-  std::lock_guard lock(mutex_);
-  ServiceMetrics out = metrics_;
+  ServiceMetrics out;
+  {
+    std::lock_guard lock(mutex_);
+    out = metrics_;
+  }
   out.plan_cache = cache_.stats();
   out.wire = net::global_wire_counters().snapshot();
+  // Shared-memory data plane counters live in the process-wide obs
+  // registry (the generator and the shm layer both bump it); mirroring
+  // them here lets the distributed gather ship them per rank.
+  {
+    const obs::Registry& reg = obs::Registry::instance();
+    const auto counters = reg.counters();
+    const auto counter = [&counters](const char* name) -> std::size_t {
+      const auto it = counters.find(name);
+      return it == counters.end() ? 0 : static_cast<std::size_t>(it->second);
+    };
+    out.b_tiles_generated = counter("bstc_b_tiles_generated_total");
+    out.shm_store_builds = counter("bstc_shm_store_builds_total");
+    out.shm_attaches = counter("bstc_shm_attaches_total");
+    out.shm_swaps = counter("bstc_shm_swaps_total");
+    const auto gauges = reg.gauges();
+    const auto gauge = [&gauges](const char* name) -> std::size_t {
+      const auto it = gauges.find(name);
+      return it == gauges.end() || it->second < 0
+                 ? 0
+                 : static_cast<std::size_t>(it->second);
+    };
+    out.shm_resident_bytes = gauge("bstc_shm_resident_bytes");
+    out.shm_generation = gauge("bstc_shm_generation");
+  }
   return out;
 }
 

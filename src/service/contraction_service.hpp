@@ -73,7 +73,18 @@ struct ContractionRequest {
   const Shape* c_shape = nullptr;        ///< output closure (or screen)
   const BlockSparseMatrix* c_init = nullptr;  ///< optional accumulate-into
   MachineModel machine = MachineModel::summit_gpus(1);
-  EngineConfig engine;  ///< knobs; engine.b_cache is ignored (service-owned)
+  /// Engine knobs. engine.b_cache is service-owned (any caller value is
+  /// overwritten): the service wires one of the two TileSource backends
+  /// into it — per-request generator caches (OnDemandMatrix) by default,
+  /// or zero-copy shared-store sources when `b_source_factory` is set.
+  EngineConfig engine;
+  /// Optional zero-copy B backend. When set, the service fills the
+  /// engine's per-node B slots from this factory (normally
+  /// shm::StoreRegistry::source_for, yielding SharedStoreSources over
+  /// one mapped store) instead of private generator caches.
+  /// `b_generator` must still be callable — it defines the problem and
+  /// is the fallback when no store serves it.
+  std::function<std::unique_ptr<TileSource>()> b_source_factory;
 };
 
 /// Everything one request produced.
@@ -99,9 +110,13 @@ struct SessionConfig {
   TileGenerator b_generator;
   MachineModel machine = MachineModel::summit_gpus(1);
   EngineConfig engine;
-  /// Keep generated B tiles cached across iterations (the session's
-  /// amortization of B generation). Disable to regenerate per iteration.
+  /// Keep B tiles cached across iterations (the session's amortization
+  /// of B generation). Disable to regenerate per iteration.
   bool persistent_b = true;
+  /// Optional zero-copy B backend, as in ContractionRequest: when set,
+  /// the session's per-node B slots are filled from this factory at
+  /// open_session() and attach-by-fingerprint replaces generation.
+  std::function<std::unique_ptr<TileSource>()> b_source_factory;
 };
 
 /// Service tuning.

@@ -4,8 +4,16 @@
 
 namespace bstc {
 
-LocalService::LocalService(ServiceConfig cfg, int rank)
-    : service_(cfg), rank_(rank) {}
+LocalService::LocalService(ServiceConfig cfg, int rank,
+                           std::shared_ptr<shm::StoreRegistry> store)
+    : service_(cfg), rank_(rank), store_(std::move(store)) {}
+
+shm::Status LocalService::swap_store() {
+  if (store_ == nullptr) {
+    return shm::Status::Fail("no store registry attached to this service");
+  }
+  return store_->refresh();
+}
 
 std::shared_ptr<const BuiltServeProblem> LocalService::built_for(
     const ServeRequest& request, ServeOutcome& outcome,
@@ -76,6 +84,14 @@ ServiceStatus LocalService::Contract(const ServeRequest& request,
   req.c_shape = &built->c_shape;
   req.machine = built->machine;
   req.engine = built->engine;
+  if (store_ != nullptr) {
+    // Attach-by-fingerprint, resolved per request: a hot-swap between
+    // requests changes what this returns without touching the session
+    // or plan state. nullptr (no matching store) falls back to private
+    // generator caches.
+    req.b_source_factory = store_->source_for(
+        serve_store_fingerprint(request.spec), built->b_shape);
+  }
   ContractionResponse resp;
   status = service_.submit(req, resp);
   if (status == ServiceStatus::kOk) {
@@ -111,6 +127,12 @@ ServiceStatus LocalService::SessionIterate(const ServeRequest& request,
     scfg.b_generator = built->b_gen;
     scfg.machine = built->machine;
     scfg.engine = built->engine;
+    if (store_ != nullptr) {
+      // Bound at open: a session keeps the generation it opened against
+      // for its whole life (its B cache is the session's state).
+      scfg.b_source_factory = store_->source_for(
+          serve_store_fingerprint(request.spec), built->b_shape);
+    }
     status = service_.open_session(scfg, session_id);
     if (status != ServiceStatus::kOk) {
       outcome.error = "session open failed";

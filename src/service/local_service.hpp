@@ -18,14 +18,20 @@
 
 #include "service/contraction_service.hpp"
 #include "service/serve_api.hpp"
+#include "shm/watchdog.hpp"
 
 namespace bstc {
 
 class LocalService final : public ServeInterface {
  public:
   /// `rank` stamps ServeOutcome::served_by (0 for the single-process
-  /// mode; the worker's mesh rank in the distributed mode).
-  explicit LocalService(ServiceConfig cfg = {}, int rank = 0);
+  /// mode; the worker's mesh rank in the distributed mode). `store`
+  /// (optional) is the process's shared-memory store registry: requests
+  /// whose spec's store fingerprint matches the registry's current
+  /// generation get zero-copy B sources instead of generator caches;
+  /// everything else falls back silently.
+  explicit LocalService(ServiceConfig cfg = {}, int rank = 0,
+                        std::shared_ptr<shm::StoreRegistry> store = nullptr);
 
   ServiceStatus Contract(const ServeRequest& request,
                          ServeOutcome& outcome) override;
@@ -39,6 +45,12 @@ class LocalService final : public ServeInterface {
   ServiceMetrics metrics() const { return service_.metrics(); }
   ContractionService& service() { return service_; }
   int rank() const { return rank_; }
+
+  /// Re-read the store registry's control segment and swap to the
+  /// published generation (the kStoreSwap doorbell's handler). In-flight
+  /// requests keep the old reader; new requests attach the new one.
+  shm::Status swap_store();
+  const std::shared_ptr<shm::StoreRegistry>& store() const { return store_; }
 
  private:
   /// Expand the spec (or fetch the cached expansion) and stamp the
@@ -54,6 +66,7 @@ class LocalService final : public ServeInterface {
 
   ContractionService service_;
   int rank_;
+  std::shared_ptr<shm::StoreRegistry> store_;
 
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, std::shared_ptr<const BuiltServeProblem>>

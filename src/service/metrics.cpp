@@ -37,6 +37,12 @@ TextTable metrics_table(const ServiceMetrics& m) {
   count("wire connect retries",
         static_cast<std::size_t>(m.wire.connect_retries));
   count("wire reconnects", static_cast<std::size_t>(m.wire.reconnects));
+  count("B tiles generated", m.b_tiles_generated);
+  count("shm store builds", m.shm_store_builds);
+  count("shm attaches", m.shm_attaches);
+  count("shm swaps", m.shm_swaps);
+  count("shm resident bytes", m.shm_resident_bytes);
+  count("shm generation", m.shm_generation);
   duration("mean queue wait", m.mean_queue_wait_s());
   duration("max queue wait", m.max_queue_wait_s);
   duration("total inspect", m.total_inspect_s);
@@ -80,6 +86,20 @@ std::string metrics_prometheus(const ServiceMetrics& m, int rank) {
   line("bstc_wire_connect_retries_total",
        static_cast<double>(m.wire.connect_retries));
   line("bstc_wire_reconnects_total", static_cast<double>(m.wire.reconnects));
+  if (rank >= 0) {
+    // Shared-memory data plane, per rank. Unlabeled output (rank < 0)
+    // already carries these via the obs registry text below; emitting
+    // both would duplicate the metric names.
+    line("bstc_b_tiles_generated_total",
+         static_cast<double>(m.b_tiles_generated));
+    line("bstc_shm_store_builds_total",
+         static_cast<double>(m.shm_store_builds));
+    line("bstc_shm_attaches_total", static_cast<double>(m.shm_attaches));
+    line("bstc_shm_swaps_total", static_cast<double>(m.shm_swaps));
+    line("bstc_shm_resident_bytes",
+         static_cast<double>(m.shm_resident_bytes));
+    line("bstc_shm_generation", static_cast<double>(m.shm_generation));
+  }
   line("bstc_service_queue_wait_seconds_total", m.total_queue_wait_s);
   line("bstc_service_queue_wait_seconds_max", m.max_queue_wait_s);
   line("bstc_service_inspect_seconds_total", m.total_inspect_s);

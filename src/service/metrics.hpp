@@ -34,6 +34,17 @@ struct ServiceMetrics {
   // WireCounters at snapshot time. All zero when no net transport ran.
   net::WireCounterSnapshot wire;
 
+  // Shared-memory data plane, taken from the obs registry at snapshot
+  // time (process-wide, so the distributed-serve gather can prove
+  // one-materialization-per-node across ranks). All zero when neither a
+  // store nor a generator cache ran in this process.
+  std::size_t b_tiles_generated = 0;  ///< local B materializations
+  std::size_t shm_store_builds = 0;   ///< stores this process built
+  std::size_t shm_attaches = 0;       ///< read-only segment attaches
+  std::size_t shm_swaps = 0;          ///< generation hot-swaps taken
+  std::size_t shm_resident_bytes = 0; ///< shm bytes currently mapped
+  std::size_t shm_generation = 0;     ///< store generation being served
+
   // Timing aggregates over completed work (seconds).
   double total_queue_wait_s = 0.0;
   double max_queue_wait_s = 0.0;

@@ -34,6 +34,21 @@ std::uint64_t serve_routing_key(const ServeProblemSpec& spec) {
   return h;
 }
 
+std::uint64_t serve_store_fingerprint(const ServeProblemSpec& spec) {
+  // Only the fields B's shape and values depend on (see
+  // build_serve_problem: B is seeded from spec.seed over tilings drawn
+  // from (k, n, tile_lo, tile_hi, density)).
+  std::uint64_t h = fnv1a64("bstc-serve-store-v1");
+  h = fnv1a64_u64(static_cast<std::uint64_t>(spec.m), h);
+  h = fnv1a64_u64(static_cast<std::uint64_t>(spec.k), h);
+  h = fnv1a64_u64(static_cast<std::uint64_t>(spec.n), h);
+  h = fnv1a64_u64(std::bit_cast<std::uint64_t>(spec.density), h);
+  h = fnv1a64_u64(static_cast<std::uint64_t>(spec.tile_lo), h);
+  h = fnv1a64_u64(static_cast<std::uint64_t>(spec.tile_hi), h);
+  h = fnv1a64_u64(spec.seed, h);
+  return h;
+}
+
 BuiltServeProblem build_serve_problem(const ServeProblemSpec& spec) {
   BSTC_REQUIRE(spec.m >= 1 && spec.k >= 1 && spec.n >= 1,
                "serve: problem extents must be >= 1");

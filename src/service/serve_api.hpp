@@ -65,6 +65,13 @@ struct ServeProblemSpec {
 /// is built and echoed back for cross-checking.
 std::uint64_t serve_routing_key(const ServeProblemSpec& spec);
 
+/// Content identity of the spec's generated-B tile set — what a
+/// shared-memory tile store is sealed with and what readers verify on
+/// attach. Derived from the B-defining spec fields only (the machine
+/// knobs don't change B's bits), so one store serves every request whose
+/// spec generates the same B.
+std::uint64_t serve_store_fingerprint(const ServeProblemSpec& spec);
+
 /// Everything a spec expands to (same spec => same bits, any process).
 struct BuiltServeProblem {
   Shape a_shape, b_shape, c_shape;

@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file watchdog.hpp
+/// Generation publication and hot-swap for shared-memory tile stores.
+///
+/// The OSRM DataWatchdog idiom: generations of the (large, immutable)
+/// data segment are published through a tiny *control* segment holding a
+/// versioned handle — generation id, content fingerprint, store segment
+/// name — guarded by a seqlock so readers in other processes always see
+/// a consistent triple without any cross-process lock.
+///
+/// Roles:
+///  * StoreWatchdog (one per node, owned by the serve front) creates the
+///    control segment, publishes each newly built store, and retires the
+///    superseded one by unlinking its name — POSIX keeps the pages alive
+///    for readers still draining requests, so at no point is more than
+///    one *extra* generation resident on the node.
+///  * StoreRegistry (one per worker process) attaches the control
+///    segment and, on refresh(), swaps its current ShmTileReader to the
+///    published generation. Swaps happen between requests: in-flight
+///    work holds the old reader via shared_ptr and the old mapping
+///    disappears when the last such holder drops it.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "bsm/tile_source.hpp"
+#include "shape/shape.hpp"
+#include "shm/arena.hpp"
+#include "shm/tile_store.hpp"
+
+namespace bstc::shm {
+
+inline constexpr std::uint64_t kCtlMagic = 0x4253544343544c31ull;  // BSTCCTL1
+inline constexpr std::uint32_t kCtlLayoutVersion = 1;
+/// Longest publishable store segment name (including the NUL).
+inline constexpr std::size_t kCtlNameCapacity = 224;
+
+/// The versioned handle a control segment publishes.
+struct StoreHandle {
+  std::uint64_t generation = 0;
+  std::uint64_t fingerprint = 0;
+  std::string store_name;
+
+  bool valid() const { return !store_name.empty(); }
+};
+
+/// Publisher side (serve front / store-build CLI). Move-only.
+class StoreWatchdog {
+ public:
+  StoreWatchdog() = default;
+  ~StoreWatchdog();
+  StoreWatchdog(StoreWatchdog&& other) noexcept;
+  StoreWatchdog& operator=(StoreWatchdog&& other) noexcept;
+  StoreWatchdog(const StoreWatchdog&) = delete;
+  StoreWatchdog& operator=(const StoreWatchdog&) = delete;
+
+  /// Create the control segment (O_EXCL; a leftover name is an error).
+  static Status create(const std::string& ctl_name, StoreWatchdog& out);
+
+  /// Publish `next` as the current generation (seqlock write). The
+  /// previously current store becomes retirable.
+  Status publish(const StoreHandle& next);
+
+  /// Unlink the superseded store segment's name, if any. Readers still
+  /// attached keep their pages; new attaches fail with ENOENT.
+  Status retire_previous();
+
+  const std::string& ctl_name() const { return ctl_name_; }
+  const std::string& current_store() const { return current_store_; }
+  const std::string& previous_store() const { return previous_store_; }
+
+  void close();
+
+  /// Remove a control segment's name (idempotent).
+  static Status unlink(const std::string& ctl_name);
+
+ private:
+  std::string ctl_name_;
+  void* base_ = nullptr;
+  int fd_ = -1;
+  std::string current_store_;
+  std::string previous_store_;
+};
+
+/// Reader side (worker processes). Thread-safe: refresh() may race with
+/// source_for() from request threads. Not movable (live mutex); hold it
+/// behind a shared_ptr.
+class StoreRegistry {
+ public:
+  StoreRegistry() = default;
+  ~StoreRegistry();
+  StoreRegistry(const StoreRegistry&) = delete;
+  StoreRegistry& operator=(const StoreRegistry&) = delete;
+
+  /// Attach the control segment read-only (validates magic + version).
+  static Status attach(const std::string& ctl_name, StoreRegistry& out);
+
+  /// Re-read the published handle and, when it names a new generation,
+  /// attach its store and swap the current reader. Ok and a no-op when
+  /// the handle is unchanged or nothing is published yet.
+  Status refresh();
+
+  /// The handle the registry last swapped to (invalid before the first
+  /// successful refresh of a published store).
+  StoreHandle current_handle() const;
+
+  std::shared_ptr<const ShmTileReader> current_reader() const;
+
+  /// A factory producing zero-copy TileSources over the current reader,
+  /// or nullptr when the current generation does not serve this
+  /// fingerprint/shape (callers fall back to generator-backed caches).
+  std::function<std::unique_ptr<TileSource>()> source_for(
+      std::uint64_t fingerprint, const Shape& shape) const;
+
+ private:
+  std::string ctl_name_;
+  const void* ctl_base_ = nullptr;  ///< read-only control mapping
+  int ctl_fd_ = -1;
+  mutable std::mutex mutex_;
+  StoreHandle handle_;
+  std::shared_ptr<const ShmTileReader> reader_;
+};
+
+}  // namespace bstc::shm

@@ -5,6 +5,13 @@
 ///
 /// Nonzero tiles are fully dense (paper §3.1), stored column-major
 /// (BLAS convention) in a contiguous buffer of doubles.
+///
+/// A tile either owns its buffer or is a *view* over external read-only
+/// storage (Tile::view) — the zero-copy path for tiles served out of a
+/// shared-memory arena. Views are shallow: copying a view copies the
+/// pointer, not the doubles, so staging a view into a device residence
+/// map never duplicates the payload. All read accessors work on both;
+/// mutating accessors require ownership and throw on a view.
 
 #include <cstddef>
 #include <vector>
@@ -23,6 +30,13 @@ class Tile {
   /// Zero-initialised rows x cols tile.
   Tile(Index rows, Index cols);
 
+  /// Non-owning view over `data` (column-major rows x cols, ld == rows).
+  /// The storage must outlive the view and every copy of it.
+  static Tile view(const double* data, Index rows, Index cols);
+
+  /// True when this tile aliases external storage instead of owning it.
+  bool is_view() const { return view_ != nullptr; }
+
   Index rows() const { return rows_; }
   Index cols() const { return cols_; }
   Index size() const { return rows_ * cols_; }
@@ -31,11 +45,13 @@ class Tile {
   }
   bool empty() const { return size() == 0; }
 
-  double& at(Index r, Index c) { return data_[index(r, c)]; }
-  double at(Index r, Index c) const { return data_[index(r, c)]; }
+  double& at(Index r, Index c) { return mutable_data()[index(r, c)]; }
+  double at(Index r, Index c) const { return data()[index(r, c)]; }
 
-  double* data() { return data_.data(); }
-  const double* data() const { return data_.data(); }
+  double* data() { return mutable_data(); }
+  const double* data() const {
+    return view_ != nullptr ? view_ : data_.data();
+  }
 
   /// Leading dimension (== rows for a packed column-major tile).
   Index ld() const { return rows_; }
@@ -56,10 +72,12 @@ class Tile {
 
  private:
   std::size_t index(Index r, Index c) const;
+  double* mutable_data();
 
   Index rows_ = 0;
   Index cols_ = 0;
   std::vector<double> data_;
+  const double* view_ = nullptr;  ///< external storage when non-null
 };
 
 }  // namespace bstc

@@ -181,6 +181,57 @@ TEST(OnDemandMatrix, EvictUnpinnedDropsOnlyUnpinnedTiles) {
   EXPECT_EQ(m.cached_bytes(), 0u);
 }
 
+TEST(OnDemandMatrix, ByteAccountingIsExactAcrossEvictRegenerateCycles) {
+  // Regression: cached_bytes()/peak_cached_bytes() must stay *exact* —
+  // not merely monotone or approximate — across repeated full-evict /
+  // re-generate cycles. The serving layer evicts between CCSD iterations
+  // and sums these numbers into host-memory pressure metrics; drift here
+  // compounds once per iteration.
+  const Shape s = Shape::dense(tiles({3, 5, 2}), tiles({4, 2, 5}));
+  OnDemandMatrix m(s, random_tile_generator(s, 17));
+
+  // The exact footprint of the full tile set, from the shape itself.
+  std::size_t full_bytes = 0;
+  for (std::size_t r = 0; r < s.tile_rows(); ++r) {
+    for (std::size_t c = 0; c < s.tile_cols(); ++c) {
+      full_bytes += static_cast<std::size_t>(s.row_tiling().tile_extent(r)) *
+                    static_cast<std::size_t>(s.col_tiling().tile_extent(c)) *
+                    sizeof(double);
+    }
+  }
+
+  EXPECT_EQ(m.cached_bytes(), 0u);
+  EXPECT_EQ(m.peak_cached_bytes(), 0u);
+
+  for (int cycle = 1; cycle <= 4; ++cycle) {
+    for (std::size_t r = 0; r < s.tile_rows(); ++r) {
+      for (std::size_t c = 0; c < s.tile_cols(); ++c) {
+        m.acquire_persistent(r, c);
+      }
+    }
+    EXPECT_EQ(m.cached_bytes(), full_bytes) << "cycle " << cycle;
+    // Peak is the high-water mark: reached in cycle 1, never exceeded by
+    // identical refills, never decreased by the evictions between them.
+    EXPECT_EQ(m.peak_cached_bytes(), full_bytes) << "cycle " << cycle;
+
+    EXPECT_EQ(m.evict_unpinned(), full_bytes) << "cycle " << cycle;
+    EXPECT_EQ(m.cached_bytes(), 0u) << "cycle " << cycle;
+    EXPECT_EQ(m.peak_cached_bytes(), full_bytes) << "cycle " << cycle;
+  }
+
+  // Every tile was generated exactly once per cycle, so the totals are
+  // exact multiples — no hidden regeneration inflated the accounting.
+  EXPECT_EQ(m.total_generations(), 4u * s.nnz_tiles());
+  EXPECT_EQ(m.max_generation_count(), 4u);
+
+  // A partial refill after the cycles still accounts exactly.
+  const std::size_t one_tile = m.acquire(0, 0).bytes();
+  EXPECT_EQ(m.cached_bytes(), one_tile);
+  EXPECT_EQ(m.peak_cached_bytes(), full_bytes);
+  m.release(0, 0);
+  EXPECT_EQ(m.cached_bytes(), 0u);
+}
+
 TEST(OnDemandMatrix, ReleaseNeverFreesPersistentUnderReferences) {
   // A tile acquired via the reference (persistent) path and also pinned by
   // a streaming consumer must survive the streaming release.

@@ -1,0 +1,285 @@
+/// Tests for ShmArena: create/alloc/seal/attach round-trips, and — in the
+/// spirit of the wire-protocol corruption tests — clean rejection of
+/// truncated, bad-magic, wrong-layout-version, checksum-corrupted and
+/// fingerprint-mismatched segments. A corrupt segment is an expected
+/// input (crashed writer, stale name), so every failure must be a clean
+/// Status with no partial attach, never a crash.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "shm/arena.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace bstc::shm {
+namespace {
+
+/// Per-process unique segment name (tests may run concurrently).
+std::string unique_name(const std::string& tag) {
+  static int counter = 0;
+  return "/bstc_test_" + tag + "_" + std::to_string(getpid()) + "_" +
+         std::to_string(++counter);
+}
+
+/// Remove the segment name when the test scope ends, pass or fail.
+struct Unlinker {
+  std::string name;
+  ~Unlinker() { ShmArena::unlink(name); }
+};
+
+/// XOR one byte of the (sealed, read-only-mapped) segment through the
+/// file descriptor — the mapping protection does not protect the file.
+void flip_byte(const std::string& name, std::size_t offset) {
+  const int fd = shm_open(name.c_str(), O_RDWR, 0600);
+  ASSERT_GE(fd, 0) << "shm_open " << name;
+  std::uint8_t b = 0;
+  ASSERT_EQ(pread(fd, &b, 1, static_cast<off_t>(offset)), 1);
+  b = static_cast<std::uint8_t>(b ^ 0xffu);
+  ASSERT_EQ(pwrite(fd, &b, 1, static_cast<off_t>(offset)), 1);
+  ::close(fd);
+}
+
+/// Build a small sealed arena with a recognizable payload; returns its
+/// used size through `used`.
+void build_sealed(const std::string& name, std::uint64_t fingerprint,
+                  std::uint64_t generation, std::size_t* used = nullptr) {
+  ShmArena arena;
+  ASSERT_TRUE(ShmArena::create(name, 4096, arena).ok);
+  const std::size_t off = arena.alloc(256 * sizeof(double));
+  auto* p = static_cast<double*>(arena.at(off));
+  for (int i = 0; i < 256; ++i) p[i] = 1.5 * i;
+  ASSERT_TRUE(arena.seal(fingerprint, generation).ok);
+  if (used != nullptr) *used = arena.used_bytes();
+}
+
+TEST(ShmArena, CreateAllocSealAttachRoundTrip) {
+  const std::string name = unique_name("arena_rt");
+  Unlinker guard{name};
+
+  ShmArena writer;
+  ASSERT_TRUE(ShmArena::create(name, 8192, writer).ok);
+  EXPECT_TRUE(writer.mapped());
+  EXPECT_FALSE(writer.sealed());
+
+  const std::size_t off_a = writer.alloc(100);
+  const std::size_t off_b = writer.alloc(64 * sizeof(double));
+  EXPECT_EQ(off_a % kArenaAlign, 0u);
+  EXPECT_EQ(off_b % kArenaAlign, 0u);
+  EXPECT_GT(off_b, off_a);
+
+  std::memset(writer.at(off_a), 0xab, 100);
+  auto* doubles = static_cast<double*>(writer.at(off_b));
+  for (int i = 0; i < 64; ++i) doubles[i] = 0.25 * i - 3.0;
+
+  ASSERT_TRUE(writer.seal(0xfeedbeefull, 7).ok);
+  EXPECT_TRUE(writer.sealed());
+  EXPECT_EQ(writer.fingerprint(), 0xfeedbeefull);
+  EXPECT_EQ(writer.generation(), 7u);
+
+  ShmArena reader;
+  const Status st = ShmArena::attach(name, reader, 0xfeedbeefull);
+  ASSERT_TRUE(st.ok) << st.message;
+  EXPECT_TRUE(reader.sealed());
+  EXPECT_EQ(reader.fingerprint(), 0xfeedbeefull);
+  EXPECT_EQ(reader.generation(), 7u);
+  EXPECT_EQ(reader.used_bytes(), writer.used_bytes());
+  EXPECT_EQ(std::memcmp(reader.at(off_a), writer.at(off_a), 100), 0);
+  EXPECT_EQ(std::memcmp(reader.at(off_b), writer.at(off_b),
+                        64 * sizeof(double)),
+            0);
+}
+
+TEST(ShmArena, AllocAfterSealThrows) {
+  const std::string name = unique_name("arena_sealed_alloc");
+  Unlinker guard{name};
+  ShmArena arena;
+  ASSERT_TRUE(ShmArena::create(name, 4096, arena).ok);
+  arena.alloc(16);
+  ASSERT_TRUE(arena.seal(1, 1).ok);
+  EXPECT_THROW(arena.alloc(16), Error);
+}
+
+TEST(ShmArena, AllocOverflowThrows) {
+  const std::string name = unique_name("arena_overflow");
+  Unlinker guard{name};
+  ShmArena arena;
+  ASSERT_TRUE(ShmArena::create(name, 4096, arena).ok);
+  EXPECT_THROW(arena.alloc(1 << 20), Error);
+}
+
+TEST(ShmArena, AttachMissingNameFailsCleanly) {
+  ShmArena reader;
+  const Status st = ShmArena::attach(unique_name("arena_missing"), reader);
+  EXPECT_FALSE(st.ok);
+  EXPECT_FALSE(reader.mapped());
+}
+
+TEST(ShmArena, AttachTruncatedSegmentFailsCleanly) {
+  const std::string name = unique_name("arena_trunc");
+  Unlinker guard{name};
+  build_sealed(name, 0x11, 1);
+
+  // Truncate to half through the fd: the header's total_bytes no longer
+  // matches the file, which a reader must notice before touching payload.
+  const int fd = shm_open(name.c_str(), O_RDWR, 0600);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(ftruncate(fd, 2048), 0);
+  ::close(fd);
+
+  ShmArena reader;
+  const Status st = ShmArena::attach(name, reader);
+  EXPECT_FALSE(st.ok);
+  EXPECT_FALSE(reader.mapped());
+}
+
+TEST(ShmArena, AttachBelowHeaderSizeFailsCleanly) {
+  const std::string name = unique_name("arena_tiny");
+  Unlinker guard{name};
+  build_sealed(name, 0x11, 1);
+  const int fd = shm_open(name.c_str(), O_RDWR, 0600);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(ftruncate(fd, 16), 0);  // not even a full header
+  ::close(fd);
+
+  ShmArena reader;
+  EXPECT_FALSE(ShmArena::attach(name, reader).ok);
+  EXPECT_FALSE(reader.mapped());
+}
+
+TEST(ShmArena, AttachBadMagicFailsCleanly) {
+  const std::string name = unique_name("arena_magic");
+  Unlinker guard{name};
+  build_sealed(name, 0x22, 1);
+  flip_byte(name, 0);  // first byte of the magic
+
+  ShmArena reader;
+  const Status st = ShmArena::attach(name, reader);
+  EXPECT_FALSE(st.ok);
+  EXPECT_NE(st.message.find("magic"), std::string::npos) << st.message;
+  EXPECT_FALSE(reader.mapped());
+}
+
+TEST(ShmArena, AttachWrongLayoutVersionFailsCleanly) {
+  const std::string name = unique_name("arena_layout");
+  Unlinker guard{name};
+  build_sealed(name, 0x33, 1);
+
+  // Overwrite the layout version (offset 8, after the u64 magic).
+  const int fd = shm_open(name.c_str(), O_RDWR, 0600);
+  ASSERT_GE(fd, 0);
+  const std::uint32_t bogus = kArenaLayoutVersion + 9;
+  ASSERT_EQ(pwrite(fd, &bogus, sizeof(bogus), 8), (ssize_t)sizeof(bogus));
+  ::close(fd);
+
+  ShmArena reader;
+  const Status st = ShmArena::attach(name, reader);
+  EXPECT_FALSE(st.ok);
+  EXPECT_NE(st.message.find("layout"), std::string::npos) << st.message;
+  EXPECT_FALSE(reader.mapped());
+}
+
+TEST(ShmArena, AttachFingerprintMismatchFailsCleanly) {
+  const std::string name = unique_name("arena_fp");
+  Unlinker guard{name};
+  build_sealed(name, 0x44, 1);
+
+  ShmArena reader;
+  const Status st = ShmArena::attach(name, reader, 0x45);
+  EXPECT_FALSE(st.ok);
+  EXPECT_NE(st.message.find("fingerprint"), std::string::npos) << st.message;
+  EXPECT_FALSE(reader.mapped());
+
+  // The same segment with the right expectation attaches fine.
+  ShmArena ok_reader;
+  EXPECT_TRUE(ShmArena::attach(name, ok_reader, 0x44).ok);
+}
+
+TEST(ShmArena, AttachUnsealedSegmentFailsCleanly) {
+  const std::string name = unique_name("arena_unsealed");
+  Unlinker guard{name};
+  {
+    ShmArena writer;
+    ASSERT_TRUE(ShmArena::create(name, 4096, writer).ok);
+    writer.alloc(128);
+    // Writer goes away without seal() — a crashed builder.
+  }
+  ShmArena reader;
+  EXPECT_FALSE(ShmArena::attach(name, reader).ok);
+  EXPECT_FALSE(reader.mapped());
+}
+
+TEST(ShmArena, EveryCoveredByteFlipIsDetected) {
+  // Property test: flipping any single byte of [0, used) — header or
+  // payload — must fail the attach; restoring it must succeed again.
+  const std::string name = unique_name("arena_prop");
+  Unlinker guard{name};
+  std::size_t used = 0;
+  build_sealed(name, 0x55, 3, &used);
+  ASSERT_GT(used, sizeof(ArenaHeader));
+
+  Rng rng(2026);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto offset = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(used) - 1));
+    flip_byte(name, offset);
+    ShmArena reader;
+    EXPECT_FALSE(ShmArena::attach(name, reader).ok)
+        << "undetected corruption at offset " << offset;
+    EXPECT_FALSE(reader.mapped());
+    flip_byte(name, offset);  // restore
+    ShmArena restored;
+    ASSERT_TRUE(ShmArena::attach(name, restored).ok)
+        << "restore failed at offset " << offset;
+  }
+}
+
+TEST(ShmArena, UnlinkIsIdempotentAndMappingsSurviveIt) {
+  const std::string name = unique_name("arena_unlink");
+  build_sealed(name, 0x66, 1);
+
+  ShmArena reader;
+  ASSERT_TRUE(ShmArena::attach(name, reader).ok);
+
+  EXPECT_TRUE(ShmArena::unlink(name).ok);
+  EXPECT_TRUE(ShmArena::unlink(name).ok);  // already gone: still Ok
+
+  // The name is gone (fresh attaches fail) but the live mapping still
+  // serves its bytes — the hot-swap draining contract.
+  ShmArena late;
+  EXPECT_FALSE(ShmArena::attach(name, late).ok);
+  EXPECT_TRUE(reader.sealed());
+  EXPECT_EQ(reader.fingerprint(), 0x66u);
+}
+
+TEST(ShmArena, ResidentBytesTracksMappings) {
+  const std::size_t before = ShmArena::process_resident_bytes();
+  const std::string name = unique_name("arena_resident");
+  Unlinker guard{name};
+  {
+    ShmArena writer;
+    ASSERT_TRUE(ShmArena::create(name, 8192, writer).ok);
+    EXPECT_GE(ShmArena::process_resident_bytes(), before + 8192);
+  }
+  EXPECT_EQ(ShmArena::process_resident_bytes(), before);
+}
+
+TEST(ShmArena, CreateRejectsExistingName) {
+  const std::string name = unique_name("arena_excl");
+  Unlinker guard{name};
+  build_sealed(name, 0x77, 1);
+  ShmArena second;
+  const Status st = ShmArena::create(name, 4096, second);
+  EXPECT_FALSE(st.ok);  // O_EXCL: generations never overwrite in place
+  EXPECT_FALSE(second.mapped());
+}
+
+}  // namespace
+}  // namespace bstc::shm

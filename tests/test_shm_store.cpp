@@ -1,0 +1,294 @@
+/// Tests for the shared-memory tile store: writer/reader round-trips
+/// (bitwise against the generator), the zero-copy SharedStoreSource
+/// contract, Tile view semantics, and the watchdog/registry generation
+/// hot-swap protocol including retirement of superseded segments.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bsm/on_demand_matrix.hpp"
+#include "shape/shape.hpp"
+#include "shm/arena.hpp"
+#include "shm/tile_store.hpp"
+#include "shm/watchdog.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "tiling/tiling.hpp"
+
+namespace bstc::shm {
+namespace {
+
+std::string unique_name(const std::string& tag) {
+  static int counter = 0;
+  return "/bstc_test_" + tag + "_" + std::to_string(getpid()) + "_" +
+         std::to_string(++counter);
+}
+
+struct Unlinker {
+  std::string name;
+  ~Unlinker() { ShmArena::unlink(name); }
+};
+
+Shape make_shape(std::uint64_t seed, double density = 0.5) {
+  Rng rng(seed);
+  const Tiling kt = Tiling::random_uniform(160, 8, 24, rng);
+  const Tiling nt = Tiling::random_uniform(160, 8, 24, rng);
+  return Shape::random(kt, nt, density, rng);
+}
+
+TEST(ShmStore, BuildAttachRoundTripsBitwise) {
+  const Shape shape = make_shape(21);
+  const TileGenerator gen = random_tile_generator(shape, 99);
+  const std::string name = unique_name("store_rt");
+  Unlinker guard{name};
+
+  StoreBuildInfo info;
+  const Status built = ShmTileStore::build(name, shape, gen, 0xf00d, 4, &info);
+  ASSERT_TRUE(built.ok) << built.message;
+  EXPECT_EQ(info.name, name);
+  EXPECT_EQ(info.fingerprint, 0xf00du);
+  EXPECT_EQ(info.generation, 4u);
+  EXPECT_EQ(info.tiles, shape.nnz_tiles());
+  EXPECT_GT(info.payload_bytes, 0u);
+  EXPECT_GE(info.segment_bytes, info.payload_bytes);
+
+  std::shared_ptr<ShmTileReader> reader;
+  const Status attached = ShmTileReader::attach(name, reader, 0xf00d);
+  ASSERT_TRUE(attached.ok) << attached.message;
+  EXPECT_EQ(reader->tile_count(), shape.nnz_tiles());
+  EXPECT_EQ(reader->grid_rows(), shape.tile_rows());
+  EXPECT_EQ(reader->grid_cols(), shape.tile_cols());
+  EXPECT_TRUE(reader->matches_shape(shape));
+
+  for (std::size_t r = 0; r < shape.tile_rows(); ++r) {
+    for (std::size_t c = 0; c < shape.tile_cols(); ++c) {
+      ASSERT_EQ(reader->has_tile(r, c), shape.nonzero(r, c));
+      if (!shape.nonzero(r, c)) continue;
+      const Tile expect = gen(r, c);
+      const Tile& got = reader->tile(r, c);
+      EXPECT_TRUE(got.is_view());
+      ASSERT_EQ(got.rows(), expect.rows());
+      ASSERT_EQ(got.cols(), expect.cols());
+      EXPECT_EQ(std::memcmp(got.data(), expect.data(), expect.bytes()), 0);
+    }
+  }
+}
+
+TEST(ShmStore, AttachRejectsWrongFingerprint) {
+  const Shape shape = make_shape(22);
+  const std::string name = unique_name("store_fp");
+  Unlinker guard{name};
+  ASSERT_TRUE(ShmTileStore::build(name, shape,
+                                  random_tile_generator(shape, 1), 0xaa, 1)
+                  .ok);
+  std::shared_ptr<ShmTileReader> reader;
+  EXPECT_FALSE(ShmTileReader::attach(name, reader, 0xbb).ok);
+  EXPECT_EQ(reader, nullptr);
+}
+
+TEST(ShmStore, MatchesShapeRejectsDifferentShape) {
+  const Shape shape = make_shape(23);
+  const std::string name = unique_name("store_shape");
+  Unlinker guard{name};
+  ASSERT_TRUE(ShmTileStore::build(name, shape,
+                                  random_tile_generator(shape, 1), 0xcc, 1)
+                  .ok);
+  std::shared_ptr<ShmTileReader> reader;
+  ASSERT_TRUE(ShmTileReader::attach(name, reader).ok);
+  EXPECT_TRUE(reader->matches_shape(shape));
+  EXPECT_FALSE(reader->matches_shape(make_shape(24)));
+  EXPECT_FALSE(reader->matches_shape(make_shape(23, 0.8)));
+}
+
+TEST(ShmStore, SharedStoreSourceIsZeroCopyAndStateless) {
+  const Shape shape = make_shape(25);
+  const TileGenerator gen = random_tile_generator(shape, 7);
+  const std::string name = unique_name("store_src");
+  Unlinker guard{name};
+  ASSERT_TRUE(ShmTileStore::build(name, shape, gen, 0xdd, 1).ok);
+  std::shared_ptr<ShmTileReader> reader;
+  ASSERT_TRUE(ShmTileReader::attach(name, reader).ok);
+
+  SharedStoreSource source(reader);
+  std::size_t checked = 0;
+  for (std::size_t r = 0; r < shape.tile_rows() && checked < 5; ++r) {
+    for (std::size_t c = 0; c < shape.tile_cols() && checked < 5; ++c) {
+      if (!shape.nonzero(r, c)) continue;
+      const Tile& a = source.acquire(r, c);
+      const Tile& p = source.acquire_persistent(r, c);
+      // Zero-copy: both acquire paths alias the same mapped payload.
+      EXPECT_EQ(a.data(), p.data());
+      EXPECT_EQ(a.data(), reader->tile(r, c).data());
+      source.release(r, c);
+      ++checked;
+    }
+  }
+  ASSERT_GT(checked, 0u);
+  // Stateless: this process materialized nothing and caches nothing.
+  EXPECT_EQ(source.total_generations(), 0u);
+  EXPECT_EQ(source.max_generation_count(), 0u);
+  EXPECT_EQ(source.cached_bytes(), 0u);
+  EXPECT_EQ(source.peak_cached_bytes(), 0u);
+  EXPECT_EQ(source.evict_unpinned(), 0u);
+}
+
+TEST(ShmStore, BuildRejectsGeneratorExtentMismatch) {
+  const Shape shape = make_shape(26);
+  const std::string name = unique_name("store_badgen");
+  Unlinker guard{name};
+  const TileGenerator bad_gen = [](std::size_t, std::size_t) {
+    return Tile(3, 3);  // wrong extents for (almost) every slot
+  };
+  const Status st = ShmTileStore::build(name, shape, bad_gen, 0xee, 1);
+  EXPECT_FALSE(st.ok);
+  // Failed builds leave no segment behind.
+  std::shared_ptr<ShmTileReader> reader;
+  EXPECT_FALSE(ShmTileReader::attach(name, reader).ok);
+}
+
+TEST(TileView, ViewsReadButNeverMutate) {
+  Tile owner(4, 3);
+  Rng rng(5);
+  owner.fill_random(rng);
+
+  const Tile view = Tile::view(owner.data(), 4, 3);
+  EXPECT_TRUE(view.is_view());
+  EXPECT_FALSE(owner.is_view());
+  EXPECT_EQ(view.data(), static_cast<const Tile&>(owner).data());
+  EXPECT_DOUBLE_EQ(view.at(2, 1), owner.at(2, 1));
+  EXPECT_DOUBLE_EQ(view.norm(), owner.norm());
+
+  Tile mutable_view = Tile::view(owner.data(), 4, 3);
+  EXPECT_THROW(mutable_view.at(0, 0) = 1.0, Error);
+  EXPECT_THROW(mutable_view.fill(0.0), Error);
+  EXPECT_THROW(mutable_view.data(), Error);
+
+  // Shallow copy: copying a view copies the pointer, not the doubles.
+  const Tile copy = view;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_TRUE(copy.is_view());
+  EXPECT_EQ(copy.data(), view.data());
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog + registry: generation publication and hot-swap.
+
+TEST(ShmWatchdog, PublishRefreshSwapAndRetire) {
+  const Shape shape = make_shape(30);
+  const TileGenerator gen = random_tile_generator(shape, 11);
+  const std::uint64_t fp = 0x1234;
+  const std::string base = unique_name("wd");
+  const std::string ctl = base + ".ctl";
+  const std::string g1 = base + ".g1";
+  const std::string g2 = base + ".g2";
+  Unlinker u1{g1}, u2{g2};
+
+  ASSERT_TRUE(ShmTileStore::build(g1, shape, gen, fp, 1).ok);
+
+  StoreWatchdog watchdog;
+  ASSERT_TRUE(StoreWatchdog::create(ctl, watchdog).ok);
+  ASSERT_TRUE(watchdog.publish(StoreHandle{1, fp, g1}).ok);
+
+  auto registry = std::make_shared<StoreRegistry>();
+  ASSERT_TRUE(StoreRegistry::attach(ctl, *registry).ok);
+  ASSERT_TRUE(registry->refresh().ok);
+  EXPECT_EQ(registry->current_handle().generation, 1u);
+  EXPECT_EQ(registry->current_handle().store_name, g1);
+  ASSERT_NE(registry->current_reader(), nullptr);
+  EXPECT_EQ(registry->current_reader()->generation(), 1u);
+
+  // source_for: right fingerprint + shape -> a factory; anything else ->
+  // nullptr (callers fall back to generator caches).
+  EXPECT_NE(registry->source_for(fp, shape), nullptr);
+  EXPECT_EQ(registry->source_for(fp + 1, shape), nullptr);
+  EXPECT_EQ(registry->source_for(fp, make_shape(31)), nullptr);
+  std::unique_ptr<TileSource> source = registry->source_for(fp, shape)();
+  ASSERT_NE(source, nullptr);
+  EXPECT_EQ(source->cached_bytes(), 0u);
+
+  // A request in flight holds the generation-1 reader across the swap.
+  const std::shared_ptr<const ShmTileReader> in_flight =
+      registry->current_reader();
+
+  // Generation 2: build, publish, retire generation 1's name.
+  ASSERT_TRUE(ShmTileStore::build(g2, shape, gen, fp, 2).ok);
+  ASSERT_TRUE(watchdog.publish(StoreHandle{2, fp, g2}).ok);
+  EXPECT_EQ(watchdog.previous_store(), g1);
+  ASSERT_TRUE(watchdog.retire_previous().ok);
+
+  // The superseded name is gone: a late attach fails...
+  std::shared_ptr<ShmTileReader> late;
+  EXPECT_FALSE(ShmTileReader::attach(g1, late).ok);
+
+  // ...but refresh() swaps the registry to generation 2...
+  ASSERT_TRUE(registry->refresh().ok);
+  EXPECT_EQ(registry->current_handle().generation, 2u);
+  ASSERT_NE(registry->current_reader(), nullptr);
+  EXPECT_EQ(registry->current_reader()->generation(), 2u);
+
+  // ...while the draining request still reads generation 1's pages.
+  std::size_t seen = 0;
+  for (std::size_t r = 0; r < shape.tile_rows() && seen < 3; ++r) {
+    for (std::size_t c = 0; c < shape.tile_cols() && seen < 3; ++c) {
+      if (!shape.nonzero(r, c)) continue;
+      EXPECT_EQ(in_flight->tile(r, c).rows(),
+                registry->current_reader()->tile(r, c).rows());
+      ++seen;
+    }
+  }
+  EXPECT_EQ(in_flight->generation(), 1u);
+
+  watchdog.close();
+  StoreWatchdog::unlink(ctl);
+}
+
+TEST(ShmWatchdog, RefreshIsANoOpUntilSomethingIsPublished) {
+  const std::string ctl = unique_name("wd_empty") + ".ctl";
+  StoreWatchdog watchdog;
+  ASSERT_TRUE(StoreWatchdog::create(ctl, watchdog).ok);
+
+  StoreRegistry registry;
+  ASSERT_TRUE(StoreRegistry::attach(ctl, registry).ok);
+  EXPECT_TRUE(registry.refresh().ok);
+  EXPECT_FALSE(registry.current_handle().valid());
+  EXPECT_EQ(registry.current_reader(), nullptr);
+  EXPECT_EQ(registry.source_for(1, make_shape(1)), nullptr);
+
+  watchdog.close();
+  StoreWatchdog::unlink(ctl);
+}
+
+TEST(ShmWatchdog, RegistryRejectsGarbageControlSegment) {
+  // A zero-filled segment of the right size is not a control segment.
+  const std::string ctl = unique_name("wd_garbage") + ".ctl";
+  const int fd = shm_open(ctl.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(ftruncate(fd, 4096), 0);
+  ::close(fd);
+
+  StoreRegistry registry;
+  EXPECT_FALSE(StoreRegistry::attach(ctl, registry).ok);
+  StoreWatchdog::unlink(ctl);
+}
+
+TEST(ShmWatchdog, PublishRejectsOverlongStoreName) {
+  const std::string ctl = unique_name("wd_long") + ".ctl";
+  StoreWatchdog watchdog;
+  ASSERT_TRUE(StoreWatchdog::create(ctl, watchdog).ok);
+  StoreHandle handle;
+  handle.generation = 1;
+  handle.fingerprint = 1;
+  handle.store_name = "/" + std::string(kCtlNameCapacity, 'x');
+  EXPECT_FALSE(watchdog.publish(handle).ok);
+  watchdog.close();
+  StoreWatchdog::unlink(ctl);
+}
+
+}  // namespace
+}  // namespace bstc::shm

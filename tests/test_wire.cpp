@@ -286,10 +286,31 @@ TEST(Wire, ServiceCtlRejectsUnknownOp) {
   EXPECT_THROW(decode_service_ctl(decode_frame(encode_frame(
                    encode_service_ctl(msg)))),
                Error);
-  msg.op = static_cast<ServiceCtlOp>(6);
+  msg.op = static_cast<ServiceCtlOp>(8);
   EXPECT_THROW(decode_service_ctl(decode_frame(encode_frame(
                    encode_service_ctl(msg)))),
                Error);
+}
+
+TEST(Wire, ServiceCtlStoreSwapRoundTrips) {
+  // The shm hot-swap doorbell and its ack are ordinary ctl frames: the
+  // ack's counters carry {ok, generation} and text the error detail.
+  ServiceCtlMsg doorbell;
+  doorbell.op = ServiceCtlOp::kStoreSwap;
+  const ServiceCtlMsg d2 = decode_service_ctl(
+      decode_frame(encode_frame(encode_service_ctl(doorbell))));
+  EXPECT_EQ(d2.op, ServiceCtlOp::kStoreSwap);
+
+  ServiceCtlMsg ack;
+  ack.op = ServiceCtlOp::kStoreSwapAck;
+  ack.rank = 3;
+  ack.counters = {1, 7};
+  ack.text = "";
+  const ServiceCtlMsg a2 = decode_service_ctl(
+      decode_frame(encode_frame(encode_service_ctl(ack))));
+  EXPECT_EQ(a2.op, ServiceCtlOp::kStoreSwapAck);
+  EXPECT_EQ(a2.rank, 3u);
+  EXPECT_EQ(a2.counters, (std::vector<std::uint64_t>{1, 7}));
 }
 
 TEST(Wire, ServeFramesRejectCorruptionAndTruncation) {

@@ -9,6 +9,8 @@
 ///   plan         build a plan and print its structure/statistics
 ///   execute      run the REAL engine on a small synthetic problem + verify
 ///   serve-batch  drive the ContractionService with a scripted request mix
+///   store-build  materialize a spec's B tiles into a shared-memory store
+///   store-inspect  attach a tile store read-only and print its layout
 ///   launch       run the distributed executor as --np real OS processes
 ///   worker       join a launch rendezvous (spawned by `launch`)
 ///   help         `bstc_cli help <cmd>` or `bstc_cli <cmd> --help`
@@ -56,6 +58,8 @@
 #include "service/fingerprint.hpp"
 #include "service/local_service.hpp"
 #include "shape/shape_algebra.hpp"
+#include "shm/tile_store.hpp"
+#include "shm/watchdog.hpp"
 #include "sim/simulator.hpp"
 #include "support/args.hpp"
 #include "support/error.hpp"
@@ -145,7 +149,10 @@ const CommandInfo kCommands[] = {
      "  --metrics-out F.txt  write Prometheus-style text metrics\n"
      "  --ranks N            distributed mode: fork N serve-worker ranks\n"
      "                       and route the same request stream over TCP\n"
-     "  --inflight N         per-worker in-flight admission bound (def 8)\n"},
+     "  --inflight N         per-worker in-flight admission bound (def 8)\n"
+     "  --shm-store NAME     build a shared-memory B-tile store (shm name,\n"
+     "                       e.g. /bstc_store) for the first workload's\n"
+     "                       spec and serve every rank from it zero-copy\n"},
     {"serve-worker", "join a distributed serve-batch (spawned by it)",
      "usage: bstc_cli serve-worker --host H --port P [options]\n"
      "  Normally started by `bstc_cli serve-batch --ranks N`, not by\n"
@@ -153,7 +160,24 @@ const CommandInfo kCommands[] = {
      "  drained.\n"
      "  --workers N          service worker threads (default 2)\n"
      "  --queue N            admission-control queue capacity (default 16)\n"
-     "  --cache N            LRU plan-cache capacity (default 32)\n"},
+     "  --cache N            LRU plan-cache capacity (default 32)\n"
+     "  --shm-ctl NAME       attach this shm store control segment and\n"
+     "                       serve matching requests zero-copy\n"},
+    {"store-build", "materialize a spec's B tiles into a shm store",
+     "usage: bstc_cli store-build [options]\n"
+     "  --name NAME          shm base name (default /bstc_store); the\n"
+     "                       segment is NAME.g<generation>\n"
+     "  --generation N       generation id to seal into the store (def 1)\n"
+     "  --publish true       create NAME.ctl and publish the generation\n"
+     "                       (default true; the control name must be free)\n"
+     "  --m --k --n --density --tile-lo --tile-hi --seed   problem spec\n"
+     "  The spec flags must match the serve workload exactly: workers\n"
+     "  attach by store fingerprint, a mismatch falls back to private\n"
+     "  generator caches.\n"},
+    {"store-inspect", "attach a tile store read-only and print its layout",
+     "usage: bstc_cli store-inspect --name NAME.g1 [options]\n"
+     "  --name NAME          the store segment name (required)\n"
+     "  --tiles true         also list every tile's grid slot and extents\n"},
 };
 
 const CommandInfo* find_command(const std::string& name) {
@@ -768,6 +792,123 @@ void report_workloads(
   std::printf("%s\n", table.render().c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Shared-memory tile stores: store-build / store-inspect, plus the
+// serve-batch --shm-store plumbing.
+
+/// POSIX shm names are one path component: "/bstc_store". Reserve room
+/// for the ".g<generation>" / ".ctl" suffixes within the control
+/// segment's publishable-name capacity.
+void require_shm_name(const std::string& name) {
+  BSTC_REQUIRE(!name.empty() && name.front() == '/' &&
+                   name.find('/', 1) == std::string::npos,
+               "shm name must look like /bstc_store (one leading slash), "
+               "got '" + name + "'");
+  BSTC_REQUIRE(name.size() + 24 < shm::kCtlNameCapacity,
+               "shm name too long: '" + name + "'");
+}
+
+/// The problem spec described by the common geometry flags (same
+/// defaults as a script line, so `store-build` with no flags matches the
+/// built-in serve mix's first workload).
+ServeProblemSpec spec_from_args(const Args& args) {
+  args.allow({"m", "k", "n", "density", "tile-lo", "tile-hi", "seed", "gpus",
+              "gpu-mem", "p"});
+  ServeProblemSpec spec;
+  spec.m = static_cast<Index>(args.get_int("m", 96));
+  spec.k = static_cast<Index>(args.get_int("k", 480));
+  spec.n = static_cast<Index>(args.get_int("n", spec.k));
+  spec.density = args.get_double("density", 0.4);
+  spec.tile_lo = static_cast<Index>(args.get_int("tile-lo", 8));
+  spec.tile_hi = static_cast<Index>(args.get_int("tile-hi", 24));
+  spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  spec.gpus = static_cast<int>(args.get_int("gpus", 1));
+  spec.gpu_mem = args.get_double("gpu-mem", 1.0e6);
+  spec.p = static_cast<int>(args.get_int("p", 1));
+  return spec;
+}
+
+/// Materialize `spec`'s B tile set into "<base>.g<generation>".
+shm::StoreBuildInfo build_spec_store(const std::string& base,
+                                     const ServeProblemSpec& spec,
+                                     std::uint64_t generation) {
+  const BuiltServeProblem built = build_serve_problem(spec);
+  const std::string store_name =
+      base + ".g" + std::to_string(generation);
+  shm::StoreBuildInfo info;
+  const shm::Status st = shm::ShmTileStore::build(
+      store_name, built.b_shape, built.b_gen, serve_store_fingerprint(spec),
+      generation, &info);
+  BSTC_REQUIRE(st.ok, "store build failed: " + st.message);
+  return info;
+}
+
+int cmd_store_build(const Args& args) {
+  const std::string base = args.get("name", "/bstc_store");
+  require_shm_name(base);
+  const auto generation =
+      static_cast<std::uint64_t>(args.get_int("generation", 1));
+  BSTC_REQUIRE(generation >= 1, "--generation must be >= 1");
+  const ServeProblemSpec spec = spec_from_args(args);
+  const shm::StoreBuildInfo info = build_spec_store(base, spec, generation);
+  TextTable table({"store", "fingerprint", "generation", "tiles", "payload",
+                   "segment"});
+  table.add_row({info.name, fingerprint_hex(info.fingerprint),
+                 std::to_string(info.generation), std::to_string(info.tiles),
+                 fmt_bytes(static_cast<double>(info.payload_bytes)),
+                 fmt_bytes(static_cast<double>(info.segment_bytes))});
+  std::printf("%s\n", table.render().c_str());
+  if (args.get_bool("publish", true)) {
+    const std::string ctl = base + ".ctl";
+    shm::StoreWatchdog watchdog;
+    shm::Status st = shm::StoreWatchdog::create(ctl, watchdog);
+    BSTC_REQUIRE(st.ok, "control segment create failed: " + st.message);
+    st = watchdog.publish(
+        shm::StoreHandle{info.generation, info.fingerprint, info.name});
+    BSTC_REQUIRE(st.ok, "publish failed: " + st.message);
+    std::printf("published      %s -> %s\n", ctl.c_str(), info.name.c_str());
+  }
+  return 0;
+}
+
+int cmd_store_inspect(const Args& args) {
+  const std::string name = args.get("name", "");
+  BSTC_REQUIRE(!name.empty(), "store-inspect: --name is required");
+  std::shared_ptr<shm::ShmTileReader> reader;
+  const shm::Status st = shm::ShmTileReader::attach(name, reader);
+  if (!st.ok) {
+    std::fprintf(stderr, "store-inspect: %s\n", st.message.c_str());
+    return 1;
+  }
+  TextTable table({"store", "fingerprint", "generation", "grid", "tiles",
+                   "payload", "segment"});
+  table.add_row({reader->name(), fingerprint_hex(reader->fingerprint()),
+                 std::to_string(reader->generation()),
+                 std::to_string(reader->grid_rows()) + "x" +
+                     std::to_string(reader->grid_cols()),
+                 std::to_string(reader->tile_count()),
+                 fmt_bytes(static_cast<double>(reader->payload_bytes())),
+                 fmt_bytes(static_cast<double>(reader->segment_bytes()))});
+  std::printf("%s\n", table.render().c_str());
+  if (args.get_bool("tiles", false)) {
+    TextTable tiles({"tile", "rows", "cols", "bytes"});
+    for (std::size_t r = 0; r < reader->grid_rows(); ++r) {
+      for (std::size_t c = 0; c < reader->grid_cols(); ++c) {
+        if (!reader->has_tile(r, c)) continue;
+        const Tile& t = reader->tile(r, c);
+        tiles.add_row({"(" + std::to_string(r) + "," + std::to_string(c) +
+                           ")",
+                       std::to_string(t.rows()), std::to_string(t.cols()),
+                       std::to_string(static_cast<std::size_t>(t.rows()) *
+                                      static_cast<std::size_t>(t.cols()) *
+                                      sizeof(double))});
+      }
+    }
+    std::printf("%s\n", tiles.render().c_str());
+  }
+  return 0;
+}
+
 int cmd_serve_batch(const Args& args) {
   const std::string trace_out = args.get("trace-out", "");
   if (!trace_out.empty()) obs::Registry::instance().set_enabled(true);
@@ -800,13 +941,45 @@ int cmd_serve_batch(const Args& args) {
   }
   BSTC_REQUIRE(!workloads.empty(), "the request script is empty");
 
+  // --shm-store: materialize the first workload's B tile set into one
+  // shared segment and publish it on a control segment; every rank
+  // (in-process or forked) attaches and serves those requests zero-copy.
+  // Other workloads in the mix fall back to private generator caches.
+  const std::string shm_store = args.get("shm-store", "");
+  shm::StoreWatchdog watchdog;
+  shm::StoreBuildInfo store_info;
+  std::string shm_ctl;
+  if (!shm_store.empty()) {
+    require_shm_name(shm_store);
+    store_info = build_spec_store(shm_store, workloads.front()->spec, 1);
+    shm_ctl = shm_store + ".ctl";
+    shm::Status st = shm::StoreWatchdog::create(shm_ctl, watchdog);
+    BSTC_REQUIRE(st.ok, "control segment create failed: " + st.message);
+    st = watchdog.publish(shm::StoreHandle{
+        store_info.generation, store_info.fingerprint, store_info.name});
+    BSTC_REQUIRE(st.ok, "store publish failed: " + st.message);
+    std::printf("shm store      %s: %zu tiles, %s payload, fingerprint %s\n",
+                store_info.name.c_str(), store_info.tiles,
+                fmt_bytes(static_cast<double>(store_info.payload_bytes))
+                    .c_str(),
+                fingerprint_hex(store_info.fingerprint).c_str());
+  }
+
   const std::string metrics_out = args.get("metrics-out", "");
   Timer wall;
   int failed = 0;
 
   if (ranks == 0) {
     // Single-process mode: the same request boundary, served in-process.
-    LocalService local(service_cfg);
+    std::shared_ptr<shm::StoreRegistry> store;
+    if (!shm_ctl.empty()) {
+      store = std::make_shared<shm::StoreRegistry>();
+      shm::Status st = shm::StoreRegistry::attach(shm_ctl, *store);
+      BSTC_REQUIRE(st.ok, "store registry attach failed: " + st.message);
+      st = store->refresh();
+      BSTC_REQUIRE(st.ok, "store registry refresh failed: " + st.message);
+    }
+    LocalService local(service_cfg, 0, store);
     drive_serve(local, workloads, clients);
     const double wall_s = wall.elapsed_s();
     report_workloads(workloads);
@@ -845,6 +1018,10 @@ int cmd_serve_batch(const Args& args) {
             "--workers", std::to_string(service_cfg.workers),
             "--queue", std::to_string(service_cfg.queue_capacity),
             "--cache", std::to_string(service_cfg.plan_cache_capacity)};
+        if (!shm_ctl.empty()) {
+          argv_s.push_back("--shm-ctl");
+          argv_s.push_back(shm_ctl);
+        }
         std::vector<char*> argv;
         argv.reserve(argv_s.size() + 1);
         for (std::string& s : argv_s) argv.push_back(s.data());
@@ -913,6 +1090,17 @@ int cmd_serve_batch(const Args& args) {
           << "bstc_router_reassigned_total " << rs.reassigned << "\n"
           << "bstc_router_worker_lost_total " << rs.worker_lost << "\n"
           << "bstc_router_live_workers " << rs.live_workers << "\n";
+      if (!shm_store.empty()) {
+        // The front built the store once; worker sections below carry
+        // per-rank bstc_b_tiles_generated_total (0 when the store served
+        // them) — together they witness one materialization per node.
+        out << "bstc_front_store_builds_total 1\n"
+            << "bstc_front_store_tiles " << store_info.tiles << "\n"
+            << "bstc_front_store_payload_bytes " << store_info.payload_bytes
+            << "\n"
+            << "bstc_front_store_segment_bytes " << store_info.segment_bytes
+            << "\n";
+      }
       for (const net::ServeRankMetrics& r : per_rank) out << r.prometheus;
       BSTC_REQUIRE(out.good(), "failed writing " + metrics_out);
       std::printf("metrics        %s\n", metrics_out.c_str());
@@ -934,6 +1122,14 @@ int cmd_serve_batch(const Args& args) {
     failed += worker_failures;
   }
 
+  if (!shm_store.empty()) {
+    // Unlink both names: attached readers (none left by now) would keep
+    // their pages; fresh attaches must fail with ENOENT.
+    watchdog.close();
+    shm::ShmArena::unlink(store_info.name);
+    shm::StoreWatchdog::unlink(shm_ctl);
+  }
+
   if (!trace_out.empty()) write_local_trace(trace_out);
   return failed == 0 ? 0 : 1;
 }
@@ -948,6 +1144,7 @@ int cmd_serve_worker(const Args& args) {
       static_cast<std::size_t>(args.get_int("queue", 16));
   opts.service.plan_cache_capacity =
       static_cast<std::size_t>(args.get_int("cache", 32));
+  opts.shm_ctl = args.get("shm-ctl", "");
   // The kCrash fault-injection op stays dead in production workers; only
   // the test harness runs workers with it armed.
   return net::run_serve_worker(opts);
@@ -1002,6 +1199,10 @@ int main(int argc, char** argv) {
       rc = cmd_serve_worker(args);
     } else if (cmd == "serve-batch") {
       rc = cmd_serve_batch(args);
+    } else if (cmd == "store-build") {
+      rc = cmd_store_build(args);
+    } else if (cmd == "store-inspect") {
+      rc = cmd_store_inspect(args);
     } else if (cmd == "launch") {
       rc = cmd_launch(args);
     } else if (cmd == "worker") {
