@@ -84,6 +84,95 @@ SweepPoint sweep_one(Index extent) {
   return point;
 }
 
+/// `n` fully meshed in-process ranks over socket pairs — the broadcast
+/// sweep's stand-in for one grid row of the distributed engine.
+struct LoopbackMesh {
+  std::vector<std::unique_ptr<WireCounters>> counters;
+  std::vector<std::unique_ptr<NetTransport>> t;
+
+  explicit LoopbackMesh(int n) {
+    std::vector<std::vector<PeerLink>> links(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        int fds[2];
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+          throw Error("socketpair failed");
+        }
+        links[static_cast<std::size_t>(i)].push_back(
+            PeerLink{j, Socket(fds[0])});
+        links[static_cast<std::size_t>(j)].push_back(
+            PeerLink{i, Socket(fds[1])});
+      }
+    }
+    for (int r = 0; r < n; ++r) {
+      counters.push_back(std::make_unique<WireCounters>());
+      t.push_back(std::make_unique<NetTransport>(
+          n, r, std::move(links[static_cast<std::size_t>(r)]),
+          counters.back().get()));
+    }
+  }
+};
+
+struct BcastPoint {
+  int row = 0;          ///< broadcast participants (grid-row width)
+  Index tile = 0;
+  std::size_t tile_bytes = 0;
+  BcastSelect select = BcastSelect::kUnicast;
+  int reps = 0;
+  double bcast_us = 0.0;       ///< mean time to deliver one tile to all
+  std::size_t root_sends = 0;  ///< frames the root itself injects
+};
+
+BcastPoint bcast_sweep_one(int row, Index extent, BcastSelect select) {
+  LoopbackMesh mesh(row);
+  BcastConfig cfg;
+  cfg.select = select;
+  for (auto& t : mesh.t) t->configure_bcast(cfg);
+
+  Rng rng(static_cast<std::uint64_t>(extent) * 31 + row);
+  Tile tile(extent, extent);
+  tile.fill_random(rng);
+
+  BcastPoint point;
+  point.row = row;
+  point.tile = extent;
+  point.tile_bytes = tile.bytes();
+  point.select = select;
+  // ~8 MB of delivered payload per point keeps the sweep quick while
+  // still bandwidth-bound at the large extents.
+  point.reps = static_cast<int>(std::max<std::size_t>(
+      8, (8u << 20) / std::max<std::size_t>(
+                          1, tile.bytes() * static_cast<std::size_t>(
+                                                row - 1))));
+
+  std::vector<int> parts;
+  std::vector<int> consumers;
+  for (int r = 0; r < row; ++r) parts.push_back(r);
+  for (int r = 1; r < row; ++r) consumers.push_back(r);
+  point.root_sends =
+      bcast_children(resolve_bcast(select, parts.size(), tile.bytes()),
+                     parts, 0, 0, {})
+          .size();
+
+  std::vector<std::thread> waiters;
+  for (int r = 1; r < row; ++r) {
+    waiters.emplace_back([&, r] {
+      for (int i = 0; i < point.reps; ++i) {
+        (void)mesh.t[static_cast<std::size_t>(r)]->mailbox(r).wait(
+            static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  Timer timer;
+  for (int i = 0; i < point.reps; ++i) {
+    mesh.t[0]->send_multi(0, consumers, static_cast<std::uint64_t>(i),
+                          tile);
+  }
+  for (auto& w : waiters) w.join();
+  point.bcast_us = timer.elapsed_s() / point.reps * 1e6;
+  return point;
+}
+
 double pingpong_rtt_us(int rounds) {
   LoopbackPair pair;
   std::thread echo([&] {
@@ -121,6 +210,32 @@ int main() {
   }
   bench::print_table("loopback tile transfer sweep (socketpair)", table);
 
+  // Broadcast algorithm sweep: one grid row of 2..8 ranks, tile extents
+  // straddling the auto tree->ring threshold. The delivered volume is
+  // identical for every algorithm (each consumer receives the tile
+  // exactly once); what moves is where the injection happens — the
+  // unicast root sends row-1 copies, the tree log2(row), the ring one.
+  std::vector<BcastPoint> bpoints;
+  TextTable btable(
+      {"row", "tile", "payload", "algo", "root sends", "bcast"});
+  for (const int row : {2, 4, 8}) {
+    for (const Index extent : {64, 128, 256}) {
+      for (const BcastSelect select :
+           {BcastSelect::kUnicast, BcastSelect::kTree,
+            BcastSelect::kRing}) {
+        const BcastPoint p = bcast_sweep_one(row, extent, select);
+        bpoints.push_back(p);
+        btable.add_row({std::to_string(p.row),
+                        std::to_string(p.tile) + "^2",
+                        fmt_bytes(static_cast<double>(p.tile_bytes)),
+                        bcast_select_name(p.select),
+                        std::to_string(p.root_sends),
+                        fmt_duration(p.bcast_us * 1e-6)});
+      }
+    }
+  }
+  bench::print_table("A-broadcast algorithm sweep (one grid row)", btable);
+
   std::FILE* out = std::fopen("BENCH_net.json", "w");
   if (out != nullptr) {
     std::fprintf(out, "{\n  \"bench\": \"net\",\n");
@@ -135,6 +250,18 @@ int main() {
                    static_cast<long long>(p.tile), p.tile_bytes, p.reps,
                    p.tile_us, p.bandwidth_bps,
                    i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"bcast_sweep\": [\n");
+    for (std::size_t i = 0; i < bpoints.size(); ++i) {
+      const BcastPoint& p = bpoints[i];
+      std::fprintf(out,
+                   "    {\"row\": %d, \"tile\": %lld, "
+                   "\"payload_bytes\": %zu, \"algo\": \"%s\", "
+                   "\"reps\": %d, \"root_sends\": %zu, "
+                   "\"bcast_us\": %.3f}%s\n",
+                   p.row, static_cast<long long>(p.tile), p.tile_bytes,
+                   bcast_select_name(p.select), p.reps, p.root_sends,
+                   p.bcast_us, i + 1 < bpoints.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);

@@ -63,4 +63,12 @@ void Transport::send(int from, int to, std::uint64_t key, Tile tile) {
   mailbox(to).deliver(key, std::move(tile));
 }
 
+void Transport::send_multi(int from, const std::vector<int>& consumers,
+                           std::uint64_t key, const Tile& tile) {
+  for (const int to : consumers) {
+    BSTC_REQUIRE(to != from, "broadcast consumer list contains the root");
+    send(from, to, key, Tile(tile));
+  }
+}
+
 }  // namespace bstc

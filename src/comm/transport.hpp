@@ -78,6 +78,14 @@ class Transport {
   /// local rank and ships remote deliveries over the wire.
   virtual void send(int from, int to, std::uint64_t key, Tile tile);
 
+  /// Broadcast one tile from `from` to every rank in `consumers` (which
+  /// must not contain `from`). The in-process base delivers per consumer;
+  /// NetTransport serializes once and routes the collective fanout
+  /// (tree/ring/shm) while keeping the per-consumer byte accounting —
+  /// every consumer's mailbox receives `key` exactly once either way.
+  virtual void send_multi(int from, const std::vector<int>& consumers,
+                          std::uint64_t key, const Tile& tile);
+
   const CommRecorder& recorder() const { return recorder_; }
 
  protected:

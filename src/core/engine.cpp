@@ -1,9 +1,9 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <mutex>
-#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -71,7 +71,8 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
 
   Timer timer;
   const int num_nodes = plan.grid.nodes();
-  const CyclicDist2D a_dist{plan.grid.p, plan.grid.q};
+  // Tile homes are 2D-cyclic over grid *slots*; the grid's layout maps
+  // slots to ranks (identity unless a node-aware permutation was planned).
 
   // Queue layout: [0, num_nodes) are CPU queues (B generation), then one
   // queue per device.
@@ -160,8 +161,11 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
   }
   const double transport_bytes_before =
       transport != nullptr ? transport->recorder().total_bytes() : 0.0;
-  // (home node, consumer node, i, k) send list.
-  std::vector<std::tuple<int, int, std::uint32_t, std::uint32_t>> sends;
+  // Per A tile: its home rank and the ascending list of consumer ranks.
+  // One *collective* send per tile (not one per consumer) so the
+  // transport can serialize once and fan out tree/ring/shm; ordered map
+  // for deterministic task creation.
+  std::map<std::uint64_t, std::pair<int, std::vector<int>>> a_sends;
   if (messaged) {
     for (int n = 0; n < num_nodes; ++n) {
       std::unordered_set<std::uint64_t> needed;
@@ -170,12 +174,14 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
         for (const Chunk& chunk : block.chunks) {
           for (const auto& [i, k] : chunk.a_tiles) {
             if (!needed.insert(tile_key(i, k)).second) continue;
-            const int home = a_dist.node_of(i, k);
+            const int home = plan.grid.home_of(i, k);
             if (home == n) continue;
             // Each rank runs only its *own* send tasks in distributed
             // mode (it holds only its home share of A authoritatively).
             if (distributed && home != cfg.local_rank) continue;
-            sends.emplace_back(home, n, i, k);
+            auto& entry = a_sends[tile_key(i, k)];
+            entry.first = home;
+            entry.second.push_back(n);  // ascending: the n loop ascends
           }
         }
       }
@@ -194,15 +200,19 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
   TaskGraph graph;
 
   // Root send tasks on the home ranks' CPU queues (the background
-  // broadcast of A along grid rows, paper §3.2.4).
-  for (const auto& [home, consumer, si, sk] : sends) {
+  // broadcast of A along grid rows, paper §3.2.4): one task per tile
+  // broadcasting to its full consumer set.
+  for (const auto& [key, home_consumers] : a_sends) {
+    const auto si = static_cast<std::uint32_t>(key >> 32);
+    const auto sk = static_cast<std::uint32_t>(key & 0xffffffffu);
     graph.add_task(
-        "asend(" + std::to_string(si) + "," + std::to_string(sk) + "->n" +
-            std::to_string(consumer) + ")",
-        static_cast<std::uint32_t>(home),
-        [transport, &a, home = home, consumer = consumer, si = si,
-         sk = sk] {
-          transport->send(home, consumer, tile_key(si, sk), a.tile(si, sk));
+        "asend(" + std::to_string(si) + "," + std::to_string(sk) + "->x" +
+            std::to_string(home_consumers.second.size()) + ")",
+        static_cast<std::uint32_t>(home_consumers.first),
+        [transport, &a, home = home_consumers.first,
+         consumers = home_consumers.second, si = si, sk = sk] {
+          transport->send_multi(home, consumers, tile_key(si, sk),
+                                a.tile(si, sk));
         });
   }
 
@@ -307,11 +317,11 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
             "chunkload(n" + std::to_string(n) + ",b" + std::to_string(bi) +
                 "," + std::to_string(ci) + ")",
             dq,
-            [&ns, &res, &dev, &chunk, &a, &a_dist, &comm, transport, n] {
+            [&ns, &res, &dev, &chunk, &a, &plan, &comm, transport, n] {
               dev.allocate(static_cast<std::size_t>(chunk.a_bytes));
               std::lock_guard lock(res.mutex);
               for (const auto& [i, k] : chunk.a_tiles) {
-                const int home = a_dist.node_of(i, k);
+                const int home = plan.grid.home_of(i, k);
                 const bool remote = home != n;
                 // Explicit transport: stall until the message arrived
                 // (the send tasks are dependence-free roots, so progress
@@ -466,7 +476,7 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
       const auto j = static_cast<std::uint32_t>(key & 0xffffffffu);
       result.computed_c_tiles.emplace_back(i, j);
       result.c.tile(i, j).axpy(1.0, tile);
-      const int home = a_dist.node_of(i, j);
+      const int home = plan.grid.home_of(i, j);
       if (home != plan.grid.node_id(node_plan.grid_row, node_plan.grid_col)) {
         comm.record(plan.grid.node_id(node_plan.grid_row, node_plan.grid_col),
                     home, static_cast<double>(tile.bytes()));
@@ -497,7 +507,8 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
         transport->recorder().total_bytes() - transport_bytes_before;
   }
   result.tasks_executed = sched.tasks_executed;
-  result.plan_stats = compute_stats(plan, a.shape(), b_shape, c_shape);
+  result.plan_stats = compute_stats(plan, a.shape(), b_shape, c_shape,
+                                    cfg.a_bcast, cfg.node_of_rank);
   for (const auto& dev : devices) {
     result.device_peak_bytes.push_back(dev->peak_used());
   }

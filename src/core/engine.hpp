@@ -25,6 +25,7 @@
 #include "bsm/block_sparse_matrix.hpp"
 #include "bsm/on_demand_matrix.hpp"
 #include "bsm/tile_source.hpp"
+#include "comm/bcast.hpp"
 #include "comm/comm.hpp"
 #include "comm/transport.hpp"
 #include "machine/machine.hpp"
@@ -61,6 +62,13 @@ struct EngineConfig {
   /// aggregates across ranks (see net/launch.hpp). -1 (default) executes
   /// every rank in-process as before.
   int local_rank = -1;
+  /// A-broadcast algorithm for explicit-message runs, and the rank ->
+  /// node map the analytic stats use to split A volume into intra- and
+  /// inter-node hops. Must match the transport's configuration (a
+  /// NetTransport's configure_bcast) so measured and predicted splits
+  /// agree; the defaults reproduce the historical flat unicast numbers.
+  BcastSelect a_bcast = BcastSelect::kUnicast;
+  std::vector<int> node_of_rank;  ///< empty = every rank its own node
   /// When non-null, the per-node B sources live here and survive across
   /// calls — the serving layer's session path: B tiles are held
   /// persistently (TileSource::acquire_persistent) instead of being

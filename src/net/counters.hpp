@@ -22,6 +22,15 @@ struct WireCounterSnapshot {
   std::uint64_t bytes_received = 0;  ///< on-wire bytes incl. frame framing
   std::uint64_t connect_retries = 0; ///< failed attempts that were retried
   std::uint64_t reconnects = 0;      ///< connections needing >= 1 retry
+  /// A-broadcast payload bytes this rank injected, split by hop class
+  /// (sender-side accounting: the root and every relay count each hop
+  /// they originate, so summing ranks counts every hop exactly once).
+  std::uint64_t a_payload_inter_bytes = 0;
+  std::uint64_t a_payload_intra_bytes = 0;
+  std::uint64_t shm_payload_bytes = 0;  ///< intra slice served via the ring
+  std::uint64_t bcast_frames_sent = 0;      ///< kBcast roots
+  std::uint64_t bcast_fwd_frames_sent = 0;  ///< kBcastFwd relays
+  std::uint64_t shm_publishes = 0;          ///< staging-ring publish calls
 };
 
 /// Thread-safe monotonic counters.
@@ -41,6 +50,20 @@ class WireCounters {
   void add_reconnect() {
     reconnects_.fetch_add(1, std::memory_order_relaxed);
   }
+  void add_a_payload(bool internode, std::uint64_t payload_bytes) {
+    (internode ? a_payload_inter_bytes_ : a_payload_intra_bytes_)
+        .fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+  void add_shm_payload(std::uint64_t payload_bytes) {
+    shm_payload_bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+  void add_bcast_frame_sent(bool forwarded) {
+    (forwarded ? bcast_fwd_frames_sent_ : bcast_frames_sent_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_shm_publish() {
+    shm_publishes_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   WireCounterSnapshot snapshot() const {
     WireCounterSnapshot s;
@@ -50,6 +73,15 @@ class WireCounters {
     s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
     s.connect_retries = connect_retries_.load(std::memory_order_relaxed);
     s.reconnects = reconnects_.load(std::memory_order_relaxed);
+    s.a_payload_inter_bytes =
+        a_payload_inter_bytes_.load(std::memory_order_relaxed);
+    s.a_payload_intra_bytes =
+        a_payload_intra_bytes_.load(std::memory_order_relaxed);
+    s.shm_payload_bytes = shm_payload_bytes_.load(std::memory_order_relaxed);
+    s.bcast_frames_sent = bcast_frames_sent_.load(std::memory_order_relaxed);
+    s.bcast_fwd_frames_sent =
+        bcast_fwd_frames_sent_.load(std::memory_order_relaxed);
+    s.shm_publishes = shm_publishes_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -60,6 +92,12 @@ class WireCounters {
   std::atomic<std::uint64_t> bytes_received_{0};
   std::atomic<std::uint64_t> connect_retries_{0};
   std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> a_payload_inter_bytes_{0};
+  std::atomic<std::uint64_t> a_payload_intra_bytes_{0};
+  std::atomic<std::uint64_t> shm_payload_bytes_{0};
+  std::atomic<std::uint64_t> bcast_frames_sent_{0};
+  std::atomic<std::uint64_t> bcast_fwd_frames_sent_{0};
+  std::atomic<std::uint64_t> shm_publishes_{0};
 };
 
 /// The process-wide counter instance. Every net component that is not

@@ -1,15 +1,20 @@
 #include "net/launch.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <limits>
 #include <optional>
 #include <utility>
 
+#include "comm/bcast.hpp"
 #include "comm/comm.hpp"
 #include "core/engine.hpp"
+#include "machine/topology.hpp"
 #include "net/counters.hpp"
 #include "net/net_transport.hpp"
+#include "shm/bcast_ring.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace_merge.hpp"
 #include "service/fingerprint.hpp"
@@ -31,6 +36,18 @@ std::string fmt_double(double v) {
 }
 
 constexpr std::uint32_t kClockProbeRounds = 8;
+
+std::string session_hex(std::uint64_t session) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(session));
+  return buf;
+}
+
+/// Name of rank `r`'s staging ring within a launch session.
+std::string ring_name(std::uint64_t session, int r) {
+  return "/bstc_bc_" + session_hex(session) + "_" + std::to_string(r);
+}
 
 /// Rank 0 side of the clock handshake with `peer`: NTP-style probe
 /// rounds, offset taken at minimum RTT (least queueing noise), then the
@@ -207,6 +224,7 @@ int run_worker(const WorkerOptions& opts) {
   hello.np = 0;
   hello.listen_port = mesh.local_port();
   hello.fingerprint = prob.fingerprint;
+  hello.node_id = static_cast<std::uint32_t>(opts.node_id);
   send_frame(launcher, encode_hello(hello), &counters);
 
   std::optional<Frame> wf = recv_frame(launcher, &counters);
@@ -220,6 +238,51 @@ int run_worker(const WorkerOptions& opts) {
   BSTC_REQUIRE(welcome.peers.size() == static_cast<std::size_t>(np),
                "worker: malformed peer table");
   end_phase("rendezvous");
+
+  // Topology + broadcast policy, decided once by the launcher. Every
+  // rank derives the identical node-aware layout from the same map, so
+  // the permutation needs no extra agreement round. The layout never
+  // enters the problem fingerprint (hellos predate rank assignment).
+  const std::vector<int> node_of(welcome.node_of_rank.begin(),
+                                 welcome.node_of_rank.end());
+  BSTC_REQUIRE(node_of.empty() || node_of.size() == static_cast<std::size_t>(np),
+               "worker: malformed node map in the welcome");
+  const int grid_q = np / prob.plan_cfg.p;
+  std::vector<int> layout;
+  if (welcome.node_aware != 0) {
+    layout = node_aware_layout(prob.plan_cfg.p, grid_q, node_of);
+  }
+
+  // Shm fast path: create our own staging ring *before* dialing the
+  // mesh. Peers attach only after the post-mesh barrier below, and every
+  // rank reaches that barrier strictly after this point — so an attach
+  // can never race ring creation.
+  const bool use_shm = welcome.shm_bcast != 0;
+  std::vector<int> co_located;
+  if (use_shm) {
+    BSTC_REQUIRE(np <= 64,
+                 "worker: the shm broadcast fast path supports np <= 64");
+    for (int r = 0; r < np; ++r) {
+      if (r != rank && bcast_node_of(node_of, r) == bcast_node_of(node_of, rank)) {
+        co_located.push_back(r);
+      }
+    }
+  }
+  // Ring slots must fit any A tile's serialized broadcast frame: tile
+  // payload + key/algo/root/parts header.
+  const auto ring_payload_max = static_cast<std::uint32_t>(
+      static_cast<std::size_t>(opts.spec.tile_hi) *
+          static_cast<std::size_t>(opts.spec.tile_hi) * sizeof(double) +
+      64 + 4 * static_cast<std::size_t>(np));
+  shm::BcastRing own_ring;
+  std::vector<shm::BcastRing> peer_ring_store;  // outlives the transport
+  if (use_shm && !co_located.empty()) {
+    const shm::Status st = shm::BcastRing::create(
+        ring_name(welcome.session, rank), rank, welcome.session,
+        /*nslots=*/8, ring_payload_max,
+        static_cast<int>(co_located.size()), own_ring);
+    BSTC_REQUIRE(st.ok, "worker: staging ring create failed: " + st.message);
+  }
 
   // Mesh formation: dial every lower rank (their listeners predate their
   // hellos, so a connect can only race process scheduling, which the
@@ -257,13 +320,43 @@ int run_worker(const WorkerOptions& opts) {
   }
 
   NetTransport nt(np, rank, std::move(links), &counters);
-  const CyclicDist2D dist{prob.plan_cfg.p, np / prob.plan_cfg.p};
+  nt.configure_bcast(BcastConfig{welcome.bcast, node_of});
+  if (use_shm) {
+    // Every rank created its ring before the mesh, so after this barrier
+    // every peer's ring exists and the attaches below cannot race.
+    nt.barrier(0);
+    for (const int r : co_located) {
+      shm::BcastRing ring;
+      const shm::Status st = shm::BcastRing::attach(
+          ring_name(welcome.session, r), r, welcome.session, ring);
+      BSTC_REQUIRE(st.ok, "worker: staging ring attach to rank " +
+                              std::to_string(r) + " failed: " + st.message);
+      peer_ring_store.push_back(std::move(ring));
+    }
+    if (!co_located.empty()) {
+      std::vector<shm::BcastRing*> peer_rings;
+      for (shm::BcastRing& r : peer_ring_store) peer_rings.push_back(&r);
+      nt.enable_shm_bcast(&own_ring, std::move(peer_rings));
+    }
+  }
+  // Layout-aware homes: C tiles (like A tiles) are 2D-cyclic over grid
+  // *slots*; the layout permutation maps slots to ranks.
+  GridSpec grid;
+  grid.p = prob.plan_cfg.p;
+  grid.q = grid_q;
+  grid.layout = layout;
   end_phase("mesh");
 
+  // The layout rides a local copy of the plan config: the problem
+  // fingerprint was already exchanged pre-layout and must not change.
+  PlanConfig plan_cfg = prob.plan_cfg;
+  plan_cfg.rank_layout = layout;
   EngineConfig ecfg;
-  ecfg.plan = prob.plan_cfg;
+  ecfg.plan = plan_cfg;
   ecfg.transport = &nt;
   ecfg.local_rank = rank;
+  ecfg.a_bcast = welcome.bcast;
+  ecfg.node_of_rank = node_of;
   const EngineResult res = contract(prob.a, prob.b_shape, prob.b_gen,
                                     prob.c_shape, nullptr, prob.machine, ecfg);
   end_phase("engine");
@@ -276,7 +369,7 @@ int run_worker(const WorkerOptions& opts) {
   std::vector<std::uint64_t> owned_keys;
   std::vector<std::uint64_t> sent_counts(static_cast<std::size_t>(np), 0);
   for (const auto& [i, j] : res.computed_c_tiles) {
-    const int home = dist.node_of(i, j);
+    const int home = grid.home_of(i, j);
     if (home == rank) {
       owned.tile(i, j) = res.c.tile(i, j);
       owned_keys.push_back(tile_key(i, j));
@@ -302,7 +395,7 @@ int run_worker(const WorkerOptions& opts) {
     TileMsg msg = decode_tile(frame);
     const auto i = static_cast<std::uint32_t>(msg.key >> 32);
     const auto j = static_cast<std::uint32_t>(msg.key & 0xffffffffu);
-    BSTC_REQUIRE(dist.node_of(i, j) == rank,
+    BSTC_REQUIRE(grid.home_of(i, j) == rank,
                  "worker: received a C tile homed elsewhere");
     owned.tile(i, j) = std::move(msg.tile);
     owned_keys.push_back(msg.key);
@@ -359,6 +452,8 @@ int run_worker(const WorkerOptions& opts) {
     verdict.max_abs_diff = full.max_abs_diff(ref_res.c);
     verdict.stats_a_network_bytes = res.plan_stats.a_network_bytes;
     verdict.stats_c_network_bytes = res.plan_stats.c_network_bytes;
+    verdict.stats_a_internode_bytes = res.plan_stats.a_internode_bytes;
+    verdict.stats_a_intranode_bytes = res.plan_stats.a_intranode_bytes;
     verdict.c_norm = full.norm();
   } else {
     for (const std::uint64_t key : owned_keys) {
@@ -384,7 +479,11 @@ int run_worker(const WorkerOptions& opts) {
 
   SummaryMsg summary;
   summary.rank = static_cast<std::uint32_t>(rank);
-  summary.a_wire_bytes = res.a_network_bytes;  // tile bytes this rank sent
+  // A payload bytes this rank *originated* (root sends plus relay
+  // forwards). Read from the transport recorder after the barrier — a
+  // relay hop is recorded by the rx thread, possibly after the local
+  // engine already returned, so the engine-call delta would undercount.
+  summary.a_wire_bytes = nt.recorder().total_bytes() - nt.c_wire_bytes();
   summary.c_wire_bytes = nt.c_wire_bytes();
   const WireCounterSnapshot wc = counters.snapshot();
   summary.frames_sent = wc.frames_sent;
@@ -393,6 +492,27 @@ int run_worker(const WorkerOptions& opts) {
   summary.reconnects = wc.reconnects;
   summary.tasks_executed = res.tasks_executed;
   summary.engine_seconds = res.wall_seconds;
+  summary.a_inter_bytes = static_cast<double>(wc.a_payload_inter_bytes);
+  summary.a_intra_bytes = static_cast<double>(wc.a_payload_intra_bytes);
+  summary.shm_bytes = static_cast<double>(wc.shm_payload_bytes);
+  summary.bcast_frames = wc.bcast_frames_sent;
+  summary.bcast_fwd_frames = wc.bcast_fwd_frames_sent;
+  summary.shm_publishes = wc.shm_publishes;
+  {
+    // Rank-labelled Prometheus lines; the launch CLI concatenates them
+    // into one exposition file (--metrics-out).
+    const auto metric = [&](const char* name, std::uint64_t v) {
+      summary.metrics_text += std::string(name) + "{rank=\"" +
+                              std::to_string(rank) + "\"} " +
+                              std::to_string(v) + "\n";
+    };
+    metric("bstc_bcast_frames_total", wc.bcast_frames_sent);
+    metric("bstc_bcast_fwd_frames_total", wc.bcast_fwd_frames_sent);
+    metric("bstc_bcast_inter_bytes_total", wc.a_payload_inter_bytes);
+    metric("bstc_bcast_intra_bytes_total", wc.a_payload_intra_bytes);
+    metric("bstc_bcast_shm_bytes_total", wc.shm_payload_bytes);
+    metric("bstc_bcast_shm_publishes_total", wc.shm_publishes);
+  }
   send_frame(launcher, encode_summary(summary), &counters);
   if (rank == 0) send_frame(launcher, encode_verdict(verdict), &counters);
 
@@ -443,7 +563,19 @@ LaunchReport run_launcher(const LaunchOptions& opts, const SpawnFn& spawn,
   welcome.np = static_cast<std::uint32_t>(np);
   for (const Pending& p : pending) {
     welcome.peers.emplace_back(opts.host, p.hello.listen_port);
+    welcome.node_of_rank.push_back(p.hello.node_id);
   }
+  welcome.node_aware = opts.node_aware ? 1 : 0;
+  welcome.bcast = opts.bcast;
+  welcome.shm_bcast = opts.shm_bcast ? 1 : 0;
+  if (opts.shm_bcast) {
+    BSTC_REQUIRE(np <= 64,
+                 "launch: the shm broadcast fast path supports --np <= 64");
+  }
+  // Namespace the shm ring names so concurrent launches on one machine
+  // never collide (pid + rendezvous port are unique per live launcher).
+  welcome.session = (static_cast<std::uint64_t>(::getpid()) << 16) ^
+                    rendezvous.local_port();
   for (int r = 0; r < np; ++r) {
     welcome.rank = static_cast<std::uint32_t>(r);
     send_frame(pending[static_cast<std::size_t>(r)].sock,
@@ -464,6 +596,9 @@ LaunchReport run_launcher(const LaunchOptions& opts, const SpawnFn& spawn,
     report.summaries[summary.rank] = summary;
     report.total_a_wire_bytes += summary.a_wire_bytes;
     report.total_c_wire_bytes += summary.c_wire_bytes;
+    report.total_a_inter_bytes += summary.a_inter_bytes;
+    report.total_a_intra_bytes += summary.a_intra_bytes;
+    report.total_shm_bytes += summary.shm_bytes;
     if (r == 0) {
       std::optional<Frame> vf = recv_frame(sock, nullptr);
       BSTC_REQUIRE(vf.has_value() && vf->type == FrameType::kVerdict,
@@ -472,10 +607,15 @@ LaunchReport run_launcher(const LaunchOptions& opts, const SpawnFn& spawn,
     }
   }
 
-  // Exact equality: both sides count whole tiles of integer byte sizes.
+  // Exact equality: both sides count whole tiles of integer byte sizes,
+  // and the measured hop split must land on the analytic split to the
+  // byte — any fanout / classification drift between the transport and
+  // the plan statistics fails the launch.
   report.bytes_match =
       report.total_a_wire_bytes == report.verdict.stats_a_network_bytes &&
-      report.total_c_wire_bytes == report.verdict.stats_c_network_bytes;
+      report.total_c_wire_bytes == report.verdict.stats_c_network_bytes &&
+      report.total_a_inter_bytes == report.verdict.stats_a_internode_bytes &&
+      report.total_a_intra_bytes == report.verdict.stats_a_intranode_bytes;
   report.ok = report.verdict.bitwise_identical && report.bytes_match;
   return report;
 }

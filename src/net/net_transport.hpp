@@ -27,8 +27,10 @@
 #include <utility>
 #include <vector>
 
+#include "comm/bcast.hpp"
 #include "comm/transport.hpp"
 #include "net/socket.hpp"
+#include "shm/bcast_ring.hpp"
 
 namespace bstc::net {
 
@@ -36,6 +38,13 @@ namespace bstc::net {
 struct PeerLink {
   int rank = -1;
   Socket socket;
+};
+
+/// Broadcast policy + topology for the collective A path; every rank must
+/// be configured identically (the welcome carries one global decision).
+struct BcastConfig {
+  BcastSelect select = BcastSelect::kUnicast;
+  std::vector<int> node_of_rank;  ///< empty = every rank its own node
 };
 
 class NetTransport : public Transport {
@@ -55,6 +64,26 @@ class NetTransport : public Transport {
   /// Tile payload bytes are recorded into the CommRecorder exactly as the
   /// in-process transport records them.
   void send(int from, int to, std::uint64_t key, Tile tile) override;
+
+  /// Collective A broadcast. The tile is serialized exactly once; the
+  /// resolved algorithm decides who this rank forwards to (its fanout
+  /// children), receivers recompute theirs from the self-describing
+  /// frame, and co-located children are served through the shm staging
+  /// ring when enabled. Per-hop payload bytes land in the CommRecorder
+  /// (sender side of each hop) and in the WireCounters intra/inter split.
+  void send_multi(int from, const std::vector<int>& consumers,
+                  std::uint64_t key, const Tile& tile) override;
+
+  /// Install the broadcast policy + node map (before the engine runs).
+  void configure_bcast(BcastConfig cfg);
+
+  /// Enable the intra-node fast path: `own_ring` is this rank's staging
+  /// ring (created before the mesh formed, so peers cannot publish before
+  /// it exists); `peer_rings` are the co-located peers' rings, one reader
+  /// thread each. Rings are borrowed — the caller keeps them alive until
+  /// after shutdown(). Requires np <= 64 (destination bitmask).
+  void enable_shm_bcast(shm::BcastRing* own_ring,
+                        std::vector<shm::BcastRing*> peer_rings);
 
   /// Send a computed C tile back to its home rank (kCTile). Records the
   /// payload bytes as C-return traffic in the CommRecorder.
@@ -87,11 +116,28 @@ class NetTransport : public Transport {
   void fail(const std::string& reason);
   PeerLink& link_of(int peer);
 
+  /// Relay-or-deliver for an incoming (or ring-read) broadcast frame:
+  /// record + forward to this rank's children first, then deliver the
+  /// tile to the local mailbox.
+  void handle_bcast(Frame frame);
+  /// Record each child hop and route the already-encoded frame to it
+  /// (socket post, or one ring publish covering all co-located children).
+  void dispatch_bcast(const Frame& frame, const std::vector<int>& children,
+                      std::size_t tile_bytes);
+  void ring_reader_loop(shm::BcastRing* ring);
+
   int rank_;
   WireCounters* counters_;
   std::vector<PeerLink> links_;
   std::vector<std::thread> rx_threads_;
   std::thread progress_thread_;
+
+  // Broadcast routing state (written once before the engine runs).
+  BcastConfig bcast_;
+  shm::BcastRing* own_ring_ = nullptr;       ///< borrowed; we publish
+  std::vector<shm::BcastRing*> peer_rings_;  ///< borrowed; we read
+  std::vector<std::thread> ring_threads_;
+  std::atomic<bool> ring_stop_{false};
 
   // Outgoing queue consumed by the progress thread.
   std::mutex tx_mutex_;

@@ -21,6 +21,8 @@ const char* frame_type_name(FrameType type) {
     case FrameType::kRequest: return "request";
     case FrameType::kResponse: return "response";
     case FrameType::kServiceCtl: return "servicectl";
+    case FrameType::kBcast: return "bcast";
+    case FrameType::kBcastFwd: return "bcastfwd";
   }
   return "unknown";
 }
@@ -38,7 +40,7 @@ namespace {
 
 bool valid_frame_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         raw <= static_cast<std::uint8_t>(FrameType::kServiceCtl);
+         raw <= static_cast<std::uint8_t>(FrameType::kBcastFwd);
 }
 
 }  // namespace
@@ -150,6 +152,10 @@ void WireReader::finish() const {
 // ---------------------------------------------------------------------------
 
 Frame encode_tile(FrameType type, std::uint64_t key, const Tile& tile) {
+  // Counts every tile serialization in the process — the witness the
+  // serialize-once regression asserts on (a q-peer broadcast must bump
+  // this exactly once, not q-1 times).
+  obs::Registry::instance().counter_add("bstc_tile_encodes_total");
   WireWriter w;
   w.u64(key);
   w.u32(static_cast<std::uint32_t>(tile.rows()));
@@ -174,12 +180,69 @@ TileMsg decode_tile(const Frame& frame) {
   return msg;
 }
 
+Frame encode_bcast(const BcastTileMsg& msg) {
+  // One serialization per broadcast, whatever the fanout (the relays
+  // forward the payload verbatim) — counted like encode_tile so the
+  // serialize-once regression covers both paths.
+  obs::Registry::instance().counter_add("bstc_tile_encodes_total");
+  WireWriter w;
+  w.u64(msg.key);
+  w.u8(static_cast<std::uint8_t>(msg.algo));
+  w.u32(msg.root);
+  w.u32(static_cast<std::uint32_t>(msg.parts.size()));
+  for (const std::uint32_t p : msg.parts) w.u32(p);
+  w.u32(static_cast<std::uint32_t>(msg.tile.rows()));
+  w.u32(static_cast<std::uint32_t>(msg.tile.cols()));
+  w.raw(msg.tile.data(), msg.tile.bytes());
+  return Frame{FrameType::kBcast, w.take()};
+}
+
+BcastTileMsg decode_bcast(const Frame& frame) {
+  BSTC_REQUIRE(
+      frame.type == FrameType::kBcast || frame.type == FrameType::kBcastFwd,
+      "wire: expected broadcast frame");
+  WireReader r(frame.payload);
+  BcastTileMsg msg;
+  msg.key = r.u64();
+  const std::uint8_t algo = r.u8();
+  BSTC_REQUIRE(algo == static_cast<std::uint8_t>(BcastAlgorithm::kTree) ||
+                   algo == static_cast<std::uint8_t>(BcastAlgorithm::kRing),
+               "wire: unknown broadcast algorithm");
+  msg.algo = static_cast<BcastAlgorithm>(algo);
+  msg.root = r.u32();
+  const std::uint32_t nparts = r.u32();
+  BSTC_REQUIRE(nparts >= 2, "wire: broadcast needs at least two participants");
+  BSTC_REQUIRE(static_cast<std::uint64_t>(nparts) * 4 <= r.remaining(),
+               "wire: truncated broadcast participant list");
+  msg.parts.reserve(nparts);
+  bool has_root = false;
+  for (std::uint32_t i = 0; i < nparts; ++i) {
+    const std::uint32_t p = r.u32();
+    BSTC_REQUIRE(msg.parts.empty() || p > msg.parts.back(),
+                 "wire: broadcast participants must be strictly ascending");
+    if (p == msg.root) has_root = true;
+    msg.parts.push_back(p);
+  }
+  BSTC_REQUIRE(has_root, "wire: broadcast root missing from participants");
+  const auto rows = static_cast<Index>(r.u32());
+  const auto cols = static_cast<Index>(r.u32());
+  BSTC_REQUIRE(static_cast<std::uint64_t>(rows) *
+                       static_cast<std::uint64_t>(cols) * sizeof(double) ==
+                   r.remaining(),
+               "wire: broadcast tile extents disagree with payload size");
+  msg.tile = Tile(rows, cols);
+  r.raw(msg.tile.data(), msg.tile.bytes());
+  r.finish();
+  return msg;
+}
+
 Frame encode_hello(const HelloMsg& msg) {
   WireWriter w;
   w.u32(msg.rank);
   w.u32(msg.np);
   w.u16(msg.listen_port);
   w.u64(msg.fingerprint);
+  w.u32(msg.node_id);
   return Frame{FrameType::kHello, w.take()};
 }
 
@@ -191,6 +254,7 @@ HelloMsg decode_hello(const Frame& frame) {
   msg.np = r.u32();
   msg.listen_port = r.u16();
   msg.fingerprint = r.u64();
+  msg.node_id = r.u32();
   r.finish();
   return msg;
 }
@@ -204,6 +268,12 @@ Frame encode_welcome(const WelcomeMsg& msg) {
     w.str(host);
     w.u16(port);
   }
+  w.u32(static_cast<std::uint32_t>(msg.node_of_rank.size()));
+  for (const std::uint32_t n : msg.node_of_rank) w.u32(n);
+  w.u8(msg.node_aware);
+  w.u8(static_cast<std::uint8_t>(msg.bcast));
+  w.u8(msg.shm_bcast);
+  w.u64(msg.session);
   return Frame{FrameType::kWelcome, w.take()};
 }
 
@@ -221,6 +291,20 @@ WelcomeMsg decode_welcome(const Frame& frame) {
     const std::uint16_t port = r.u16();
     msg.peers.emplace_back(std::move(host), port);
   }
+  const std::uint32_t nodes = r.u32();
+  BSTC_REQUIRE(nodes == 0 || nodes == msg.np,
+               "wire: welcome node map must cover every rank");
+  BSTC_REQUIRE(static_cast<std::uint64_t>(nodes) * 4 <= r.remaining(),
+               "wire: truncated welcome node map");
+  msg.node_of_rank.reserve(nodes);
+  for (std::uint32_t i = 0; i < nodes; ++i) msg.node_of_rank.push_back(r.u32());
+  msg.node_aware = r.u8();
+  const std::uint8_t bcast = r.u8();
+  BSTC_REQUIRE(bcast <= static_cast<std::uint8_t>(BcastSelect::kAuto),
+               "wire: unknown broadcast selection");
+  msg.bcast = static_cast<BcastSelect>(bcast);
+  msg.shm_bcast = r.u8();
+  msg.session = r.u64();
   r.finish();
   return msg;
 }
@@ -265,6 +349,13 @@ Frame encode_summary(const SummaryMsg& msg) {
   w.u64(msg.reconnects);
   w.u64(static_cast<std::uint64_t>(msg.tasks_executed));
   w.f64(msg.engine_seconds);
+  w.f64(msg.a_inter_bytes);
+  w.f64(msg.a_intra_bytes);
+  w.f64(msg.shm_bytes);
+  w.u64(msg.bcast_frames);
+  w.u64(msg.bcast_fwd_frames);
+  w.u64(msg.shm_publishes);
+  w.str(msg.metrics_text);
   return Frame{FrameType::kSummary, w.take()};
 }
 
@@ -282,6 +373,13 @@ SummaryMsg decode_summary(const Frame& frame) {
   msg.reconnects = r.u64();
   msg.tasks_executed = static_cast<std::size_t>(r.u64());
   msg.engine_seconds = r.f64();
+  msg.a_inter_bytes = r.f64();
+  msg.a_intra_bytes = r.f64();
+  msg.shm_bytes = r.f64();
+  msg.bcast_frames = r.u64();
+  msg.bcast_fwd_frames = r.u64();
+  msg.shm_publishes = r.u64();
+  msg.metrics_text = r.str();
   r.finish();
   return msg;
 }
@@ -293,6 +391,8 @@ Frame encode_verdict(const VerdictMsg& msg) {
   w.f64(msg.stats_a_network_bytes);
   w.f64(msg.stats_c_network_bytes);
   w.f64(msg.c_norm);
+  w.f64(msg.stats_a_internode_bytes);
+  w.f64(msg.stats_a_intranode_bytes);
   return Frame{FrameType::kVerdict, w.take()};
 }
 
@@ -306,6 +406,8 @@ VerdictMsg decode_verdict(const Frame& frame) {
   msg.stats_a_network_bytes = r.f64();
   msg.stats_c_network_bytes = r.f64();
   msg.c_norm = r.f64();
+  msg.stats_a_internode_bytes = r.f64();
+  msg.stats_a_intranode_bytes = r.f64();
   r.finish();
   return msg;
 }

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/bcast.hpp"
 #include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "tile/tile.hpp"
@@ -42,7 +43,10 @@ static_assert(std::endian::native == std::endian::little,
               "the BSTC wire format is little-endian");
 
 inline constexpr std::uint32_t kWireMagic = 0x42535443u;  // "BSTC"
-inline constexpr std::uint8_t kWireVersion = 1;
+/// v2: kBcast/kBcastFwd frames; hello carries a node id; welcome carries
+/// the node map + broadcast policy; summary/verdict carry the
+/// intra-/inter-node A-volume split.
+inline constexpr std::uint8_t kWireVersion = 2;
 inline constexpr std::size_t kWireHeaderBytes = 12;
 inline constexpr std::size_t kWireChecksumBytes = 8;
 /// Upper bound on one payload: a guard against a corrupted length field
@@ -68,6 +72,8 @@ enum class FrameType : std::uint8_t {
   kRequest = 15,     ///< front -> worker: one serving request (spec, no data)
   kResponse = 16,    ///< worker -> front: request outcome (+ C tiles)
   kServiceCtl = 17,  ///< service control (metrics gather, drain, fault inj.)
+  kBcast = 18,       ///< root's collective A-tile broadcast frame
+  kBcastFwd = 19,    ///< the same payload relayed along the tree/ring
 };
 
 const char* frame_type_name(FrameType type);
@@ -153,23 +159,50 @@ struct TileMsg {
 Frame encode_tile(FrameType type, std::uint64_t key, const Tile& tile);
 TileMsg decode_tile(const Frame& frame);
 
+/// A collective A-tile broadcast (FrameType::kBcast from the root,
+/// kBcastFwd on every relay hop). Self-describing: the frame carries the
+/// algorithm, the root, and the full participant list, so every receiver
+/// recomputes its own fanout with comm/bcast and forwards the payload
+/// verbatim — the tile is serialized exactly once at the root.
+struct BcastTileMsg {
+  std::uint64_t key = 0;
+  BcastAlgorithm algo = BcastAlgorithm::kTree;
+  std::uint32_t root = 0;
+  std::vector<std::uint32_t> parts;  ///< strictly ascending, contains root
+  Tile tile;
+};
+
+Frame encode_bcast(const BcastTileMsg& msg);
+/// Decode (and validate) a kBcast/kBcastFwd frame: the algorithm must be
+/// tree or ring, the participant list strictly ascending and rooted, and
+/// the tile extents must match the remaining payload exactly.
+BcastTileMsg decode_bcast(const Frame& frame);
+
 /// Rank identification, sent as the first frame on every connection.
 struct HelloMsg {
   std::uint32_t rank = 0;         ///< kUnassignedRank when joining rendezvous
   std::uint32_t np = 0;           ///< 0 when unknown (rendezvous assigns)
   std::uint16_t listen_port = 0;  ///< the sender's mesh accept port
   std::uint64_t fingerprint = 0;  ///< problem/plan fingerprint (must agree)
+  std::uint32_t node_id = 0;      ///< self-reported node (--node-id)
 };
 inline constexpr std::uint32_t kUnassignedRank = 0xffffffffu;
 
 Frame encode_hello(const HelloMsg& msg);
 HelloMsg decode_hello(const Frame& frame);
 
-/// Rendezvous reply: the worker's rank and where every peer listens.
+/// Rendezvous reply: the worker's rank, where every peer listens, and the
+/// globally-agreed topology + broadcast policy (every rank must derive the
+/// identical grid layout and fanouts, so the launcher decides once).
 struct WelcomeMsg {
   std::uint32_t rank = 0;
   std::uint32_t np = 0;
   std::vector<std::pair<std::string, std::uint16_t>> peers;  ///< by rank
+  std::vector<std::uint32_t> node_of_rank;  ///< size np (from the hellos)
+  std::uint8_t node_aware = 0;   ///< pack grid rows onto nodes
+  BcastSelect bcast = BcastSelect::kUnicast;
+  std::uint8_t shm_bcast = 0;    ///< intra-node shared-memory fast path
+  std::uint64_t session = 0;     ///< namespaces the shm ring names
 };
 
 Frame encode_welcome(const WelcomeMsg& msg);
@@ -193,6 +226,15 @@ struct SummaryMsg {
   std::uint64_t reconnects = 0;
   std::size_t tasks_executed = 0;
   double engine_seconds = 0.0;
+  /// A-broadcast payload split by hop class (inter + intra = a_wire_bytes;
+  /// shm_bytes is the slice of intra that never touched a socket).
+  double a_inter_bytes = 0.0;
+  double a_intra_bytes = 0.0;
+  double shm_bytes = 0.0;
+  std::uint64_t bcast_frames = 0;      ///< kBcast frames this rank sent
+  std::uint64_t bcast_fwd_frames = 0;  ///< kBcastFwd relays this rank sent
+  std::uint64_t shm_publishes = 0;     ///< staging-ring publish calls
+  std::string metrics_text;  ///< rank-labelled bstc_bcast_* Prometheus lines
 };
 
 Frame encode_summary(const SummaryMsg& msg);
@@ -207,6 +249,9 @@ struct VerdictMsg {
   double stats_a_network_bytes = 0.0;
   double stats_c_network_bytes = 0.0;
   double c_norm = 0.0;
+  /// Analytic split of the A volume (inter + intra = a_network_bytes).
+  double stats_a_internode_bytes = 0.0;
+  double stats_a_intranode_bytes = 0.0;
 };
 
 Frame encode_verdict(const VerdictMsg& msg);

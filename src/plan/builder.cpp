@@ -256,6 +256,19 @@ ExecutionPlan build_plan(const Shape& a, const Shape& b, const Shape& c,
   ExecutionPlan plan;
   plan.grid.p = cfg.p;
   plan.grid.q = machine.nodes / cfg.p;
+  if (!cfg.rank_layout.empty()) {
+    BSTC_REQUIRE(cfg.rank_layout.size() ==
+                     static_cast<std::size_t>(plan.grid.nodes()),
+                 "rank layout must cover every grid slot");
+    std::vector<bool> seen(cfg.rank_layout.size(), false);
+    for (const int r : cfg.rank_layout) {
+      BSTC_REQUIRE(r >= 0 && static_cast<std::size_t>(r) < seen.size() &&
+                       !seen[static_cast<std::size_t>(r)],
+                   "rank layout must be a permutation of the ranks");
+      seen[static_cast<std::size_t>(r)] = true;
+    }
+    plan.grid.layout = cfg.rank_layout;
+  }
   plan.config = cfg;
   plan.gpu_memory_bytes = machine.node.gpu.memory_bytes;
   plan.nodes.resize(static_cast<std::size_t>(plan.grid.nodes()));

@@ -30,13 +30,25 @@
 
 namespace bstc {
 
-/// Process grid: pq nodes arranged p x q, node (r, c) has linear id r*q+c.
+/// Process grid: pq nodes arranged p x q. By default grid slot (r, c) is
+/// rank r*q+c; a non-empty `layout` permutes that (layout[r*q+c] = rank),
+/// which is how node-aware placement packs each grid row onto as few
+/// nodes as possible without touching anything downstream — every
+/// consumer asks node_id()/home_of() instead of computing r*q+c inline.
 struct GridSpec {
   int p = 1;  ///< grid rows (B replication factor)
   int q = 1;  ///< grid columns (processors per grid row)
+  std::vector<int> layout;  ///< slot -> rank permutation; empty = identity
 
   int nodes() const { return p * q; }
-  int node_id(int row, int col) const { return row * q + col; }
+  int node_id(int row, int col) const {
+    const int slot = row * q + col;
+    return layout.empty() ? slot : layout[static_cast<std::size_t>(slot)];
+  }
+  /// Rank owning tile (i, j) of a 2D-cyclic matrix over this grid.
+  int home_of(std::uint32_t i, std::uint32_t j) const {
+    return node_id(static_cast<int>(i) % p, static_cast<int>(j) % q);
+  }
 };
 
 /// Column -> processor load-balancing policy (§3.2.1; alternatives are
@@ -66,6 +78,12 @@ struct PlanConfig {
   /// prefetch scheme; 1 disables prefetch (ablation). Executor/simulator
   /// additionally clamp the depth when a block leaves too little memory.
   int prefetch_depth = 2;
+  /// Grid-slot -> rank permutation (empty = identity). Filled by the
+  /// node-aware mapper; the builder validates and stamps it onto
+  /// ExecutionPlan.grid.layout. Never part of the problem fingerprint:
+  /// ranks exchange fingerprints before node ids are known, and the
+  /// layout changes only *where* tiles live, not *what* is computed.
+  std::vector<int> rank_layout;
 };
 
 /// A column of B (or a k-segment of one) assigned to a block.

@@ -9,7 +9,9 @@ namespace bstc {
 namespace {
 
 constexpr const char* kMagic = "BSTC-PLAN";
-constexpr int kVersion = 1;
+// v2: the grid line carries the slot -> rank layout permutation (0 =
+// identity) so node-aware plans round-trip.
+constexpr int kVersion = 2;
 
 void expect_token(std::istream& in, const std::string& expected) {
   std::string token;
@@ -34,7 +36,10 @@ std::string serialize_plan(const ExecutionPlan& plan) {
   std::ostringstream out;
   out.precision(17);
   out << kMagic << ' ' << kVersion << '\n';
-  out << "grid " << plan.grid.p << ' ' << plan.grid.q << '\n';
+  out << "grid " << plan.grid.p << ' ' << plan.grid.q << ' '
+      << plan.grid.layout.size();
+  for (const int r : plan.grid.layout) out << ' ' << r;
+  out << '\n';
   out << "config " << plan.config.p << ' ' << plan.config.block_mem_fraction
       << ' ' << plan.config.chunk_mem_fraction << ' '
       << static_cast<int>(plan.config.assignment) << ' '
@@ -84,6 +89,16 @@ ExecutionPlan deserialize_plan(const std::string& text) {
   plan.grid.p = read_value<int>(in, "grid rows");
   plan.grid.q = read_value<int>(in, "grid cols");
   BSTC_REQUIRE(plan.grid.p > 0 && plan.grid.q > 0, "malformed plan: grid");
+  const auto n_layout = read_value<std::size_t>(in, "grid layout size");
+  BSTC_REQUIRE(n_layout == 0 ||
+                   n_layout == static_cast<std::size_t>(plan.grid.nodes()),
+               "malformed plan: grid layout size");
+  plan.grid.layout.resize(n_layout);
+  for (int& r : plan.grid.layout) {
+    r = read_value<int>(in, "grid layout rank");
+    BSTC_REQUIRE(r >= 0 && r < plan.grid.nodes(),
+                 "malformed plan: grid layout rank");
+  }
 
   expect_token(in, "config");
   plan.config.p = read_value<int>(in, "config p");
@@ -97,6 +112,7 @@ ExecutionPlan deserialize_plan(const std::string& text) {
   BSTC_REQUIRE(packing >= 0 && packing <= 2, "malformed plan: packing");
   plan.config.packing = static_cast<PackingPolicy>(packing);
   plan.config.prefetch_depth = read_value<int>(in, "prefetch depth");
+  plan.config.rank_layout = plan.grid.layout;
 
   expect_token(in, "gpumem");
   plan.gpu_memory_bytes = read_value<double>(in, "gpu memory");

@@ -50,13 +50,22 @@ std::vector<GemmGroup> GemmEnumerator::gemm_groups(const Chunk& chunk,
 
 PlanStats compute_stats(const ExecutionPlan& plan, const Shape& a,
                         const Shape& b, const Shape& c) {
+  return compute_stats(plan, a, b, c, BcastSelect::kUnicast, {});
+}
+
+PlanStats compute_stats(const ExecutionPlan& plan, const Shape& a,
+                        const Shape& b, const Shape& c, BcastSelect select,
+                        const std::vector<int>& node_of_rank) {
   PlanStats st;
   st.flops_per_gpu.resize(plan.nodes.size());
   const int p = plan.grid.p;
   const int q = plan.grid.q;
 
-  // Unique A tiles needed per node (for broadcast volume) and globally.
+  // Unique A tiles needed per node (for broadcast volume) and the global
+  // tile -> consumer-rank lists the broadcast accounting walks below
+  // (ranks accumulate ascending — the nid loop is ascending).
   std::unordered_set<std::uint64_t> node_a_tiles;
+  std::unordered_map<std::uint64_t, std::vector<int>> a_consumers;
 
   for (std::size_t nid = 0; nid < plan.nodes.size(); ++nid) {
     const NodePlan& node = plan.nodes[nid];
@@ -97,16 +106,12 @@ PlanStats compute_stats(const ExecutionPlan& plan, const Shape& a,
     st.segmented_columns += segmented_cols.size();
 
     // A broadcast: a tile travels to this node unless it is home here
-    // (2D-cyclic home: node (i % p, k % q)).
+    // (2D-cyclic home under the grid layout: slot (i % p, k % q)).
     for (const std::uint64_t key : node_a_tiles) {
       const auto i = static_cast<std::uint32_t>(key / a.tile_cols());
       const auto k = static_cast<std::uint32_t>(key % a.tile_cols());
-      const int home =
-          plan.grid.node_id(static_cast<int>(i) % p, static_cast<int>(k) % q);
-      if (home != static_cast<int>(nid)) {
-        st.a_network_bytes +=
-            8.0 * static_cast<double>(a.row_tiling().tile_extent(i)) *
-            static_cast<double>(a.col_tiling().tile_extent(k));
+      if (plan.grid.home_of(i, k) != static_cast<int>(nid)) {
+        a_consumers[key].push_back(static_cast<int>(nid));
       }
     }
 
@@ -122,6 +127,34 @@ PlanStats compute_stats(const ExecutionPlan& plan, const Shape& a,
               static_cast<double>(c.col_tiling().tile_extent(j));
         }
       }
+    }
+  }
+
+  // A broadcast volume, hop for hop with the transport's fanout: each
+  // tile's participant set is its home plus every consumer; the resolved
+  // algorithm's hops are classified by node. Every consumer is reached
+  // exactly once whatever the algorithm, so the total equals the unicast
+  // accounting byte-for-byte; only the intra/inter split moves.
+  for (const auto& [key, consumers] : a_consumers) {
+    const auto i = static_cast<std::uint32_t>(key / a.tile_cols());
+    const auto k = static_cast<std::uint32_t>(key % a.tile_cols());
+    const double tile_bytes =
+        8.0 * static_cast<double>(a.row_tiling().tile_extent(i)) *
+        static_cast<double>(a.col_tiling().tile_extent(k));
+    const int home = plan.grid.home_of(i, k);
+    std::vector<int> parts = consumers;
+    parts.push_back(home);
+    std::sort(parts.begin(), parts.end());
+    const BcastAlgorithm algo = resolve_bcast(
+        select, parts.size(), static_cast<std::size_t>(tile_bytes));
+    for (const BcastHop hop : bcast_hops(algo, parts, home, node_of_rank)) {
+      if (bcast_node_of(node_of_rank, hop.from) ==
+          bcast_node_of(node_of_rank, hop.to)) {
+        st.a_intranode_bytes += tile_bytes;
+      } else {
+        st.a_internode_bytes += tile_bytes;
+      }
+      st.a_network_bytes += tile_bytes;
     }
   }
 

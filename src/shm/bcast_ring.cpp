@@ -1,0 +1,351 @@
+#include "shm/bcast_ring.hpp"
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace bstc::shm {
+namespace {
+
+Status errno_status(const std::string& what, const std::string& name) {
+  return Status::Fail("shm bcast ring: " + what + " failed for '" + name +
+                      "': " + std::strerror(errno));
+}
+
+/// Absolute deadline `ms` from now on CLOCK_REALTIME (what
+/// pthread_cond_timedwait on a default-clock condvar expects).
+timespec deadline_ms(long ms) {
+  timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  ts.tv_sec += ms / 1000;
+  ts.tv_nsec += (ms % 1000) * 1000000L;
+  if (ts.tv_nsec >= 1000000000L) {
+    ts.tv_sec += 1;
+    ts.tv_nsec -= 1000000000L;
+  }
+  return ts;
+}
+
+constexpr long kPollMs = 100;        // reader/writer wait quantum
+constexpr long kPublishStallMs = 60000;  // writer gives up after 60 s
+
+}  // namespace
+
+/// Shared header at offset 0. Everything mutable is guarded by `mutex`
+/// (process-shared); `cond` signals both "message published" (to readers)
+/// and "cursor advanced / reader attached" (to the writer) — fanout is
+/// tiny, so one condvar broadcast is simpler than two.
+struct BcastRing::Header {
+  std::uint64_t magic;
+  std::uint32_t layout_version;
+  std::uint32_t owner_rank;
+  std::uint64_t session;
+  std::uint32_t nslots;
+  std::uint32_t slot_bytes;  ///< stride: mask + type + len + payload room
+  std::uint32_t max_payload;
+  std::uint32_t expected_readers;
+  pthread_mutex_t mutex;
+  pthread_cond_t cond;
+  std::uint64_t head;    ///< messages published (monotonic)
+  std::uint32_t closed;  ///< writer finished; drain and stop
+  std::uint32_t readers; ///< attach() calls so far
+  std::uint64_t consumed[kBcastRingMaxReaders];  ///< per-reader cursors
+};
+
+namespace {
+
+/// Per-slot layout inside the ring body.
+struct SlotHeader {
+  std::uint64_t dest_mask;
+  std::uint32_t payload_len;
+  std::uint32_t frame_type;
+};
+
+std::size_t slot_stride(std::uint32_t max_payload) {
+  // 8-byte aligned so the u64 mask of every slot stays naturally aligned.
+  return (sizeof(SlotHeader) + max_payload + 7u) & ~std::size_t{7};
+}
+
+}  // namespace
+
+BcastRing::Header* BcastRing::header() {
+  return reinterpret_cast<Header*>(base_);
+}
+
+BcastRing::~BcastRing() { close(); }
+
+BcastRing::BcastRing(BcastRing&& other) noexcept
+    : name_(std::move(other.name_)),
+      base_(other.base_),
+      capacity_(other.capacity_),
+      writer_(other.writer_),
+      reader_index_(other.reader_index_) {
+  other.base_ = nullptr;
+  other.capacity_ = 0;
+  other.writer_ = false;
+  other.reader_index_ = -1;
+}
+
+BcastRing& BcastRing::operator=(BcastRing&& other) noexcept {
+  if (this != &other) {
+    close();
+    name_ = std::move(other.name_);
+    base_ = other.base_;
+    capacity_ = other.capacity_;
+    writer_ = other.writer_;
+    reader_index_ = other.reader_index_;
+    other.base_ = nullptr;
+    other.capacity_ = 0;
+    other.writer_ = false;
+    other.reader_index_ = -1;
+  }
+  return *this;
+}
+
+void BcastRing::close() {
+  if (base_ != nullptr) {
+    if (writer_) {
+      close_writer();
+      ::shm_unlink(name_.c_str());
+    }
+    ::munmap(base_, capacity_);
+    base_ = nullptr;
+  }
+  capacity_ = 0;
+  writer_ = false;
+  reader_index_ = -1;
+}
+
+Status BcastRing::unlink(const std::string& name) {
+  if (::shm_unlink(name.c_str()) != 0 && errno != ENOENT) {
+    return errno_status("shm_unlink", name);
+  }
+  return Status::Ok();
+}
+
+std::uint32_t BcastRing::max_payload_bytes() const {
+  return base_ != nullptr
+             ? reinterpret_cast<const Header*>(base_)->max_payload
+             : 0;
+}
+
+Status BcastRing::create(const std::string& name, int owner_rank,
+                         std::uint64_t session, std::uint32_t nslots,
+                         std::uint32_t max_payload_bytes, int readers,
+                         BcastRing& out) {
+  if (name.empty() || name[0] != '/') {
+    return Status::Fail("shm bcast ring: name must start with '/'");
+  }
+  if (nslots == 0 || max_payload_bytes == 0) {
+    return Status::Fail("shm bcast ring: need at least one non-empty slot");
+  }
+  if (readers < 0 || readers > kBcastRingMaxReaders) {
+    return Status::Fail("shm bcast ring: reader count out of range");
+  }
+  // A stale segment from a crashed prior run must not wedge this one.
+  ::shm_unlink(name.c_str());
+
+  const std::size_t stride = slot_stride(max_payload_bytes);
+  const std::size_t total = sizeof(Header) + stride * nslots;
+
+  const int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) return errno_status("shm_open", name);
+  if (::ftruncate(fd, static_cast<off_t>(total)) != 0) {
+    const Status st = errno_status("ftruncate", name);
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    return st;
+  }
+  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    ::shm_unlink(name.c_str());
+    return errno_status("mmap", name);
+  }
+
+  auto* h = static_cast<Header*>(base);
+  std::memset(h, 0, sizeof(Header));
+  h->layout_version = kBcastRingLayoutVersion;
+  h->owner_rank = static_cast<std::uint32_t>(owner_rank);
+  h->session = session;
+  h->nslots = nslots;
+  h->slot_bytes = static_cast<std::uint32_t>(stride);
+  h->max_payload = max_payload_bytes;
+  h->expected_readers = static_cast<std::uint32_t>(readers);
+
+  pthread_mutexattr_t ma;
+  pthread_condattr_t ca;
+  pthread_mutexattr_init(&ma);
+  pthread_mutexattr_setpshared(&ma, PTHREAD_PROCESS_SHARED);
+  pthread_condattr_init(&ca);
+  pthread_condattr_setpshared(&ca, PTHREAD_PROCESS_SHARED);
+  const int me = pthread_mutex_init(&h->mutex, &ma);
+  const int ce = pthread_cond_init(&h->cond, &ca);
+  pthread_mutexattr_destroy(&ma);
+  pthread_condattr_destroy(&ca);
+  if (me != 0 || ce != 0) {
+    ::munmap(base, total);
+    ::shm_unlink(name.c_str());
+    return Status::Fail("shm bcast ring: process-shared sync init failed");
+  }
+  // Magic last: an attacher that races creation sees zero, not a
+  // plausible half-initialised header.
+  h->magic = kBcastRingMagic;
+
+  out.close();
+  out.name_ = name;
+  out.base_ = static_cast<std::uint8_t*>(base);
+  out.capacity_ = total;
+  out.writer_ = true;
+  out.reader_index_ = -1;
+  return Status::Ok();
+}
+
+Status BcastRing::attach(const std::string& name, int expect_owner,
+                         std::uint64_t session, BcastRing& out) {
+  const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) return errno_status("shm_open", name);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const Status s = errno_status("fstat", name);
+    ::close(fd);
+    return s;
+  }
+  const auto total = static_cast<std::size_t>(st.st_size);
+  if (total < sizeof(Header)) {
+    ::close(fd);
+    return Status::Fail("shm bcast ring: segment smaller than its header");
+  }
+  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) return errno_status("mmap", name);
+
+  auto* h = static_cast<Header*>(base);
+  auto reject = [&](const std::string& why) {
+    ::munmap(base, total);
+    return Status::Fail("shm bcast ring: " + why + " for '" + name + "'");
+  };
+  if (h->magic != kBcastRingMagic) return reject("bad magic");
+  if (h->layout_version != kBcastRingLayoutVersion) {
+    return reject("layout version mismatch");
+  }
+  if (h->owner_rank != static_cast<std::uint32_t>(expect_owner)) {
+    return reject("owner rank mismatch");
+  }
+  if (h->session != session) return reject("session mismatch");
+  if (sizeof(Header) + static_cast<std::size_t>(h->slot_bytes) * h->nslots !=
+      total) {
+    return reject("segment size inconsistent with slot geometry");
+  }
+
+  pthread_mutex_lock(&h->mutex);
+  int index = -1;
+  if (h->readers < h->expected_readers) {
+    index = static_cast<int>(h->readers);
+    h->readers += 1;
+    pthread_cond_broadcast(&h->cond);  // wake a writer waiting for us
+  }
+  pthread_mutex_unlock(&h->mutex);
+  if (index < 0) return reject("all declared reader slots already claimed");
+
+  out.close();
+  out.name_ = name;
+  out.base_ = static_cast<std::uint8_t*>(base);
+  out.capacity_ = total;
+  out.writer_ = false;
+  out.reader_index_ = index;
+  return Status::Ok();
+}
+
+void BcastRing::publish(std::uint64_t dest_mask, std::uint8_t frame_type,
+                        const std::uint8_t* payload, std::size_t bytes) {
+  BSTC_REQUIRE(writer_, "only the ring's creator may publish");
+  Header* h = header();
+  BSTC_REQUIRE(bytes <= h->max_payload,
+               "broadcast payload exceeds the ring's slot capacity");
+
+  pthread_mutex_lock(&h->mutex);
+  long waited = 0;
+  for (;;) {
+    // All declared readers must be on board (none may miss a message),
+    // and the slowest cursor must be within a lap.
+    bool ready = h->readers >= h->expected_readers;
+    if (ready && h->expected_readers > 0) {
+      std::uint64_t slow = h->consumed[0];
+      for (std::uint32_t r = 1; r < h->expected_readers; ++r) {
+        slow = std::min(slow, h->consumed[r]);
+      }
+      ready = h->head - slow < h->nslots;
+    }
+    if (ready) break;
+    const timespec ts = deadline_ms(kPollMs);
+    pthread_cond_timedwait(&h->cond, &h->mutex, &ts);
+    waited += kPollMs;
+    if (waited >= kPublishStallMs) {
+      pthread_mutex_unlock(&h->mutex);
+      throw Error("shm bcast ring '" + name_ +
+                  "' stalled: a co-located reader stopped draining");
+    }
+  }
+
+  const std::size_t slot =
+      static_cast<std::size_t>(h->head % h->nslots) * h->slot_bytes;
+  std::uint8_t* body = base_ + sizeof(Header) + slot;
+  auto* sh = reinterpret_cast<SlotHeader*>(body);
+  sh->dest_mask = dest_mask;
+  sh->payload_len = static_cast<std::uint32_t>(bytes);
+  sh->frame_type = frame_type;
+  std::memcpy(body + sizeof(SlotHeader), payload, bytes);
+  h->head += 1;
+  pthread_cond_broadcast(&h->cond);
+  pthread_mutex_unlock(&h->mutex);
+}
+
+bool BcastRing::next(BcastRingMessage& out, const std::atomic<bool>& stop) {
+  BSTC_REQUIRE(!writer_ && reader_index_ >= 0,
+               "next() is for attached readers");
+  Header* h = header();
+  pthread_mutex_lock(&h->mutex);
+  std::uint64_t& cursor = h->consumed[reader_index_];
+  while (cursor == h->head) {
+    if (h->closed != 0 || stop.load()) {
+      pthread_mutex_unlock(&h->mutex);
+      return false;
+    }
+    const timespec ts = deadline_ms(kPollMs);
+    pthread_cond_timedwait(&h->cond, &h->mutex, &ts);
+  }
+  const std::size_t slot =
+      static_cast<std::size_t>(cursor % h->nslots) * h->slot_bytes;
+  const std::uint8_t* body = base_ + sizeof(Header) + slot;
+  const auto* sh = reinterpret_cast<const SlotHeader*>(body);
+  out.dest_mask = sh->dest_mask;
+  out.frame_type = static_cast<std::uint8_t>(sh->frame_type);
+  out.payload.assign(body + sizeof(SlotHeader),
+                     body + sizeof(SlotHeader) + sh->payload_len);
+  cursor += 1;
+  pthread_cond_broadcast(&h->cond);  // writer may be waiting on the cursor
+  pthread_mutex_unlock(&h->mutex);
+  return true;
+}
+
+void BcastRing::close_writer() {
+  if (base_ == nullptr || !writer_) return;
+  Header* h = header();
+  pthread_mutex_lock(&h->mutex);
+  h->closed = 1;
+  pthread_cond_broadcast(&h->cond);
+  pthread_mutex_unlock(&h->mutex);
+}
+
+}  // namespace bstc::shm

@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file bcast_ring.hpp
+/// BcastRing — a single-writer multi-reader shared-memory staging ring
+/// for the intra-node broadcast fast path.
+///
+/// When broadcast participants are co-located, the node leader receives an
+/// A tile off the wire exactly once and *publishes* the already-serialized
+/// frame payload into its ring; co-located consumer ranks read it straight
+/// out of the shared mapping, so the tile never touches a socket again on
+/// that node. Each rank owns one ring (it is the single writer); every
+/// co-located peer attaches as a reader. A 64-bit destination mask on each
+/// slot names the ranks a message is for — all readers advance past every
+/// slot, but only masked ranks deliver it.
+///
+/// Unlike the sealed ShmArena (write, seal, read-only attach), the ring is
+/// live mutable shared state, so coordination runs over a process-shared
+/// pthread mutex + condvar in the header. Flow control is by per-reader
+/// consumed cursors: the writer blocks while the slowest attached reader
+/// is a full ring behind. Readers poll with a 100 ms timed wait against a
+/// local stop flag, so a dead writer strands nobody. The writer declares
+/// its reader count at create() and the first publish waits until all of
+/// them have attached — attach order can never lose a message.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shm/arena.hpp"  // shm::Status
+
+namespace bstc::shm {
+
+inline constexpr std::uint64_t kBcastRingMagic = 0x4253544342524731ull;  // BSTCBRG1
+inline constexpr std::uint32_t kBcastRingLayoutVersion = 1;
+/// Destination masks are one bit per global rank.
+inline constexpr int kBcastRingMaxReaders = 64;
+
+/// One published message, copied out of the ring by a reader.
+struct BcastRingMessage {
+  std::uint64_t dest_mask = 0;
+  std::uint8_t frame_type = 0;  ///< wire FrameType of the staged payload
+  std::vector<std::uint8_t> payload;
+};
+
+/// The live single-writer multi-reader ring. Move-only; the creator
+/// shm_unlinks the name on close.
+class BcastRing {
+ public:
+  BcastRing() = default;
+  ~BcastRing();
+
+  BcastRing(BcastRing&& other) noexcept;
+  BcastRing& operator=(BcastRing&& other) noexcept;
+  BcastRing(const BcastRing&) = delete;
+  BcastRing& operator=(const BcastRing&) = delete;
+
+  /// Create a fresh ring: `nslots` slots of up to `max_payload_bytes`
+  /// each, expecting exactly `readers` attach() calls before the first
+  /// publish may complete. A stale segment under `name` is unlinked
+  /// first (a crashed prior run must not wedge a new one).
+  static Status create(const std::string& name, int owner_rank,
+                       std::uint64_t session, std::uint32_t nslots,
+                       std::uint32_t max_payload_bytes, int readers,
+                       BcastRing& out);
+
+  /// Attach to a peer's ring, claiming one of its declared reader slots.
+  /// Validates magic/layout/owner/session before touching the ring.
+  static Status attach(const std::string& name, int expect_owner,
+                       std::uint64_t session, BcastRing& out);
+
+  /// Writer: stage one frame payload for the ranks in `dest_mask`.
+  /// Blocks while the ring is full (slowest reader a lap behind) or
+  /// until all declared readers have attached; throws bstc::Error after
+  /// a 60 s stall (a wedged peer poisons the run loudly, not silently).
+  void publish(std::uint64_t dest_mask, std::uint8_t frame_type,
+               const std::uint8_t* payload, std::size_t bytes);
+
+  /// Reader: copy out the next message. Returns false once the writer
+  /// closed the ring and it is drained, or when `stop` becomes true.
+  bool next(BcastRingMessage& out, const std::atomic<bool>& stop);
+
+  /// Writer: mark the ring closed and wake all readers. Idempotent.
+  void close_writer();
+
+  bool mapped() const { return base_ != nullptr; }
+  const std::string& name() const { return name_; }
+  bool is_writer() const { return writer_; }
+  int reader_index() const { return reader_index_; }
+  std::uint32_t max_payload_bytes() const;
+
+  /// Unmap (and for the creator: close + unlink the name). Idempotent.
+  void close();
+
+  static Status unlink(const std::string& name);
+
+ private:
+  struct Header;
+  Header* header();
+
+  std::string name_;
+  std::uint8_t* base_ = nullptr;
+  std::size_t capacity_ = 0;
+  bool writer_ = false;
+  int reader_index_ = -1;
+};
+
+}  // namespace bstc::shm

@@ -372,6 +372,132 @@ TEST(Wire, ServiceCtlCounterLengthBombIsRejected) {
   EXPECT_THROW(decode_service_ctl(frame), Error);
 }
 
+TEST(Wire, BcastRoundTripsBitwise) {
+  Rng rng(29);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Index rows = static_cast<Index>(rng.uniform_int(1, 40));
+    const Index cols = static_cast<Index>(rng.uniform_int(1, 40));
+    Tile tile(rows, cols);
+    tile.fill_random(rng);
+
+    BcastTileMsg msg;
+    msg.key = (static_cast<std::uint64_t>(trial) << 32) | 5u;
+    msg.algo = (trial % 2 == 0) ? BcastAlgorithm::kTree
+                                : BcastAlgorithm::kRing;
+    msg.root = static_cast<std::uint32_t>(trial % 3);
+    msg.parts = {0, 1, 2, static_cast<std::uint32_t>(5 + trial)};
+    msg.tile = Tile::view(tile.data(), rows, cols);
+
+    const Frame frame = encode_bcast(msg);
+    EXPECT_EQ(frame.type, FrameType::kBcast);
+    const std::vector<std::uint8_t> bytes = encode_frame(frame);
+    const BcastTileMsg got = decode_bcast(decode_frame(bytes));
+
+    EXPECT_EQ(got.key, msg.key);
+    EXPECT_EQ(got.algo, msg.algo);
+    EXPECT_EQ(got.root, msg.root);
+    EXPECT_EQ(got.parts, msg.parts);
+    ASSERT_EQ(got.tile.rows(), rows);
+    ASSERT_EQ(got.tile.cols(), cols);
+    EXPECT_EQ(std::memcmp(got.tile.data(), tile.data(), tile.bytes()), 0);
+
+    // A relay retypes the payload verbatim as kBcastFwd (never
+    // re-serializes); the forwarded frame must decode identically.
+    const Frame fwd{FrameType::kBcastFwd, frame.payload};
+    const BcastTileMsg relayed =
+        decode_bcast(decode_frame(encode_frame(fwd)));
+    EXPECT_EQ(relayed.key, msg.key);
+    EXPECT_EQ(relayed.parts, msg.parts);
+    EXPECT_EQ(
+        std::memcmp(relayed.tile.data(), tile.data(), tile.bytes()), 0);
+  }
+}
+
+TEST(Wire, BcastFramesRejectCorruptionAndTruncation) {
+  Rng rng(31);
+  Tile tile(6, 9);
+  tile.fill_random(rng);
+  BcastTileMsg msg;
+  msg.key = 77;
+  msg.algo = BcastAlgorithm::kTree;
+  msg.root = 1;
+  msg.parts = {0, 1, 3};
+  msg.tile = Tile::view(tile.data(), tile.rows(), tile.cols());
+  const std::vector<std::uint8_t> good = encode_frame(encode_bcast(msg));
+
+  for (std::size_t pos = 0; pos < good.size();
+       pos += 1 + good.size() / 64) {
+    std::vector<std::uint8_t> bad = good;
+    bad[pos] ^= 0x40;
+    EXPECT_THROW(decode_frame(bad), Error) << "at byte " << pos;
+  }
+  for (std::size_t len = 0; len < good.size();
+       len += 1 + good.size() / 64) {
+    EXPECT_THROW(decode_frame(good.data(), len), Error) << "len " << len;
+  }
+}
+
+TEST(Wire, BcastParticipantCountBombIsRejected) {
+  // A forged participant count larger than the remaining payload must be
+  // rejected before any allocation sized by it. The count sits after
+  // key (u64) + algo (u8) + root (u32).
+  Tile tile(2, 2);
+  BcastTileMsg msg;
+  msg.key = 1;
+  msg.root = 0;
+  msg.parts = {0, 1};
+  msg.tile = Tile::view(tile.data(), 2, 2);
+  Frame frame = encode_bcast(msg);
+  std::uint32_t huge = 0x3fffffffu;
+  std::memcpy(frame.payload.data() + 13, &huge, sizeof huge);
+  EXPECT_THROW(decode_bcast(frame), Error);
+}
+
+TEST(Wire, BcastTilePayloadMustMatchExtents) {
+  Tile tile(3, 4);
+  BcastTileMsg msg;
+  msg.key = 2;
+  msg.root = 0;
+  msg.parts = {0, 2};
+  msg.tile = Tile::view(tile.data(), 3, 4);
+  Frame frame = encode_bcast(msg);
+  frame.payload.pop_back();
+  EXPECT_THROW(decode_bcast(frame), Error);
+}
+
+TEST(Wire, BcastRejectsMalformedHeaders) {
+  Tile tile(2, 2);
+  const auto make = [&](BcastAlgorithm algo, std::uint32_t root,
+                        std::vector<std::uint32_t> parts) {
+    BcastTileMsg msg;
+    msg.key = 9;
+    msg.algo = algo;
+    msg.root = root;
+    msg.parts = std::move(parts);
+    msg.tile = Tile::view(tile.data(), 2, 2);
+    return encode_bcast(msg);
+  };
+
+  // Root absent from the participant list.
+  EXPECT_THROW(decode_bcast(make(BcastAlgorithm::kTree, 7, {0, 1})),
+               Error);
+  // Participants must be strictly ascending (no duplicates, no swaps).
+  EXPECT_THROW(decode_bcast(make(BcastAlgorithm::kTree, 1, {1, 1})),
+               Error);
+  EXPECT_THROW(decode_bcast(make(BcastAlgorithm::kTree, 2, {2, 0})),
+               Error);
+  // Fewer than two participants is not a broadcast.
+  EXPECT_THROW(decode_bcast(make(BcastAlgorithm::kRing, 0, {0})), Error);
+  // The unicast algorithm byte never appears on the wire.
+  Frame frame = make(BcastAlgorithm::kTree, 0, {0, 1});
+  frame.payload[8] = static_cast<std::uint8_t>(BcastAlgorithm::kUnicast);
+  EXPECT_THROW(decode_bcast(frame), Error);
+  // Only broadcast frame types are accepted.
+  const Frame wrong{FrameType::kTile, make(BcastAlgorithm::kTree, 0,
+                                           {0, 1}).payload};
+  EXPECT_THROW(decode_bcast(wrong), Error);
+}
+
 TEST(Wire, ReaderRejectsTruncatedPayloads) {
   WireWriter w;
   w.u32(7);

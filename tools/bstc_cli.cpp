@@ -31,6 +31,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -123,13 +124,24 @@ const CommandInfo kCommands[] = {
      "                       join by hand via `bstc_cli worker` (default np)\n"
      "  --trace-out F.json   gather every rank's spans and write one merged\n"
      "                       Chrome/Perfetto trace (per-rank process lanes)\n"
+     "  --node-map LIST      node id of each worker, e.g. 0,1,0,1\n"
+     "  --ranks-per-node N   shorthand: workers 0..N-1 on node 0, ...\n"
+     "  --node-aware         pack grid rows onto the fewest nodes (moves\n"
+     "                       the A broadcast off the interconnect)\n"
+     "  --bcast ALG          unicast | tree | ring | auto (default: the\n"
+     "                       BSTC_BCAST env var, else auto)\n"
+     "  --shm-bcast          serve co-located ranks via shared-memory\n"
+     "                       staging rings instead of loopback sockets\n"
+     "  --metrics-out F      write per-rank bstc_bcast_* Prometheus lines\n"
      "  Forks --np workers of this binary, runs the 2D-grid contraction\n"
      "  over TCP, verifies C bitwise against a single-process run, and\n"
-     "  checks measured wire bytes against the plan statistics exactly.\n"},
+     "  checks measured wire bytes against the plan statistics exactly\n"
+     "  (totals and the intra-/inter-node split).\n"},
     {"worker", "join a launch rendezvous (spawned by `launch`)",
      "usage: bstc_cli worker --host H --port P [problem flags]\n"
      "  Normally started by `bstc_cli launch`, not by hand; the problem\n"
      "  flags must match the launcher's (fingerprints are cross-checked).\n"
+     "  --node-id N          which physical node this rank runs on\n"
      "  --trace-out F.json   must match the launcher's --trace-out (every\n"
      "                       rank takes part in the trace gather)\n"},
     {"serve-batch", "drive the ContractionService with a request mix",
@@ -488,7 +500,34 @@ int cmd_worker(const Args& args) {
   BSTC_REQUIRE(opts.port != 0, "worker: --port is required");
   opts.spec = make_net_spec(args);
   opts.trace_out = args.get("trace-out", "");
+  opts.node_id = static_cast<int>(args.get_int("node-id", 0));
   return net::run_worker(opts);
+}
+
+/// --node-map "0,1,0,1" -> the node id of each spawned worker (by spawn
+/// index). --ranks-per-node N fills the map round-robin-free: the first
+/// N workers on node 0, the next N on node 1, ...
+std::vector<int> parse_node_map(const Args& args, int np) {
+  std::vector<int> node_of(static_cast<std::size_t>(np), 0);
+  const std::string map = args.get("node-map", "");
+  const auto per_node = static_cast<int>(args.get_int("ranks-per-node", 0));
+  BSTC_REQUIRE(map.empty() || per_node == 0,
+               "launch: --node-map and --ranks-per-node are exclusive");
+  if (!map.empty()) {
+    std::stringstream ss(map);
+    std::string item;
+    std::size_t idx = 0;
+    while (std::getline(ss, item, ',')) {
+      BSTC_REQUIRE(idx < node_of.size(),
+                   "launch: --node-map lists more entries than --np");
+      node_of[idx++] = std::stoi(item);
+    }
+    BSTC_REQUIRE(idx == node_of.size(),
+                 "launch: --node-map must list exactly --np node ids");
+  } else if (per_node > 0) {
+    for (int w = 0; w < np; ++w) node_of[static_cast<std::size_t>(w)] = w / per_node;
+  }
+  return node_of;
 }
 
 int cmd_launch(const Args& args) {
@@ -497,6 +536,15 @@ int cmd_launch(const Args& args) {
   opts.host = args.get("host", "127.0.0.1");
   opts.port = static_cast<std::uint16_t>(args.get_int("port", 0));
   opts.trace_out = args.get("trace-out", "");
+  opts.node_aware = args.get_bool("node-aware", false);
+  opts.shm_bcast = args.get_bool("shm-bcast", false);
+  // Broadcast policy: the flag wins, then the BSTC_BCAST environment
+  // override, then auto (tree for small tiles, ring for large).
+  const char* env_bcast = std::getenv("BSTC_BCAST");
+  opts.bcast = parse_bcast_select(
+      args.get("bcast", env_bcast != nullptr ? env_bcast : "auto"));
+  const std::string metrics_out = args.get("metrics-out", "");
+  const std::vector<int> node_map = parse_node_map(args, opts.spec.np);
 
   struct Child {
     pid_t pid = -1;
@@ -527,6 +575,9 @@ int cmd_launch(const Args& args) {
                                          "--host", host, "--port",
                                          std::to_string(port)};
       argv_s.insert(argv_s.end(), spec_flags.begin(), spec_flags.end());
+      argv_s.push_back("--node-id");
+      argv_s.push_back(
+          std::to_string(node_map[static_cast<std::size_t>(index)]));
       if (!opts.trace_out.empty()) {
         argv_s.push_back("--trace-out");
         argv_s.push_back(opts.trace_out);
@@ -604,6 +655,29 @@ int cmd_launch(const Args& args) {
                       report.verdict.stats_c_network_bytes
                   ? "exact"
                   : "MISMATCH");
+  std::printf("A inter-node   %.0f bytes measured vs %.0f analytic -> %s\n",
+              report.total_a_inter_bytes,
+              report.verdict.stats_a_internode_bytes,
+              report.total_a_inter_bytes ==
+                      report.verdict.stats_a_internode_bytes
+                  ? "exact"
+                  : "MISMATCH");
+  std::printf("A intra-node   %.0f bytes measured vs %.0f analytic -> %s "
+              "(%.0f via shm)\n",
+              report.total_a_intra_bytes,
+              report.verdict.stats_a_intranode_bytes,
+              report.total_a_intra_bytes ==
+                      report.verdict.stats_a_intranode_bytes
+                  ? "exact"
+                  : "MISMATCH",
+              report.total_shm_bytes);
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    BSTC_REQUIRE(out.good(), "launch: cannot write " + metrics_out);
+    for (const net::SummaryMsg& s : report.summaries) out << s.metrics_text;
+    std::printf("metrics        %s (bstc_bcast_* for %d ranks)\n",
+                metrics_out.c_str(), opts.spec.np);
+  }
   if (!opts.trace_out.empty()) {
     std::printf("trace          %s (merged across %d ranks)\n",
                 opts.trace_out.c_str(), opts.spec.np);
