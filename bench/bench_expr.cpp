@@ -1,0 +1,156 @@
+/// Contraction-program benchmark: the ccsd-doubles DAG through the
+/// ProgramRunner, measuring what the expr layer claims to buy.
+///
+/// Part 1 — iteration amortisation: a cold first iteration (plans built,
+/// session B caches filled) followed by warm iterations that must serve
+/// every node from the plan cache without regenerating a single B tile.
+///
+/// Part 2 — intermediate-reuse ablation: the same program lowered with
+/// cross-term CSE on and off. Reuse must change work (one build of the
+/// shared X = T*U intermediate instead of one per consumer) and peak
+/// intermediate memory, but never the residual's bits.
+
+#include <cstdio>
+#include <vector>
+
+#include "bsm/block_sparse_matrix.hpp"
+#include "expr/executor.hpp"
+#include "expr/lower.hpp"
+#include "expr/programs.hpp"
+#include "service/serve_api.hpp"
+#include "support/error.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+using namespace bstc;
+
+namespace {
+
+struct AblationPoint {
+  bool reuse = false;
+  double mean_iter_s = 0.0;
+  std::size_t nodes = 0;
+  std::size_t intermediates_built = 0;
+  std::size_t intermediate_reuse = 0;
+  std::size_t peak_intermediate_bytes = 0;
+  std::uint64_t checksum = 0;
+};
+
+AblationPoint run_arm(const expr::NamedProgram& np, bool reuse, int iters) {
+  expr::LowerOptions lo;
+  lo.reuse_intermediates = reuse;
+  ContractionService service;
+  expr::ProgramRunner runner(
+      service,
+      expr::bind_program(expr::lower(np.program, lo), np.machine, np.engine));
+
+  AblationPoint point;
+  point.reuse = reuse;
+  double total_s = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    expr::ProgramResult res;
+    const ServiceStatus st =
+        runner.run(1000 + static_cast<std::uint64_t>(it), res);
+    BSTC_REQUIRE(st == ServiceStatus::kOk, "program iteration failed");
+    total_s += res.wall_seconds;
+    point.nodes = res.nodes.size();
+    point.intermediates_built = res.intermediates_built;
+    point.intermediate_reuse = res.intermediate_reuse;
+    point.peak_intermediate_bytes = res.peak_intermediate_bytes;
+    point.checksum = bsm_content_checksum(res.r);
+  }
+  point.mean_iter_s = total_s / iters;
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Contraction programs — DAG iteration and reuse ablation\n\n");
+
+  ServeProblemSpec spec;
+  spec.m = 3;  // alkane carbon count of the ccsd-doubles slice
+  spec.seed = 7;
+  const expr::NamedProgram np =
+      expr::build_named_program("ccsd-doubles", spec);
+
+  // Part 1: cold vs warm iterations on one program session.
+  constexpr int kWarm = 3;
+  std::vector<double> iter_s;
+  {
+    ContractionService service;
+    expr::ProgramRunner runner(
+        service,
+        expr::bind_program(expr::lower(np.program), np.machine, np.engine));
+    TextTable table({"iteration", "wall", "plan hits", "b generations",
+                     "intermediates", "reuse"});
+    for (int it = 0; it < 1 + kWarm; ++it) {
+      expr::ProgramResult res;
+      const ServiceStatus st =
+          runner.run(100 + static_cast<std::uint64_t>(it), res);
+      BSTC_REQUIRE(st == ServiceStatus::kOk, "program iteration failed");
+      iter_s.push_back(res.wall_seconds);
+      if (it > 0) {
+        BSTC_REQUIRE(res.plan_cache_hits == res.nodes.size(),
+                     "warm iteration must plan nothing");
+        BSTC_REQUIRE(res.b_max_generations <= 1,
+                     "warm iteration must regenerate no B tiles");
+      }
+      table.add_row({it == 0 ? "cold" : "warm " + std::to_string(it),
+                     fmt_duration(res.wall_seconds),
+                     std::to_string(res.plan_cache_hits),
+                     std::to_string(res.b_max_generations),
+                     std::to_string(res.intermediates_built),
+                     std::to_string(res.intermediate_reuse)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  // Part 2: the reuse ablation, two iterations per arm.
+  const AblationPoint on = run_arm(np, true, 2);
+  const AblationPoint off = run_arm(np, false, 2);
+  BSTC_REQUIRE(on.checksum == off.checksum,
+               "reuse ablation changed the residual's bits");
+  TextTable table({"reuse", "mean iter", "nodes", "built", "hits",
+                   "peak intermediate"});
+  for (const AblationPoint& p : {on, off}) {
+    table.add_row({p.reuse ? "on" : "off", fmt_duration(p.mean_iter_s),
+                   std::to_string(p.nodes),
+                   std::to_string(p.intermediates_built),
+                   std::to_string(p.intermediate_reuse),
+                   fmt_bytes(static_cast<double>(p.peak_intermediate_bytes))});
+  }
+  std::printf("%s\nresidual checksum (both arms): %016llx\n\n",
+              table.render().c_str(),
+              static_cast<unsigned long long>(on.checksum));
+
+  std::FILE* out = std::fopen("BENCH_expr.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n  \"bench\": \"expr\",\n");
+    std::fprintf(out, "  \"program\": \"ccsd-doubles\",\n");
+    std::fprintf(out, "  \"carbons\": %d,\n", static_cast<int>(spec.m));
+    std::fprintf(out, "  \"iteration_wall_s\": [");
+    for (std::size_t i = 0; i < iter_s.size(); ++i) {
+      std::fprintf(out, "%s%.6f", i == 0 ? "" : ", ", iter_s[i]);
+    }
+    std::fprintf(out, "],\n  \"ablation\": [\n");
+    for (const AblationPoint* p : {&on, &off}) {
+      std::fprintf(out,
+                   "    {\"reuse\": %s, \"mean_iter_s\": %.6f, "
+                   "\"nodes\": %zu, \"intermediates_built\": %zu, "
+                   "\"intermediate_reuse\": %zu, "
+                   "\"peak_intermediate_bytes\": %zu, "
+                   "\"checksum\": \"%016llx\"}%s\n",
+                   p->reuse ? "true" : "false", p->mean_iter_s, p->nodes,
+                   p->intermediates_built, p->intermediate_reuse,
+                   p->peak_intermediate_bytes,
+                   static_cast<unsigned long long>(p->checksum),
+                   p == &on ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_expr.json\n");
+  }
+  return 0;
+}

@@ -1,0 +1,305 @@
+#include "expr/expr.hpp"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bstc::expr {
+
+const char* tensor_kind_name(TensorKind kind) {
+  switch (kind) {
+    case TensorKind::kFixed: return "fixed";
+    case TensorKind::kIterated: return "iterated";
+    case TensorKind::kOutput: return "output";
+  }
+  return "unknown";
+}
+
+const IndexSpace* Program::find_space(const std::string& name) const {
+  for (const IndexSpace& s : spaces) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const TensorDecl* Program::find_tensor(const std::string& name) const {
+  for (const TensorDecl& t : tensors) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+
+namespace {
+
+/// Minimal cursor over a term spec string.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool eat(const char* lit) {
+    skip_ws();
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::string ident() {
+    skip_ws();
+    const std::size_t start = pos_;
+    auto head = [](char c) {
+      return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+    };
+    auto tail = [&head](char c) {
+      return head(c) || std::isdigit(static_cast<unsigned char>(c));
+    };
+    if (pos_ < text_.size() && head(text_[pos_])) {
+      ++pos_;
+      while (pos_ < text_.size() && tail(text_[pos_])) ++pos_;
+    }
+    BSTC_REQUIRE(pos_ > start, "expr: expected identifier at '" +
+                                   text_.substr(start, 12) + "' in \"" +
+                                   text_ + "\"");
+    return text_.substr(start, pos_ - start);
+  }
+
+  void require(char c) {
+    BSTC_REQUIRE(eat(c), std::string("expr: expected '") + c + "' in \"" +
+                             text_ + "\"");
+  }
+
+  bool done() {
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+FactorRef parse_factor(Cursor& cur) {
+  FactorRef f;
+  f.tensor = cur.ident();
+  cur.require('[');
+  f.row_sym = cur.ident();
+  cur.require(',');
+  f.col_sym = cur.ident();
+  cur.require(']');
+  return f;
+}
+
+}  // namespace
+
+Term parse_term(const std::string& text) {
+  Cursor cur(text);
+  Term term;
+  const FactorRef lhs = parse_factor(cur);
+  term.output = lhs.tensor;
+  term.out_row = lhs.row_sym;
+  term.out_col = lhs.col_sym;
+  BSTC_REQUIRE(cur.eat("+="),
+               "expr: expected '+=' after the output in \"" + text + "\"");
+  term.factors.push_back(parse_factor(cur));
+  while (cur.eat('*')) term.factors.push_back(parse_factor(cur));
+  BSTC_REQUIRE(cur.done(),
+               "expr: trailing characters after the last factor in \"" +
+                   text + "\"");
+  return term;
+}
+
+std::string print_term(const Term& term) {
+  std::ostringstream os;
+  os << term.output << '[' << term.out_row << ',' << term.out_col << "] +=";
+  for (std::size_t i = 0; i < term.factors.size(); ++i) {
+    const FactorRef& f = term.factors[i];
+    os << (i == 0 ? " " : " * ") << f.tensor << '[' << f.row_sym << ','
+       << f.col_sym << ']';
+  }
+  return os.str();
+}
+
+std::string print_program(const Program& program) {
+  std::ostringstream os;
+  os << "program " << program.name << "\n";
+  for (const IndexSpace& s : program.spaces) {
+    os << "  index " << s.name << "  extent " << s.tiling.extent()
+       << "  tiles " << s.tiling.num_tiles() << "\n";
+  }
+  for (const TensorDecl& t : program.tensors) {
+    os << "  tensor " << t.name << '[' << t.row_space << ',' << t.col_space
+       << "]  " << tensor_kind_name(t.kind) << "  nnz-tiles "
+       << t.shape.nnz_tiles() << "  density " << t.shape.density() << "\n";
+  }
+  for (const Term& term : program.terms) {
+    os << "  term " << print_term(term) << "\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Validation.
+
+namespace {
+
+bool same_tiling(const Tiling& a, const Tiling& b) {
+  if (a.num_tiles() != b.num_tiles()) return false;
+  for (std::size_t t = 0; t < a.num_tiles(); ++t) {
+    if (a.tile_offset(t) != b.tile_offset(t) ||
+        a.tile_extent(t) != b.tile_extent(t)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Bind `sym` to `space`, rejecting a conflicting earlier binding.
+void bind_symbol(std::map<std::string, std::string>& binding,
+                 const std::string& sym, const std::string& space,
+                 const Program& program, const Term& term,
+                 const std::string& where) {
+  const auto [it, inserted] = binding.emplace(sym, space);
+  if (inserted || it->second == space) return;
+  const IndexSpace* a = program.find_space(it->second);
+  const IndexSpace* b = program.find_space(space);
+  throw Error(
+      "expr: extent mismatch in \"" + print_term(term) + "\": symbol '" +
+      sym + "' binds to index space '" + it->second + "' (extent " +
+      std::to_string(a != nullptr ? a->tiling.extent() : 0) + ") but " +
+      where + " requires space '" + space + "' (extent " +
+      std::to_string(b != nullptr ? b->tiling.extent() : 0) + ")");
+}
+
+void validate_term(const Program& program, const Term& term) {
+  BSTC_REQUIRE(term.factors.size() >= 2,
+               "expr: term \"" + print_term(term) +
+                   "\" needs at least two factors (a one-factor term is a "
+                   "copy, not a contraction)");
+  const TensorDecl* out = program.find_tensor(term.output);
+  BSTC_REQUIRE(out != nullptr, "expr: unknown output tensor '" + term.output +
+                                   "' in \"" + print_term(term) + "\"");
+  BSTC_REQUIRE(out->kind == TensorKind::kOutput,
+               "expr: term \"" + print_term(term) + "\" accumulates into '" +
+                   term.output + "', which is declared " +
+                   tensor_kind_name(out->kind) + ", not output");
+  BSTC_REQUIRE(term.out_row != term.out_col,
+               "expr: duplicate output index '" + term.out_row + "' in \"" +
+                   print_term(term) + "\"");
+
+  // Symbol -> index-space binding, seeded by the output slots.
+  std::map<std::string, std::string> binding;
+  bind_symbol(binding, term.out_row, out->row_space, program, term,
+              "the output's row slot");
+  bind_symbol(binding, term.out_col, out->col_space, program, term,
+              "the output's column slot");
+
+  std::map<std::string, int> uses;  ///< occurrences among the factors
+  for (const FactorRef& f : term.factors) {
+    const TensorDecl* decl = program.find_tensor(f.tensor);
+    BSTC_REQUIRE(decl != nullptr, "expr: unknown tensor '" + f.tensor +
+                                      "' in \"" + print_term(term) + "\"");
+    BSTC_REQUIRE(decl->kind != TensorKind::kOutput,
+                 "expr: output tensor '" + f.tensor +
+                     "' used as a factor in \"" + print_term(term) + "\"");
+    BSTC_REQUIRE(f.row_sym != f.col_sym,
+                 "expr: traced factor " + f.tensor + "[" + f.row_sym + "," +
+                     f.col_sym + "] in \"" + print_term(term) +
+                     "\" (intra-tensor traces are unsupported)");
+    bind_symbol(binding, f.row_sym, decl->row_space, program, term,
+                f.tensor + "'s row slot");
+    bind_symbol(binding, f.col_sym, decl->col_space, program, term,
+                f.tensor + "'s column slot");
+    ++uses[f.row_sym];
+    ++uses[f.col_sym];
+  }
+
+  for (const auto& [sym, count] : uses) {
+    const bool is_out = sym == term.out_row || sym == term.out_col;
+    if (is_out) {
+      BSTC_REQUIRE(count == 1, "expr: output symbol '" + sym +
+                                   "' appears " + std::to_string(count) +
+                                   " times among the factors of \"" +
+                                   print_term(term) + "\" (expected once)");
+    } else {
+      BSTC_REQUIRE(count == 2,
+                   "expr: contracted symbol '" + sym + "' appears " +
+                       std::to_string(count) + " times in \"" +
+                       print_term(term) +
+                       "\" (expected exactly twice; hyper-edges are "
+                       "unsupported)");
+    }
+  }
+  for (const std::string& sym : {term.out_row, term.out_col}) {
+    BSTC_REQUIRE(uses.count(sym) == 1, "expr: output symbol '" + sym +
+                                           "' never produced by a factor "
+                                           "of \"" +
+                                           print_term(term) + "\"");
+  }
+}
+
+}  // namespace
+
+void validate(const Program& program) {
+  BSTC_REQUIRE(!program.terms.empty(),
+               "expr: empty program '" + program.name + "' (no terms)");
+  for (std::size_t i = 0; i < program.spaces.size(); ++i) {
+    BSTC_REQUIRE(!program.spaces[i].name.empty(),
+                 "expr: unnamed index space in program '" + program.name +
+                     "'");
+    for (std::size_t j = i + 1; j < program.spaces.size(); ++j) {
+      BSTC_REQUIRE(program.spaces[i].name != program.spaces[j].name,
+                   "expr: duplicate index space '" + program.spaces[i].name +
+                       "' in program '" + program.name + "'");
+    }
+  }
+  for (std::size_t i = 0; i < program.tensors.size(); ++i) {
+    const TensorDecl& t = program.tensors[i];
+    for (std::size_t j = i + 1; j < program.tensors.size(); ++j) {
+      BSTC_REQUIRE(t.name != program.tensors[j].name,
+                   "expr: duplicate tensor '" + t.name + "' in program '" +
+                       program.name + "'");
+    }
+    const IndexSpace* rows = program.find_space(t.row_space);
+    const IndexSpace* cols = program.find_space(t.col_space);
+    BSTC_REQUIRE(rows != nullptr, "expr: tensor '" + t.name +
+                                      "' references unknown index space '" +
+                                      t.row_space + "'");
+    BSTC_REQUIRE(cols != nullptr, "expr: tensor '" + t.name +
+                                      "' references unknown index space '" +
+                                      t.col_space + "'");
+    BSTC_REQUIRE(same_tiling(t.shape.row_tiling(), rows->tiling),
+                 "expr: tensor '" + t.name +
+                     "' shape rows disagree with index space '" +
+                     t.row_space + "'");
+    BSTC_REQUIRE(same_tiling(t.shape.col_tiling(), cols->tiling),
+                 "expr: tensor '" + t.name +
+                     "' shape columns disagree with index space '" +
+                     t.col_space + "'");
+  }
+  for (const Term& term : program.terms) validate_term(program, term);
+}
+
+}  // namespace bstc::expr

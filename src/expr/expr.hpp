@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file expr.hpp
+/// The contraction-expression layer: einsum-like multi-term programs over
+/// matricized block-sparse tensors.
+///
+/// The engine beneath computes one binary product C += A*B over matricized
+/// tensors (the paper's §2 matricization: R^{ij}_{ab} = T^{ij}_{cd}
+/// V^{cd}_{ab} with fused index groups ij/cd/ab as matrix dimensions).
+/// This layer keeps that convention and lifts it to whole residual
+/// programs: every tensor is a 2-slot matricized entity whose slots range
+/// over named *index spaces* (a fused index group with one Tiling), and a
+/// term is an einsum over group symbols:
+///
+///     R[ij,ab] += T[ij,cd] * V[cd,ab]            (the ABCD ladder)
+///     R[ij,ab] += W[ij,kl] * T[kl,ab]            (hole-hole ladder)
+///     R[ij,ab] += T[ij,cd] * X[cd,kl] * T[kl,ab] (a chained ring term)
+///
+/// Symbols bind positionally to the declared (row, col) slots of each
+/// tensor; a symbol shared by two factors is contracted, symbols of the
+/// left-hand side survive. Multi-factor terms are lowered (see lower.hpp)
+/// to a DAG of binary block-sparse contractions with named, deduplicated
+/// intermediates — CoNST's sparse-tensor-network lowering and Brandejs et
+/// al.'s CC-residual DAGs (PAPERS.md) are the architectural references.
+///
+/// This header is the front half of the subsystem: the structured program
+/// model, the term parser/printer (round-trippable), and validation with
+/// precise diagnostics. Everything here is pure metadata — shapes and
+/// tilings, never tile data.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shape/shape.hpp"
+#include "tiling/tiling.hpp"
+
+namespace bstc::expr {
+
+/// A named fused index group ("ij", "cd", ...) with its tiling. Two spaces
+/// with equal extents are still distinct: symbol binding is by space name.
+struct IndexSpace {
+  std::string name;
+  Tiling tiling;
+};
+
+/// How a tensor's values come to exist at execution time.
+enum class TensorKind : std::uint8_t {
+  kFixed = 0,    ///< values seeded once from the spec (integrals V, W, ...)
+  kIterated,     ///< values refreshed every iteration (amplitudes T)
+  kOutput,       ///< the accumulated residual R
+};
+
+const char* tensor_kind_name(TensorKind kind);
+
+/// One matricized tensor: a sparsity shape over (row_space, col_space)
+/// tilings plus a value seed for the generated (kFixed) case.
+struct TensorDecl {
+  std::string name;
+  std::string row_space;
+  std::string col_space;
+  TensorKind kind = TensorKind::kFixed;
+  Shape shape;
+  std::uint64_t seed = 0;  ///< value seed (kFixed: tile generator seed)
+};
+
+/// One factor reference inside a term: `T[ij,cd]`. Symbols map
+/// positionally to the tensor's declared (row, col) slots — `W[kl,ij]`
+/// always reads element W[kl, ij]; any transposition needed to realize the
+/// contraction is the lowering pass's concern, never the notation's.
+struct FactorRef {
+  std::string tensor;
+  std::string row_sym;
+  std::string col_sym;
+
+  bool operator==(const FactorRef&) const = default;
+};
+
+/// One accumulation statement `R[ij,ab] += F1 * F2 * ...` (>= 2 factors).
+struct Term {
+  std::string output;   ///< output tensor name
+  std::string out_row;  ///< surviving row symbol
+  std::string out_col;  ///< surviving column symbol
+  std::vector<FactorRef> factors;
+
+  bool operator==(const Term&) const = default;
+};
+
+/// A whole contraction program: declarations plus an ordered term list.
+/// Term order is semantic — it fixes the accumulation order into the
+/// output, which is what makes program results bitwise-reproducible.
+struct Program {
+  std::string name;
+  std::vector<IndexSpace> spaces;
+  std::vector<TensorDecl> tensors;
+  std::vector<Term> terms;
+
+  const IndexSpace* find_space(const std::string& name) const;
+  const TensorDecl* find_tensor(const std::string& name) const;
+};
+
+// ---------------------------------------------------------------------------
+// Term spec strings.
+
+/// Parse one einsum-like term: `R[ij,ab] += T[ij,cd] * V[cd,ab]`.
+/// Whitespace-tolerant; symbols and names are [A-Za-z_][A-Za-z0-9_]*.
+/// Throws bstc::Error with the offending text on a malformed spec.
+Term parse_term(const std::string& text);
+
+/// Canonical rendering of a term (parse_term(print_term(t)) == t).
+std::string print_term(const Term& term);
+
+/// Multi-line listing of a program: spaces, tensors, terms — the
+/// plan-explain narrative of the expression layer.
+std::string print_program(const Program& program);
+
+// ---------------------------------------------------------------------------
+// Validation.
+
+/// Check the whole program against its declarations. Throws bstc::Error
+/// with a precise diagnostic on the first violation:
+///  * empty program (no terms) or a term with fewer than two factors;
+///  * unknown tensor / unknown index space / duplicate declarations;
+///  * a tensor shape whose tilings disagree with its declared spaces;
+///  * duplicate output index (`R[ij,ij]`);
+///  * a symbol bound to two different index spaces (extent mismatch);
+///  * wrong symbol multiplicity: an output symbol must appear exactly
+///    once among the factors, a contracted symbol exactly twice, and
+///    nothing may appear more often (no hyper-edges);
+///  * accumulation into a non-kOutput tensor, or a kOutput factor.
+void validate(const Program& program);
+
+}  // namespace bstc::expr

@@ -1,0 +1,378 @@
+#include "expr/lower.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "service/fingerprint.hpp"
+#include "shape/shape_algebra.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace bstc::expr {
+
+namespace {
+
+/// One live operand of the binarization worklist, oriented to its
+/// (row_sym, col_sym) reading; `key`/`key_t` identify the value in that
+/// orientation and its transpose (the CSE identities).
+struct WorkOperand {
+  Operand op;
+  std::string row_sym, col_sym;
+  Shape shape;  ///< oriented (row_sym, col_sym)
+  std::uint64_t key = 0, key_t = 0;
+  bool fixed = false;         ///< a kFixed tensor (B-side cacheable)
+  bool materialized = false;  ///< iterated tensor or node product
+};
+
+/// Canonical key of the product L_read * R_read (reads already resolved
+/// to value keys).
+std::uint64_t product_key(std::uint64_t left, std::uint64_t right) {
+  std::uint64_t h = fnv1a64("bstc-expr-node-v1");
+  h = fnv1a64_u64(left, h);
+  h = fnv1a64_u64(right, h);
+  return h;
+}
+
+/// Value key of operand `w` read with its `row` slot mapped to symbol
+/// `row_sym` (its own orientation, or the transposed one).
+std::uint64_t key_as(const WorkOperand& w, const std::string& row_sym) {
+  return w.row_sym == row_sym ? w.key : w.key_t;
+}
+
+Shape shape_as(const WorkOperand& w, const std::string& row_sym) {
+  return w.row_sym == row_sym ? w.shape : transpose(w.shape);
+}
+
+struct Candidate {
+  std::size_t i = 0, j = 0;
+  std::string shared, ri, rj;  ///< contracted symbol; remaining (left,right)
+  double cost = 0.0;
+  int reuse_node = -1;  ///< existing node supplying this product
+  bool reuse_transposed = false;
+};
+
+/// The pair (i, j) shares exactly one symbol -> fill shared/ri/rj.
+bool pair_contractible(const WorkOperand& a, const WorkOperand& b,
+                       Candidate& out) {
+  int shared = 0;
+  for (const std::string* s : {&a.row_sym, &a.col_sym}) {
+    if (*s == b.row_sym || *s == b.col_sym) {
+      ++shared;
+      out.shared = *s;
+    }
+  }
+  if (shared != 1) return false;
+  out.ri = a.row_sym == out.shared ? a.col_sym : a.row_sym;
+  out.rj = b.row_sym == out.shared ? b.col_sym : b.row_sym;
+  return true;
+}
+
+}  // namespace
+
+LoweredProgram lower(const Program& program, const LowerOptions& opts) {
+  validate(program);
+  LoweredProgram lp;
+  lp.program = program;
+  lp.output = program.terms.front().output;
+  for (const Term& t : program.terms) {
+    BSTC_REQUIRE(t.output == lp.output,
+                 "expr: program '" + program.name +
+                     "' accumulates into more than one output ('" +
+                     lp.output + "' and '" + t.output + "')");
+  }
+  lp.r_shape = program.find_tensor(lp.output)->shape;
+
+  // CSE registry: value key -> (node id, read-transposed). Every
+  // intermediate registers both its stored product and the transpose, so
+  // a later term wanting either orientation reuses the same node.
+  std::unordered_map<std::uint64_t, std::pair<int, bool>> registry;
+
+  int next_intermediate = 0;
+  for (std::size_t ti = 0; ti < program.terms.size(); ++ti) {
+    const Term& term = program.terms[ti];
+    std::vector<WorkOperand> work;
+    for (const FactorRef& f : term.factors) {
+      const TensorDecl* decl = program.find_tensor(f.tensor);
+      WorkOperand w;
+      w.op = Operand{OperandKind::kTensor, f.tensor, -1, false};
+      w.row_sym = f.row_sym;
+      w.col_sym = f.col_sym;
+      w.shape = decl->shape;
+      w.key = fnv1a64_u64(0, fnv1a64("T:" + f.tensor));
+      w.key_t = fnv1a64_u64(1, fnv1a64("T:" + f.tensor));
+      w.fixed = decl->kind == TensorKind::kFixed;
+      w.materialized = decl->kind == TensorKind::kIterated;
+      work.push_back(std::move(w));
+    }
+
+    while (work.size() > 1) {
+      const bool final_product = work.size() == 2;
+      // Enumerate contractible pairs; reuse beats any fresh build, then
+      // lowest flop cost, then lowest (i, j) for determinism.
+      Candidate best;
+      bool have_best = false;
+      for (std::size_t i = 0; i < work.size(); ++i) {
+        for (std::size_t j = i + 1; j < work.size(); ++j) {
+          Candidate c;
+          c.i = i;
+          c.j = j;
+          if (!pair_contractible(work[i], work[j], c)) continue;
+          const std::uint64_t k =
+              product_key(key_as(work[i], c.ri), key_as(work[j], c.shared));
+          if (!final_product && opts.reuse_intermediates) {
+            const auto it = registry.find(k);
+            if (it != registry.end()) {
+              c.reuse_node = it->second.first;
+              c.reuse_transposed = it->second.second;
+              c.cost = 0.0;
+            }
+          }
+          if (c.reuse_node < 0) {
+            c.cost = contraction_stats(shape_as(work[i], c.ri),
+                                       shape_as(work[j], c.shared))
+                         .flops;
+          }
+          const bool better =
+              !have_best ||
+              (c.reuse_node >= 0) > (best.reuse_node >= 0) ||
+              ((c.reuse_node >= 0) == (best.reuse_node >= 0) &&
+               c.cost < best.cost);
+          if (better) {
+            best = c;
+            have_best = true;
+          }
+        }
+      }
+      BSTC_REQUIRE(have_best,
+                   "expr: term \"" + print_term(term) +
+                       "\" does not factor into a chain of binary "
+                       "contractions (no operand pair shares exactly one "
+                       "index)");
+
+      WorkOperand produced;
+      if (best.reuse_node >= 0) {
+        // Consumption is counted once, when the node that reads this
+        // product is emitted (the operand scan below) — not here.
+        LoweredNode& src = lp.nodes[static_cast<std::size_t>(best.reuse_node)];
+        produced.op =
+            Operand{OperandKind::kNode, {}, src.id, best.reuse_transposed};
+        produced.shape =
+            best.reuse_transposed ? transpose(src.c_shape) : src.c_shape;
+        produced.key = best.reuse_transposed ? src.key_t : src.key;
+        produced.key_t = best.reuse_transposed ? src.key : src.key_t;
+      } else {
+        const WorkOperand& L = work[best.i];
+        const WorkOperand& R = work[best.j];
+        const std::uint64_t k =
+            product_key(key_as(L, best.ri), key_as(R, best.shared));
+        const std::uint64_t k_t =
+            product_key(key_as(R, best.rj), key_as(L, best.shared));
+
+        // Two engine orientations: product as (ri, rj) with L on the A
+        // side, or as (rj, ri) with R on the A side. Score: fixed tensor
+        // on B (persistent-cacheable) >> materialized A >> untransposed
+        // A >> natural product orientation.
+        struct Option {
+          const WorkOperand* a;
+          const WorkOperand* b;
+          std::string a_row, b_row, prow, pcol;
+        };
+        const Option options[2] = {
+            {&L, &R, best.ri, best.shared, best.ri, best.rj},
+            {&R, &L, best.rj, best.shared, best.rj, best.ri},
+        };
+        int scores[2] = {0, 0};
+        for (int o = 0; o < 2; ++o) {
+          const Option& opt = options[o];
+          const bool a_trans =
+              opt.a->op.transposed ^ (opt.a->row_sym != opt.a_row);
+          if (opt.b->fixed) scores[o] += 8;
+          if (opt.a->materialized) scores[o] += 4;
+          if (!a_trans) scores[o] += 2;
+          const bool natural =
+              final_product
+                  ? (opt.prow == term.out_row && opt.pcol == term.out_col)
+                  : o == 0;
+          if (natural) scores[o] += 1;
+        }
+        const int o = scores[1] > scores[0] ? 1 : 0;
+        const Option& opt = options[o];
+
+        LoweredNode node;
+        node.id = static_cast<int>(lp.nodes.size());
+        node.a = opt.a->op;
+        node.a.transposed = opt.a->op.transposed ^ (opt.a->row_sym != opt.a_row);
+        node.b = opt.b->op;
+        node.b.transposed = opt.b->op.transposed ^ (opt.b->row_sym != opt.b_row);
+        node.a_shape = shape_as(*opt.a, opt.a_row);
+        node.b_shape = shape_as(*opt.b, opt.b_row);
+        node.b_fixed = opt.b->fixed;
+        node.key = o == 0 ? k : k_t;
+        node.key_t = o == 0 ? k_t : k;
+        const Shape closure = contract_shape(node.a_shape, node.b_shape);
+        if (final_product) {
+          node.term = static_cast<int>(ti);
+          node.accumulate_order = lp.accumulations++;
+          node.c_transpose =
+              !(opt.prow == term.out_row && opt.pcol == term.out_col);
+          node.c_shape = shape_intersection(
+              closure, node.c_transpose ? transpose(lp.r_shape) : lp.r_shape);
+          node.label = "t" + std::to_string(ti);
+        } else {
+          node.c_shape = closure;
+          node.label = "x" + std::to_string(next_intermediate++);
+          ++lp.intermediates;
+          if (opts.reuse_intermediates) {
+            registry.emplace(node.key, std::make_pair(node.id, false));
+            registry.emplace(node.key_t, std::make_pair(node.id, true));
+          }
+        }
+        for (const Operand* op_ref : {&node.a, &node.b}) {
+          if (op_ref->kind == OperandKind::kNode) {
+            ++lp.nodes[static_cast<std::size_t>(op_ref->node)].consumers;
+          }
+        }
+
+        produced.op = Operand{OperandKind::kNode, {}, node.id,
+                              /*transposed=*/o != 0};
+        // `produced` is always read as (ri, rj): option 1 stored the
+        // transpose.
+        produced.shape = o == 0 ? node.c_shape : transpose(node.c_shape);
+        produced.key = k;
+        produced.key_t = k_t;
+        lp.nodes.push_back(std::move(node));
+      }
+      produced.row_sym = best.ri;
+      produced.col_sym = best.rj;
+      produced.materialized = true;
+      produced.fixed = false;
+
+      // Replace the pair with its product (erase j first: j > i).
+      work.erase(work.begin() + static_cast<std::ptrdiff_t>(best.j));
+      work.erase(work.begin() + static_cast<std::ptrdiff_t>(best.i));
+      work.push_back(std::move(produced));
+    }
+  }
+
+  for (const LoweredNode& n : lp.nodes) {
+    if (n.accumulate_order < 0 && n.consumers > 1) {
+      lp.reuse_edges += n.consumers - 1;
+    }
+  }
+
+  // Order-seed-invariant structural identity: the terms, the output
+  // screen, and every node's canonical key in semantic order
+  // (accumulation chain order; intermediates by sorted key).
+  std::uint64_t h = fnv1a64("bstc-expr-structure-v1");
+  h = fnv1a64(program.name, h);
+  for (const Term& t : program.terms) h = fnv1a64(print_term(t), h);
+  h = fingerprint_shape(lp.r_shape, h);
+  std::vector<std::uint64_t> acc_keys(
+      static_cast<std::size_t>(lp.accumulations));
+  std::vector<std::uint64_t> mid_keys;
+  for (const LoweredNode& n : lp.nodes) {
+    if (n.accumulate_order >= 0) {
+      acc_keys[static_cast<std::size_t>(n.accumulate_order)] = n.key;
+    } else {
+      mid_keys.push_back(n.key);
+    }
+  }
+  std::sort(mid_keys.begin(), mid_keys.end());
+  for (const std::uint64_t k : acc_keys) h = fnv1a64_u64(k, h);
+  for (const std::uint64_t k : mid_keys) h = fnv1a64_u64(k, h);
+  lp.structure_fingerprint = h;
+
+  // Optional deterministic topological shuffle of the emission order:
+  // repeatedly emit a uniformly-chosen ready node. Ids are remapped to
+  // positions so nodes[i].id == i always holds.
+  if (opts.order_seed != 0) {
+    Rng rng(opts.order_seed);
+    const std::size_t n = lp.nodes.size();
+    std::vector<bool> placed(n, false);
+    std::vector<int> order;
+    order.reserve(n);
+    auto ready = [&](const LoweredNode& node) {
+      for (const Operand* op : {&node.a, &node.b}) {
+        if (op->kind == OperandKind::kNode &&
+            !placed[static_cast<std::size_t>(op->node)]) {
+          return false;
+        }
+      }
+      return true;
+    };
+    while (order.size() < n) {
+      std::vector<int> ready_ids;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!placed[i] && ready(lp.nodes[i])) {
+          ready_ids.push_back(static_cast<int>(i));
+        }
+      }
+      BSTC_CHECK(!ready_ids.empty());
+      const int pick = ready_ids[static_cast<std::size_t>(
+          rng() % ready_ids.size())];
+      placed[static_cast<std::size_t>(pick)] = true;
+      order.push_back(pick);
+    }
+    std::vector<int> new_id(n);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      new_id[static_cast<std::size_t>(order[pos])] = static_cast<int>(pos);
+    }
+    std::vector<LoweredNode> reordered;
+    reordered.reserve(n);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      LoweredNode node = std::move(lp.nodes[static_cast<std::size_t>(
+          order[pos])]);
+      node.id = static_cast<int>(pos);
+      for (Operand* op : {&node.a, &node.b}) {
+        if (op->kind == OperandKind::kNode) {
+          op->node = new_id[static_cast<std::size_t>(op->node)];
+        }
+      }
+      reordered.push_back(std::move(node));
+    }
+    lp.nodes = std::move(reordered);
+  }
+
+  return lp;
+}
+
+namespace {
+
+std::string operand_str(const LoweredProgram& lp, const Operand& op) {
+  std::string s = op.kind == OperandKind::kTensor
+                      ? op.tensor
+                      : lp.nodes[static_cast<std::size_t>(op.node)].label;
+  if (op.transposed) s += "'";
+  return s;
+}
+
+}  // namespace
+
+std::string print_lowered(const LoweredProgram& lp) {
+  std::ostringstream os;
+  os << "lowered program " << lp.program.name << ": " << lp.nodes.size()
+     << " nodes (" << lp.accumulations << " accumulations, "
+     << lp.intermediates << " intermediates, " << lp.reuse_edges
+     << " reuse edges), structure " << fingerprint_hex(lp.structure_fingerprint)
+     << "\n";
+  for (const LoweredNode& n : lp.nodes) {
+    os << "  [" << n.id << "] " << n.label << " = " << operand_str(lp, n.a)
+       << " * " << operand_str(lp, n.b);
+    if (n.b_fixed) os << "  (B fixed)";
+    os << "  " << n.c_shape.row_tiling().extent() << "x"
+       << n.c_shape.col_tiling().extent();
+    if (n.accumulate_order >= 0) {
+      os << "  -> " << lp.output << " [acc " << n.accumulate_order
+         << (n.c_transpose ? ", transposed" : "") << "]";
+    } else {
+      os << "  consumers " << n.consumers;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bstc::expr

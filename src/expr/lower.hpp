@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file lower.hpp
+/// Lowering: from a validated multi-term Program to a DAG of binary
+/// block-sparse contraction nodes the engine can execute.
+///
+/// Each term is *binarized* — factor pairs sharing exactly one index
+/// symbol are contracted in a flop-cost-chosen order (contraction_stats
+/// is the cost model) — and every binary product is assigned an engine
+/// orientation: which operand is the materialized A side, which is the
+/// generated B side, and which of the two needs to be read transposed so
+/// the contracted symbol lands on A's columns and B's rows. Orientation
+/// scoring prefers a kFixed tensor on the B side (that is what the
+/// service's persistent B caches and the shm tile store amortize), then
+/// an already-materialized A, then the fewest transposes.
+///
+/// Subproducts are named canonically and deduplicated *across terms*
+/// (CSE): two terms needing the same intermediate — in either orientation
+/// — share one DAG node, whose consumer count drives the executor's
+/// refcounted release (the intermediate is built once per iteration and
+/// freed after its last consumer, bounding peak memory). The cost model
+/// prices an already-available intermediate at zero, so binarization
+/// actively steers later terms onto earlier terms' intermediates.
+///
+/// Accumulation nodes (final products) are chained in term order: the
+/// executor adds them into the output strictly by `accumulate_order`,
+/// which makes the residual bitwise-independent of node emission order
+/// and scheduling — the property LowerOptions::order_seed exists to test.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expr/expr.hpp"
+#include "shape/shape.hpp"
+
+namespace bstc::expr {
+
+struct LowerOptions {
+  /// Deduplicate identical subproducts across terms (one build per
+  /// iteration, refcounted release). Off: every consumer recomputes its
+  /// own copy — the bench_expr ablation knob.
+  bool reuse_intermediates = true;
+  /// Deterministic shuffle of the DAG's node emission order. Any seed
+  /// must yield a bitwise-identical residual (the randomized lowering
+  /// property test sweeps this); 0 keeps the natural order.
+  std::uint64_t order_seed = 0;
+};
+
+/// What a node operand refers to.
+enum class OperandKind : std::uint8_t {
+  kTensor = 0,  ///< a declared tensor (by name)
+  kNode,        ///< an earlier node's product (an intermediate)
+};
+
+struct Operand {
+  OperandKind kind = OperandKind::kTensor;
+  std::string tensor;       ///< kTensor: declared tensor name
+  int node = -1;            ///< kNode: producing node id
+  bool transposed = false;  ///< read the referent as its transpose
+};
+
+/// One binary contraction node, fully oriented for the engine:
+/// product = A * B with A = `a` (materialized, maybe transposed) and
+/// B = `b` (generated/wrapped, maybe transposed).
+struct LoweredNode {
+  int id = 0;
+  std::string label;  ///< "t2" (term product) or "x0" (intermediate)
+  Operand a, b;
+  Shape a_shape;  ///< effective (post-transpose) A shape
+  Shape b_shape;  ///< effective (post-transpose) B shape
+  Shape c_shape;  ///< product closure; accumulation nodes: screened to R
+  /// Accumulation nodes only: the product was computed in (out_col,
+  /// out_row) orientation and must be transposed before accumulation.
+  bool c_transpose = false;
+  int accumulate_order = -1;  ///< >= 0: position in the accumulation chain
+  int term = -1;              ///< source term index (accumulation nodes)
+  int consumers = 0;          ///< kNode references to this node's product
+  bool b_fixed = false;       ///< B is a kFixed tensor (session-cacheable)
+  std::uint64_t key = 0;      ///< canonical value key of the product
+  std::uint64_t key_t = 0;    ///< canonical value key of its transpose
+};
+
+/// The lowered program: nodes in a topologically-valid emission order.
+struct LoweredProgram {
+  Program program;
+  std::vector<LoweredNode> nodes;  ///< nodes[i].id == i
+  std::string output;              ///< the single output tensor's name
+  Shape r_shape;                   ///< its declared (screened) shape
+  int accumulations = 0;           ///< number of accumulation nodes
+  int intermediates = 0;           ///< number of intermediate nodes
+  /// Count of kNode operand references beyond each intermediate's first
+  /// consumer — the cross-term sharing the reuse metrics witness.
+  int reuse_edges = 0;
+  /// Order-seed-invariant identity of the lowered structure (terms +
+  /// canonical node keys); the program fingerprint builds on this.
+  std::uint64_t structure_fingerprint = 0;
+};
+
+/// Validate + lower. Throws bstc::Error on an invalid program, a term
+/// that does not factor into a chain of binary contractions, or terms
+/// targeting more than one output tensor.
+LoweredProgram lower(const Program& program, const LowerOptions& opts = {});
+
+/// Human-readable DAG listing (node table with shapes and edges).
+std::string print_lowered(const LoweredProgram& lp);
+
+}  // namespace bstc::expr

@@ -1,0 +1,127 @@
+#include "expr/programs.hpp"
+
+#include <algorithm>
+
+#include "chem/abcd.hpp"
+#include "chem/molecule.hpp"
+#include "chem/orbitals.hpp"
+#include "shape/shape_algebra.hpp"
+#include "support/error.hpp"
+
+namespace bstc::expr {
+
+namespace {
+
+/// "abcd": the spec's synthetic single-term problem, verbatim. T is the
+/// iterated tensor with value seed 0 so that iteration `a_seed` rebuilds
+/// exactly build_serve_a's matrix (Rng(a_seed ^ 0) == Rng(a_seed)) — the
+/// bitwise bridge between program-run and kContract.
+NamedProgram build_abcd_program(const ServeProblemSpec& spec) {
+  const BuiltServeProblem built = build_serve_problem(spec);
+  NamedProgram np;
+  np.machine = built.machine;
+  np.engine = built.engine;
+  Program& p = np.program;
+  p.name = "abcd";
+  p.spaces = {{"ij", built.a_shape.row_tiling()},
+              {"cd", built.a_shape.col_tiling()},
+              {"ab", built.b_shape.col_tiling()}};
+  p.tensors = {
+      {"T", "ij", "cd", TensorKind::kIterated, built.a_shape, 0},
+      {"V", "cd", "ab", TensorKind::kFixed, built.b_shape,
+       spec.seed * 31 + 7},
+      {"R", "ij", "ab", TensorKind::kOutput, built.c_shape, 0},
+  };
+  p.terms = {parse_term("R[ij,ab] += T[ij,cd] * V[cd,ab]")};
+  return np;
+}
+
+/// Interval distance between two pair tiles on the chain coordinate.
+double pair_tile_distance(const PairTile& a, const PairTile& b) {
+  const double lo = std::max(a.lo, b.lo);
+  const double hi = std::min(a.hi, b.hi);
+  return std::max(0.0, lo - hi);
+}
+
+/// "ccsd-doubles": a CCSD-doubles-residual slice over the geometric
+/// sparsity of the chem generators. spec.m is the alkane carbon count;
+/// cluster counts scale with it at the paper's v1 granularity.
+NamedProgram build_ccsd_doubles_program(const ServeProblemSpec& spec) {
+  const int carbons =
+      std::clamp(static_cast<int>(spec.m), 2, 65);
+  AbcdConfig cfg;
+  cfg.seed = spec.seed;
+  cfg.ao_clusters = static_cast<std::size_t>(std::max(4, carbons));
+  cfg.occ_clusters =
+      static_cast<std::size_t>(std::max(2, 8 * carbons / 65));
+  const AbcdProblem problem =
+      build_abcd(OrbitalSystem::build(Molecule::alkane(carbons)), cfg);
+
+  // W: the hole-hole ladder coefficients over occupied-pair tiles,
+  // screened by the same interval-distance criterion the T shape uses.
+  Shape w(problem.pair_tiling, problem.pair_tiling);
+  for (std::size_t i = 0; i < problem.pair_tiles.size(); ++i) {
+    for (std::size_t j = 0; j < problem.pair_tiles.size(); ++j) {
+      if (pair_tile_distance(problem.pair_tiles[i], problem.pair_tiles[j]) <=
+          cfg.t_cutoff) {
+        w.set(i, j);
+      }
+    }
+  }
+
+  NamedProgram np;
+  np.machine = MachineModel::summit_gpus(spec.gpus);
+  // Chemistry cluster tiles are far larger than the synthetic spec
+  // default budget; floor the device memory so the block footprint always
+  // admits an A chunk. Deterministic from the spec, so both ends of a
+  // serve connection derive the same machine.
+  np.machine.node.gpu.memory_bytes = std::max(spec.gpu_mem, 2.0e7);
+  np.engine.plan.p = spec.p;
+  Program& p = np.program;
+  p.name = "ccsd-doubles";
+  p.spaces = {{"opair", problem.pair_tiling}, {"ao2", problem.ao2_tiling}};
+  p.tensors = {
+      {"T", "opair", "ao2", TensorKind::kIterated, problem.t, 0},
+      {"V", "ao2", "ao2", TensorKind::kFixed, problem.v, spec.seed * 31 + 7},
+      {"W", "opair", "opair", TensorKind::kFixed, w, spec.seed * 31 + 11},
+      {"U", "ao2", "opair", TensorKind::kFixed, transpose(problem.t),
+       spec.seed * 31 + 13},
+      {"S", "opair", "ao2", TensorKind::kFixed, problem.t,
+       spec.seed * 31 + 17},
+      {"R", "opair", "ao2", TensorKind::kOutput, problem.r, 0},
+  };
+  p.terms = {
+      // The ABCD particle-particle ladder.
+      parse_term("R[ij,ab] += T[ij,cd] * V[cd,ab]"),
+      // Hole-hole ladder; best orientation puts W on the B side, which
+      // computes R^T and exercises the transpose-accumulate path.
+      parse_term("R[ij,ab] += W[ij,kl] * T[kl,ab]"),
+      // Two chained ring-like terms sharing the intermediate
+      // X[ij,kl] = T[ij,cd] * U[cd,kl] across terms (built once,
+      // consumed twice, released after the last consumer).
+      parse_term("R[ij,ab] += T[ij,cd] * U[cd,kl] * T[kl,ab]"),
+      parse_term("R[ij,ab] += T[ij,cd] * U[cd,kl] * S[kl,ab]"),
+  };
+  return np;
+}
+
+}  // namespace
+
+std::vector<std::string> program_names() {
+  return {"abcd", "ccsd-doubles"};
+}
+
+bool is_program_name(const std::string& name) {
+  const std::vector<std::string> names = program_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+NamedProgram build_named_program(const std::string& name,
+                                 const ServeProblemSpec& spec) {
+  if (name == "abcd") return build_abcd_program(spec);
+  if (name == "ccsd-doubles") return build_ccsd_doubles_program(spec);
+  throw Error("expr: unknown program '" + name +
+              "' (shipped programs: abcd, ccsd-doubles)");
+}
+
+}  // namespace bstc::expr

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file programs.hpp
+/// The named-program registry: contraction programs shipped with the
+/// serving layer, expanded deterministically from a ServeProblemSpec the
+/// same way single-contraction requests are (same spec => same bits on
+/// every process — which is what lets the distributed front end route a
+/// program by spec and verify results bitwise).
+///
+/// Two programs ship today:
+///
+///  * "abcd" — the paper's single ABCD term R += T*V over the spec's
+///    synthetic shapes (exactly build_serve_problem's problem, so a
+///    program-run of "abcd" is bitwise-equal to a kContract request with
+///    the same spec and a_seed: the equivalence test of the expr layer);
+///
+///  * "ccsd-doubles" — a CCSD-doubles-residual slice over the chem
+///    generators' geometric sparsity (spec.m = carbon count of the
+///    alkane chain): the ABCD ladder, the hole-hole ladder (whose best
+///    orientation exercises the transpose-accumulate path), and two
+///    chained three-factor terms sharing one intermediate across terms —
+///    the smallest program with real cross-term reuse.
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.hpp"
+#include "service/serve_api.hpp"
+
+namespace bstc::expr {
+
+/// A named program expanded from a spec, with the machine/engine the
+/// spec's knob fields (gpus, gpu_mem, p) select.
+struct NamedProgram {
+  Program program;
+  MachineModel machine;
+  EngineConfig engine;
+};
+
+/// Names of the shipped programs ("abcd", "ccsd-doubles").
+std::vector<std::string> program_names();
+
+bool is_program_name(const std::string& name);
+
+/// Expand a named program from a spec. Throws bstc::Error on an unknown
+/// name. Deterministic: equal (name, spec) yield byte-identical programs
+/// in every process.
+NamedProgram build_named_program(const std::string& name,
+                                 const ServeProblemSpec& spec);
+
+}  // namespace bstc::expr

@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "expr/lower.hpp"
+#include "expr/programs.hpp"
 #include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "support/timer.hpp"
@@ -33,6 +35,7 @@ RequestMsg to_request_msg(const ServeRequest& request,
   msg.p = static_cast<std::uint32_t>(request.spec.p);
   msg.a_seed = request.a_seed;
   msg.want_c = request.want_c;
+  msg.program = request.program;
   return msg;
 }
 
@@ -51,6 +54,7 @@ ServeRequest from_request_msg(const RequestMsg& msg) {
   request.spec.p = static_cast<int>(msg.p);
   request.a_seed = msg.a_seed;
   request.want_c = msg.want_c;
+  request.program = msg.program;
   return request;
 }
 
@@ -72,6 +76,9 @@ ResponseMsg to_response_msg(std::uint64_t request_id, ServiceStatus status,
   msg.c_norm = outcome.c_norm;
   msg.text = outcome.text;
   msg.error = outcome.error;
+  msg.program_nodes = outcome.program_nodes;
+  msg.program_intermediates = outcome.program_intermediates;
+  msg.program_reuse = outcome.program_reuse;
   msg.has_c = outcome.has_c;
   if (outcome.has_c) {
     const Shape& s = outcome.c.shape();
@@ -107,6 +114,10 @@ ServiceStatus response_to_outcome(const ResponseMsg& msg,
   outcome.c_norm = msg.c_norm;
   outcome.text = msg.text;
   outcome.error = msg.error;
+  outcome.program_nodes = static_cast<std::size_t>(msg.program_nodes);
+  outcome.program_intermediates =
+      static_cast<std::size_t>(msg.program_intermediates);
+  outcome.program_reuse = static_cast<std::size_t>(msg.program_reuse);
   if (msg.has_c && c_shape != nullptr) {
     BlockSparseMatrix c(*c_shape);
     for (const auto& [key, tile] : msg.c_tiles) {
@@ -145,6 +156,11 @@ std::vector<std::uint64_t> pack_rank_counters(const ServiceMetrics& m) {
   c[kCtrShmSwaps] = m.shm_swaps;
   c[kCtrShmResidentBytes] = m.shm_resident_bytes;
   c[kCtrShmGeneration] = m.shm_generation;
+  c[kCtrExprPrograms] = m.expr_programs;
+  c[kCtrExprNodes] = m.expr_nodes;
+  c[kCtrExprIntermediatesBuilt] = m.expr_intermediates_built;
+  c[kCtrExprIntermediateReuse] = m.expr_intermediate_reuse;
+  c[kCtrExprIntermediatesReleased] = m.expr_intermediates_released;
   return c;
 }
 
@@ -173,6 +189,12 @@ ServeRankMetrics unpack_rank_metrics(const ServiceCtlMsg& msg) {
   m.shm_swaps = msg.counters[kCtrShmSwaps];
   m.shm_resident_bytes = msg.counters[kCtrShmResidentBytes];
   m.shm_generation = msg.counters[kCtrShmGeneration];
+  m.expr_programs = msg.counters[kCtrExprPrograms];
+  m.expr_nodes = msg.counters[kCtrExprNodes];
+  m.expr_intermediates_built = msg.counters[kCtrExprIntermediatesBuilt];
+  m.expr_intermediate_reuse = msg.counters[kCtrExprIntermediateReuse];
+  m.expr_intermediates_released =
+      msg.counters[kCtrExprIntermediatesReleased];
   m.prometheus = msg.text;
   return m;
 }
@@ -500,8 +522,13 @@ int ServeRouter::pick_rank_locked(std::uint64_t routing_key) {
 }
 
 ServeRouter::Ticket ServeRouter::begin(const RequestMsg& msg) {
+  // Program requests fold the program name into the key so a program's
+  // whole iteration stream sticks to one rank (its runner and per-node B
+  // caches live there), without colliding with plain sessions on the
+  // same spec.
+  const ServeRequest req = from_request_msg(msg);
   const std::uint64_t routing_key =
-      serve_routing_key(from_request_msg(msg).spec);
+      serve_program_routing_key(req.spec, req.program);
   Ticket ticket;
   Worker* worker = nullptr;
   {
@@ -734,6 +761,23 @@ void ServeRouter::shutdown() {
 // RemoteService.
 
 const Shape* RemoteService::c_shape_for(const ServeRequest& request) {
+  if (!request.program.empty()) {
+    // A program's output shape is the lowered program's declared R shape
+    // (not the spec's c_shape — e.g. ccsd-doubles contracts into a
+    // pair-space residual), derived from the client's own deterministic
+    // program expansion and cached under the program routing key.
+    const std::uint64_t key =
+        serve_program_routing_key(request.spec, request.program);
+    std::lock_guard lock(mutex_);
+    const auto it = program_r_shapes_.find(key);
+    if (it != program_r_shapes_.end()) return it->second.get();
+    const expr::NamedProgram np =
+        expr::build_named_program(request.program, request.spec);
+    auto shape =
+        std::make_shared<const Shape>(expr::lower(np.program).r_shape);
+    return program_r_shapes_.emplace(key, std::move(shape))
+        .first->second.get();
+  }
   const std::uint64_t key = serve_routing_key(request.spec);
   std::lock_guard lock(mutex_);
   const auto it = built_.find(key);
@@ -754,7 +798,8 @@ ServiceStatus RemoteService::roundtrip(ServeRequestKind kind,
       status != ServiceStatus::kOk) {
     // Rejected at admission: nothing came back over the wire.
     outcome = ServeOutcome{};
-    outcome.routing_key = serve_routing_key(request.spec);
+    outcome.routing_key =
+        serve_program_routing_key(request.spec, request.program);
     outcome.error = service_status_name(status);
     return status;
   }
@@ -793,6 +838,11 @@ ServiceStatus RemoteService::SessionClose(const ServeRequest& request,
 ServiceStatus RemoteService::PlanExplain(const ServeRequest& request,
                                          ServeOutcome& outcome) {
   return roundtrip(ServeRequestKind::kPlanExplain, request, outcome);
+}
+
+ServiceStatus RemoteService::ProgramRun(const ServeRequest& request,
+                                        ServeOutcome& outcome) {
+  return roundtrip(ServeRequestKind::kProgramRun, request, outcome);
 }
 
 }  // namespace bstc::net

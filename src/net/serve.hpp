@@ -91,6 +91,12 @@ enum ServeRankCounter : std::size_t {
   kCtrShmSwaps,
   kCtrShmResidentBytes,
   kCtrShmGeneration,
+  // Contraction-program layer (appended, same compatibility rule).
+  kCtrExprPrograms,
+  kCtrExprNodes,
+  kCtrExprIntermediatesBuilt,
+  kCtrExprIntermediateReuse,
+  kCtrExprIntermediatesReleased,
   kServeRankCounterCount,
 };
 
@@ -117,6 +123,11 @@ struct ServeRankMetrics {
   std::uint64_t shm_swaps = 0;
   std::uint64_t shm_resident_bytes = 0;
   std::uint64_t shm_generation = 0;
+  std::uint64_t expr_programs = 0;  ///< program iterations this rank ran
+  std::uint64_t expr_nodes = 0;
+  std::uint64_t expr_intermediates_built = 0;
+  std::uint64_t expr_intermediate_reuse = 0;
+  std::uint64_t expr_intermediates_released = 0;
   std::string prometheus;  ///< rank-labeled exposition text
 };
 
@@ -267,6 +278,8 @@ class RemoteService final : public ServeInterface {
                              ServeOutcome& outcome) override;
   ServiceStatus PlanExplain(const ServeRequest& request,
                             ServeOutcome& outcome) override;
+  ServiceStatus ProgramRun(const ServeRequest& request,
+                           ServeOutcome& outcome) override;
 
   ServeRouter& router() { return router_; }
 
@@ -274,12 +287,16 @@ class RemoteService final : public ServeInterface {
   ServiceStatus roundtrip(ServeRequestKind kind, const ServeRequest& request,
                           ServeOutcome& outcome);
   /// The client-side expansion of a spec (cached; only c_shape is used).
+  /// For a program request this is the program's declared output shape,
+  /// derived from the client's own deterministic program expansion.
   const Shape* c_shape_for(const ServeRequest& request);
 
   ServeRouter& router_;
   std::mutex mutex_;
   std::unordered_map<std::uint64_t, std::shared_ptr<const BuiltServeProblem>>
       built_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const Shape>>
+      program_r_shapes_;  ///< program routing key -> output shape
 };
 
 }  // namespace bstc::net

@@ -541,6 +541,7 @@ Frame encode_request(const RequestMsg& msg) {
   w.u32(msg.p);
   w.u64(msg.a_seed);
   w.u8(msg.want_c ? 1 : 0);
+  w.str(msg.program);
   return Frame{FrameType::kRequest, w.take()};
 }
 
@@ -551,7 +552,7 @@ RequestMsg decode_request(const Frame& frame) {
   RequestMsg msg;
   msg.request_id = r.u64();
   msg.kind = r.u8();
-  BSTC_REQUIRE(msg.kind >= 1 && msg.kind <= 4,
+  BSTC_REQUIRE(msg.kind >= 1 && msg.kind <= 5,
                "wire: unknown serving request kind");
   msg.m = static_cast<std::int64_t>(r.u64());
   msg.k = static_cast<std::int64_t>(r.u64());
@@ -565,6 +566,7 @@ RequestMsg decode_request(const Frame& frame) {
   msg.p = r.u32();
   msg.a_seed = r.u64();
   msg.want_c = r.u8() != 0;
+  msg.program = r.str();
   r.finish();
   return msg;
 }
@@ -586,6 +588,9 @@ Frame encode_response(const ResponseMsg& msg) {
   w.f64(msg.c_norm);
   w.str(msg.text);
   w.str(msg.error);
+  w.u64(msg.program_nodes);
+  w.u64(msg.program_intermediates);
+  w.u64(msg.program_reuse);
   w.u8(msg.has_c ? 1 : 0);
   if (msg.has_c) {
     w.u32(static_cast<std::uint32_t>(msg.c_tiles.size()));
@@ -619,6 +624,9 @@ ResponseMsg decode_response(const Frame& frame) {
   msg.c_norm = r.f64();
   msg.text = r.str();
   msg.error = r.str();
+  msg.program_nodes = r.u64();
+  msg.program_intermediates = r.u64();
+  msg.program_reuse = r.u64();
   msg.has_c = r.u8() != 0;
   if (msg.has_c) {
     const std::uint32_t count = r.u32();

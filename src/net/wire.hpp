@@ -46,7 +46,9 @@ inline constexpr std::uint32_t kWireMagic = 0x42535443u;  // "BSTC"
 /// v2: kBcast/kBcastFwd frames; hello carries a node id; welcome carries
 /// the node map + broadcast policy; summary/verdict carry the
 /// intra-/inter-node A-volume split.
-inline constexpr std::uint8_t kWireVersion = 2;
+/// v3: requests carry a program name (kProgramRun); responses carry the
+/// program DAG accounting triple (nodes, intermediates, reuse).
+inline constexpr std::uint8_t kWireVersion = 3;
 inline constexpr std::size_t kWireHeaderBytes = 12;
 inline constexpr std::size_t kWireChecksumBytes = 8;
 /// Upper bound on one payload: a guard against a corrupted length field
@@ -319,6 +321,7 @@ struct RequestMsg {
   std::uint32_t p = 1;
   std::uint64_t a_seed = 0;
   bool want_c = true;  ///< ship result tiles back (checksum always comes)
+  std::string program;  ///< kProgramRun: named program; else empty
 };
 
 Frame encode_request(const RequestMsg& msg);
@@ -343,6 +346,9 @@ struct ResponseMsg {
   double c_norm = 0.0;
   std::string text;   ///< plan-explain narrative
   std::string error;  ///< failure detail
+  std::uint64_t program_nodes = 0;          ///< program-run DAG nodes
+  std::uint64_t program_intermediates = 0;  ///< shared intermediates built
+  std::uint64_t program_reuse = 0;          ///< reuse edges this iteration
   bool has_c = false;
   std::vector<std::pair<std::uint64_t, Tile>> c_tiles;
 };

@@ -16,6 +16,7 @@ const char* category_name(Category cat) {
     case Category::kPhase: return "phase";
     case Category::kServiceNet: return "service.net";
     case Category::kShm: return "shm";
+    case Category::kExprTerm: return "expr.term";
   }
   return "unknown";
 }

@@ -46,6 +46,7 @@ enum class Category : std::uint8_t {
   kPhase,           ///< a coarse worker phase (rendezvous, mesh, ...)
   kServiceNet,      ///< one distributed-serving request over the wire
   kShm,             ///< shared-memory store builds, attaches, swaps
+  kExprTerm,        ///< one contraction-program DAG node (or whole program)
 };
 
 const char* category_name(Category cat);

@@ -453,6 +453,14 @@ ServiceMetrics ContractionService::metrics() const {
     out.shm_store_builds = counter("bstc_shm_store_builds_total");
     out.shm_attaches = counter("bstc_shm_attaches_total");
     out.shm_swaps = counter("bstc_shm_swaps_total");
+    out.expr_programs = counter("bstc_expr_programs_total");
+    out.expr_nodes = counter("bstc_expr_nodes_total");
+    out.expr_intermediates_built =
+        counter("bstc_expr_intermediates_built_total");
+    out.expr_intermediate_reuse =
+        counter("bstc_expr_intermediate_reuse_total");
+    out.expr_intermediates_released =
+        counter("bstc_expr_intermediates_released_total");
     const auto gauges = reg.gauges();
     const auto gauge = [&gauges](const char* name) -> std::size_t {
       const auto it = gauges.find(name);

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "expr/programs.hpp"
+
 namespace bstc {
 
 LocalService::LocalService(ServiceConfig cfg, int rank,
@@ -164,8 +166,27 @@ ServiceStatus LocalService::SessionIterate(const ServeRequest& request,
 ServiceStatus LocalService::SessionClose(const ServeRequest& request,
                                          ServeOutcome& outcome) {
   outcome = ServeOutcome{};
-  outcome.routing_key = serve_routing_key(request.spec);
   outcome.served_by = rank_;
+  if (!request.program.empty()) {
+    // Close a program session: dropping the runner closes its node
+    // sessions and releases the materialized kFixed tensors.
+    outcome.routing_key =
+        serve_program_routing_key(request.spec, request.program);
+    std::shared_ptr<expr::ProgramRunner> runner;
+    {
+      std::lock_guard lock(mutex_);
+      const auto it = programs_.find(outcome.routing_key);
+      if (it == programs_.end()) {
+        outcome.error = "no open program session for this spec";
+        return ServiceStatus::kSessionNotFound;
+      }
+      runner = std::move(it->second);
+      programs_.erase(it);
+    }
+    runner.reset();
+    return ServiceStatus::kOk;
+  }
+  outcome.routing_key = serve_routing_key(request.spec);
   std::uint64_t session_id = 0;
   {
     std::lock_guard lock(mutex_);
@@ -178,6 +199,65 @@ ServiceStatus LocalService::SessionClose(const ServeRequest& request,
     sessions_.erase(it);
   }
   return service_.close_session(session_id);
+}
+
+ServiceStatus LocalService::ProgramRun(const ServeRequest& request,
+                                       ServeOutcome& outcome) {
+  outcome = ServeOutcome{};
+  outcome.served_by = rank_;
+  outcome.routing_key =
+      serve_program_routing_key(request.spec, request.program);
+
+  std::shared_ptr<expr::ProgramRunner> runner;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = programs_.find(outcome.routing_key);
+    if (it != programs_.end()) runner = it->second;
+  }
+  if (runner == nullptr) {
+    try {
+      expr::NamedProgram np =
+          expr::build_named_program(request.program, request.spec);
+      expr::ProgramInstance inst = expr::bind_program(
+          expr::lower(np.program), np.machine, np.engine);
+      runner = std::make_shared<expr::ProgramRunner>(service_,
+                                                     std::move(inst));
+    } catch (const std::exception& e) {
+      outcome.error = e.what();
+      return ServiceStatus::kInvalidRequest;
+    }
+    std::lock_guard lock(mutex_);
+    // A concurrent first run may have raced us; keep the registered
+    // runner (its node sessions are already warm) and drop ours.
+    const auto [it, inserted] =
+        programs_.emplace(outcome.routing_key, std::move(runner));
+    runner = it->second;
+    (void)inserted;
+  }
+  outcome.fingerprint = runner->instance().fingerprint;
+
+  expr::ProgramResult presult;
+  const ServiceStatus status =
+      runner->run(effective_a_seed(request), presult);
+  if (status != ServiceStatus::kOk) {
+    outcome.error = presult.error;
+    return status;
+  }
+  outcome.plan_cache_hit =
+      presult.plan_cache_hits == presult.nodes.size();
+  outcome.execute_s = presult.wall_seconds;
+  outcome.tasks_executed = presult.tasks_executed;
+  outcome.b_max_generations = presult.b_max_generations;
+  outcome.program_nodes = presult.nodes.size();
+  outcome.program_intermediates = presult.intermediates_built;
+  outcome.program_reuse = presult.intermediate_reuse;
+  outcome.c_checksum = bsm_content_checksum(presult.r);
+  outcome.c_norm = presult.r.norm();
+  if (request.want_c) {
+    outcome.c = std::move(presult.r);
+    outcome.has_c = true;
+  }
+  return ServiceStatus::kOk;
 }
 
 ServiceStatus LocalService::PlanExplain(const ServeRequest& request,

@@ -16,6 +16,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "expr/executor.hpp"
 #include "service/contraction_service.hpp"
 #include "service/serve_api.hpp"
 #include "shm/watchdog.hpp"
@@ -41,6 +42,8 @@ class LocalService final : public ServeInterface {
                              ServeOutcome& outcome) override;
   ServiceStatus PlanExplain(const ServeRequest& request,
                             ServeOutcome& outcome) override;
+  ServiceStatus ProgramRun(const ServeRequest& request,
+                           ServeOutcome& outcome) override;
 
   ServiceMetrics metrics() const { return service_.metrics(); }
   ContractionService& service() { return service_; }
@@ -73,6 +76,12 @@ class LocalService final : public ServeInterface {
       built_;  ///< routing key -> cached expansion
   std::unordered_map<std::uint64_t, std::uint64_t>
       sessions_;  ///< routing key -> open session id
+  /// Program routing key -> live program session (the runner keeps its
+  /// per-node service sessions and materialized kFixed tensors across
+  /// iterations). Guarded by mutex_ for lookup/insert; runs themselves
+  /// serialize inside the runner.
+  std::unordered_map<std::uint64_t, std::shared_ptr<expr::ProgramRunner>>
+      programs_;
 };
 
 }  // namespace bstc

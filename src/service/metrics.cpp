@@ -43,6 +43,11 @@ TextTable metrics_table(const ServiceMetrics& m) {
   count("shm swaps", m.shm_swaps);
   count("shm resident bytes", m.shm_resident_bytes);
   count("shm generation", m.shm_generation);
+  count("expr programs", m.expr_programs);
+  count("expr nodes", m.expr_nodes);
+  count("expr intermediates built", m.expr_intermediates_built);
+  count("expr intermediate reuse", m.expr_intermediate_reuse);
+  count("expr intermediates released", m.expr_intermediates_released);
   duration("mean queue wait", m.mean_queue_wait_s());
   duration("max queue wait", m.max_queue_wait_s);
   duration("total inspect", m.total_inspect_s);
@@ -99,6 +104,16 @@ std::string metrics_prometheus(const ServiceMetrics& m, int rank) {
     line("bstc_shm_resident_bytes",
          static_cast<double>(m.shm_resident_bytes));
     line("bstc_shm_generation", static_cast<double>(m.shm_generation));
+    // Contraction-program layer, per rank (unlabeled output carries
+    // these via the obs registry text below, like the shm block).
+    line("bstc_expr_programs_total", static_cast<double>(m.expr_programs));
+    line("bstc_expr_nodes_total", static_cast<double>(m.expr_nodes));
+    line("bstc_expr_intermediates_built_total",
+         static_cast<double>(m.expr_intermediates_built));
+    line("bstc_expr_intermediate_reuse_total",
+         static_cast<double>(m.expr_intermediate_reuse));
+    line("bstc_expr_intermediates_released_total",
+         static_cast<double>(m.expr_intermediates_released));
   }
   line("bstc_service_queue_wait_seconds_total", m.total_queue_wait_s);
   line("bstc_service_queue_wait_seconds_max", m.max_queue_wait_s);

@@ -45,6 +45,15 @@ struct ServiceMetrics {
   std::size_t shm_resident_bytes = 0; ///< shm bytes currently mapped
   std::size_t shm_generation = 0;     ///< store generation being served
 
+  // Contraction-program (expr) layer, mirrored from the obs registry at
+  // snapshot time — what the distributed gather uses to witness one
+  // intermediate build per iteration and the reuse edges actually taken.
+  std::size_t expr_programs = 0;              ///< program iterations run
+  std::size_t expr_nodes = 0;                 ///< DAG nodes executed
+  std::size_t expr_intermediates_built = 0;   ///< shared intermediates built
+  std::size_t expr_intermediate_reuse = 0;    ///< consumer hits beyond builds
+  std::size_t expr_intermediates_released = 0;///< refcount releases
+
   // Timing aggregates over completed work (seconds).
   double total_queue_wait_s = 0.0;
   double max_queue_wait_s = 0.0;

@@ -15,6 +15,7 @@ const char* serve_request_kind_name(ServeRequestKind kind) {
     case ServeRequestKind::kSessionIterate: return "session-iterate";
     case ServeRequestKind::kSessionClose: return "session-close";
     case ServeRequestKind::kPlanExplain: return "plan-explain";
+    case ServeRequestKind::kProgramRun: return "program-run";
   }
   return "unknown";
 }
@@ -31,6 +32,72 @@ std::uint64_t serve_routing_key(const ServeProblemSpec& spec) {
   h = fnv1a64_u64(static_cast<std::uint64_t>(spec.gpus), h);
   h = fnv1a64_u64(std::bit_cast<std::uint64_t>(spec.gpu_mem), h);
   h = fnv1a64_u64(static_cast<std::uint64_t>(spec.p), h);
+  return h;
+}
+
+std::uint64_t serve_program_routing_key(const ServeProblemSpec& spec,
+                                        const std::string& program) {
+  std::uint64_t h = serve_routing_key(spec);
+  if (program.empty()) return h;
+  h = fnv1a64("bstc-serve-program-v1", h);
+  return fnv1a64(program, h);
+}
+
+std::uint64_t audit_serve_spec_determinism(const ServeProblemSpec& spec) {
+  const BuiltServeProblem one = build_serve_problem(spec);
+  const BuiltServeProblem two = build_serve_problem(spec);
+  BSTC_REQUIRE(one.a_shape == two.a_shape && one.b_shape == two.b_shape &&
+                   one.c_shape == two.c_shape,
+               "serve audit: spec expansion produced different shapes on "
+               "re-expansion");
+  BSTC_REQUIRE(one.fingerprint == two.fingerprint,
+               "serve audit: engine fingerprint unstable across expansion");
+  BSTC_REQUIRE(serve_routing_key(spec) == serve_routing_key(spec) &&
+                   serve_store_fingerprint(spec) ==
+                       serve_store_fingerprint(spec),
+               "serve audit: FNV routing keys unstable across recomputation");
+
+  // Fold every checked identity into one regression witness; tile bytes
+  // go in raw so any value-level drift moves the checksum.
+  std::uint64_t h = fnv1a64("bstc-serve-audit-v1");
+  h = fnv1a64_u64(serve_routing_key(spec), h);
+  h = fnv1a64_u64(serve_store_fingerprint(spec), h);
+  h = fnv1a64_u64(one.fingerprint, h);
+  h = fingerprint_shape(one.a_shape, h);
+  h = fingerprint_shape(one.b_shape, h);
+  h = fingerprint_shape(one.c_shape, h);
+
+  // Sample generated B tiles from both expansions and require bitwise
+  // equality (the shared-store attach path depends on this).
+  const Shape& bs = one.b_shape;
+  std::size_t sampled = 0;
+  for (std::size_t r = 0; r < bs.tile_rows() && sampled < 8; ++r) {
+    for (std::size_t c = 0; c < bs.tile_cols() && sampled < 8; ++c) {
+      if (!bs.nonzero(r, c)) continue;
+      const Tile t1 = one.b_gen(r, c);
+      const Tile t2 = two.b_gen(r, c);
+      BSTC_REQUIRE(t1.rows() == t2.rows() && t1.cols() == t2.cols() &&
+                       std::string_view(
+                           reinterpret_cast<const char*>(t1.data()),
+                           t1.bytes()) ==
+                           std::string_view(
+                               reinterpret_cast<const char*>(t2.data()),
+                               t2.bytes()),
+               "serve audit: generated B tiles differ across expansion");
+      h = fnv1a64(std::string_view(reinterpret_cast<const char*>(t1.data()),
+                                   t1.bytes()),
+                  h);
+      ++sampled;
+    }
+  }
+
+  // The per-iteration A build must be byte-stable too.
+  const std::uint64_t a_seed = spec.seed + 1;
+  const std::uint64_t a1 = bsm_content_checksum(build_serve_a(one, a_seed));
+  const std::uint64_t a2 = bsm_content_checksum(build_serve_a(two, a_seed));
+  BSTC_REQUIRE(a1 == a2,
+               "serve audit: A matrices differ across expansion");
+  h = fnv1a64_u64(a1, h);
   return h;
 }
 
@@ -110,6 +177,8 @@ ServiceStatus serve_dispatch(ServeInterface& service,
       return service.SessionClose(request, outcome);
     case ServeRequestKind::kPlanExplain:
       return service.PlanExplain(request, outcome);
+    case ServeRequestKind::kProgramRun:
+      return service.ProgramRun(request, outcome);
   }
   outcome.error = "unknown request kind";
   return ServiceStatus::kInvalidRequest;

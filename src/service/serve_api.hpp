@@ -34,8 +34,9 @@ namespace bstc {
 enum class ServeRequestKind : std::uint8_t {
   kContract = 1,        ///< one-shot contraction C = A*B
   kSessionIterate = 2,  ///< CCSD-style iteration with persistent B cache
-  kSessionClose = 3,    ///< release the spec's session state
+  kSessionClose = 3,    ///< release the spec's session (or program) state
   kPlanExplain = 4,     ///< plan narrative (metadata; no execution)
+  kProgramRun = 5,      ///< one iteration of a named contraction program
 };
 
 const char* serve_request_kind_name(ServeRequestKind kind);
@@ -64,6 +65,24 @@ struct ServeProblemSpec {
 /// fingerprint (shapes + machine + knobs) is computed where the problem
 /// is built and echoed back for cross-checking.
 std::uint64_t serve_routing_key(const ServeProblemSpec& spec);
+
+/// Routing identity of a program request: the spec key folded with the
+/// program name. Empty name = the plain spec key, so non-program requests
+/// are unaffected. A program session (its runner, node sessions and
+/// persistent B caches) lives on whichever worker owns this key.
+std::uint64_t serve_program_routing_key(const ServeProblemSpec& spec,
+                                        const std::string& program);
+
+/// Determinism audit of the spec-expansion path (the property the whole
+/// serving layer rests on: same spec => same bits in every process).
+/// Expands the spec twice from scratch and requires byte-identical
+/// shapes, engine fingerprints, sampled B tiles and A matrices, plus
+/// stable FNV routing keys across recomputation. Returns a composite
+/// audit checksum over everything checked — a regression witness: it
+/// changes iff the expansion's bits change. Throws bstc::Error on any
+/// instability (which would silently break cache-affinity routing and
+/// bitwise result verification).
+std::uint64_t audit_serve_spec_determinism(const ServeProblemSpec& spec);
 
 /// Content identity of the spec's generated-B tile set — what a
 /// shared-memory tile store is sealed with and what readers verify on
@@ -101,6 +120,11 @@ struct ServeRequest {
   /// Ship the result tiles back. Disable for throughput drivers that
   /// only need the checksum witness (the worker always computes it).
   bool want_c = true;
+  /// kProgramRun: the named contraction program to iterate ("abcd",
+  /// "ccsd-doubles"; see expr/programs.hpp), expanded deterministically
+  /// from `spec` on the serving side. kSessionClose with a non-empty
+  /// program name closes that program's session state instead.
+  std::string program;
 };
 
 /// Everything one request produced, local or remote.
@@ -120,6 +144,10 @@ struct ServeOutcome {
   double c_norm = 0.0;
   std::string text;   ///< plan-explain narrative
   std::string error;  ///< failure detail for non-kOk statuses
+  // kProgramRun only: DAG accounting of the iteration.
+  std::size_t program_nodes = 0;          ///< executed DAG nodes
+  std::size_t program_intermediates = 0;  ///< shared intermediates built
+  std::size_t program_reuse = 0;          ///< consumer hits beyond builds
 };
 
 /// The request boundary (OSRM EngineInterface idiom): one
@@ -137,6 +165,8 @@ class ServeInterface {
                                      ServeOutcome& outcome) = 0;
   virtual ServiceStatus PlanExplain(const ServeRequest& request,
                                     ServeOutcome& outcome) = 0;
+  virtual ServiceStatus ProgramRun(const ServeRequest& request,
+                                   ServeOutcome& outcome) = 0;
 };
 
 /// Dispatch a request to the matching entry point by kind.

@@ -1,0 +1,331 @@
+/// Front half of the expr subsystem: term parsing/printing round-trips,
+/// the validation rejection battery, and lowering structure — cross-term
+/// CSE, reuse accounting, orientation, and order-seed invariance of the
+/// structure fingerprint.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expr/expr.hpp"
+#include "expr/lower.hpp"
+#include "expr/programs.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace bstc::expr {
+namespace {
+
+/// Two three-factor terms sharing the subproduct X[i,k] = T[i,c]*U[c,k]
+/// — the smallest program with genuine cross-term intermediate reuse.
+Program shared_program() {
+  Program p;
+  p.name = "shared";
+  const Tiling o = Tiling::uniform(24, 8);
+  const Tiling v = Tiling::uniform(32, 8);
+  p.spaces = {{"o", o}, {"v", v}};
+  p.tensors = {
+      {"T", "o", "v", TensorKind::kIterated, Shape::dense(o, v), 0},
+      {"U", "v", "o", TensorKind::kFixed, Shape::dense(v, o), 11},
+      {"S", "o", "v", TensorKind::kFixed, Shape::dense(o, v), 13},
+      {"R", "o", "v", TensorKind::kOutput, Shape::dense(o, v), 0},
+  };
+  p.terms = {
+      parse_term("R[i,a] += T[i,c] * U[c,k] * T[k,a]"),
+      parse_term("R[i,a] += T[i,c] * U[c,k] * S[k,a]"),
+  };
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing and printing.
+
+TEST(ExprParse, TermFieldsAndCanonicalPrint) {
+  const Term t = parse_term("R[ij,ab] += T[ij,cd] * V[cd,ab]");
+  EXPECT_EQ(t.output, "R");
+  EXPECT_EQ(t.out_row, "ij");
+  EXPECT_EQ(t.out_col, "ab");
+  ASSERT_EQ(t.factors.size(), 2u);
+  EXPECT_EQ(t.factors[0], (FactorRef{"T", "ij", "cd"}));
+  EXPECT_EQ(t.factors[1], (FactorRef{"V", "cd", "ab"}));
+  EXPECT_EQ(print_term(t), "R[ij,ab] += T[ij,cd] * V[cd,ab]");
+  EXPECT_EQ(parse_term(print_term(t)), t);
+}
+
+TEST(ExprParse, WhitespaceTolerant) {
+  const Term canonical = parse_term("R[ij,ab] += T[ij,cd] * V[cd,ab]");
+  EXPECT_EQ(parse_term("  R [ ij , ab ]+=T[ij,cd]*V[cd,ab]  "), canonical);
+  EXPECT_EQ(parse_term("R[ij,ab]\t+= T [ij, cd] * V[ cd,ab]"), canonical);
+}
+
+TEST(ExprParse, ThreeFactorChain) {
+  const Term t = parse_term("R[ij,ab] += T[ij,cd] * X[cd,kl] * T[kl,ab]");
+  ASSERT_EQ(t.factors.size(), 3u);
+  EXPECT_EQ(parse_term(print_term(t)), t);
+}
+
+TEST(ExprParse, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_term(""), Error);
+  EXPECT_THROW(parse_term("R[ij,ab]"), Error);                   // no +=
+  EXPECT_THROW(parse_term("R[ij,ab] = T[ij,cd] * V[cd,ab]"), Error);
+  EXPECT_THROW(parse_term("R[ij ab] += T[ij,cd] * V[cd,ab]"), Error);
+  EXPECT_THROW(parse_term("R[ij,] += T[ij,cd] * V[cd,ab]"), Error);
+  EXPECT_THROW(parse_term("R[ij,ab] += T[ij,cd] *"), Error);
+  EXPECT_THROW(parse_term("R[ij,ab] += T[ij,cd] junk"), Error);  // trailing
+  EXPECT_THROW(parse_term("[ij,ab] += T[ij,cd] * V[cd,ab]"), Error);
+}
+
+TEST(ExprParse, RandomizedRoundTrip) {
+  const std::vector<std::string> names = {"R", "T", "V", "W", "U", "x_9"};
+  const std::vector<std::string> syms = {"ij", "ab", "cd", "kl", "p", "q_2"};
+  Rng rng(2026);
+  for (int trial = 0; trial < 200; ++trial) {
+    Term t;
+    t.output = names[rng.uniform_index(names.size())];
+    t.out_row = syms[rng.uniform_index(syms.size())];
+    t.out_col = syms[rng.uniform_index(syms.size())];
+    const std::size_t nf = 2 + rng.uniform_index(3);
+    for (std::size_t f = 0; f < nf; ++f) {
+      t.factors.push_back(FactorRef{names[rng.uniform_index(names.size())],
+                                    syms[rng.uniform_index(syms.size())],
+                                    syms[rng.uniform_index(syms.size())]});
+    }
+    // Round trip is purely syntactic — validation happens elsewhere.
+    EXPECT_EQ(parse_term(print_term(t)), t) << print_term(t);
+  }
+}
+
+TEST(ExprParse, ProgramListingMentionsEverything) {
+  const std::string text = print_program(shared_program());
+  for (const char* needle :
+       {"program shared", "index o", "index v", "tensor T[o,v]", "iterated",
+        "tensor R[o,v]", "output", "term R[i,a] += T[i,c] * U[c,k]"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle << "\n" << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Validation.
+
+TEST(ExprValidate, AcceptsSharedProgram) {
+  EXPECT_NO_THROW(validate(shared_program()));
+}
+
+TEST(ExprValidate, RejectsEmptyProgram) {
+  Program p = shared_program();
+  p.terms.clear();
+  EXPECT_THROW(validate(p), Error);
+}
+
+TEST(ExprValidate, RejectsDuplicateSpaceAndTensor) {
+  Program dup_space = shared_program();
+  dup_space.spaces.push_back(dup_space.spaces[0]);
+  EXPECT_THROW(validate(dup_space), Error);
+
+  Program dup_tensor = shared_program();
+  dup_tensor.tensors.push_back(dup_tensor.tensors[0]);
+  EXPECT_THROW(validate(dup_tensor), Error);
+}
+
+TEST(ExprValidate, RejectsUnknownIndexSpace) {
+  Program p = shared_program();
+  p.tensors[0].row_space = "nope";
+  EXPECT_THROW(validate(p), Error);
+}
+
+TEST(ExprValidate, RejectsShapeTilingDisagreement) {
+  Program p = shared_program();
+  // T's shape is over (o, v); redeclare its column space as o.
+  p.tensors[0].col_space = "o";
+  EXPECT_THROW(validate(p), Error);
+}
+
+TEST(ExprValidate, RejectsUnknownTensors) {
+  Program p = shared_program();
+  p.terms[0] = parse_term("R[i,a] += Q[i,c] * U[c,a]");
+  EXPECT_THROW(validate(p), Error);
+
+  Program q = shared_program();
+  q.terms[0] = parse_term("Z[i,a] += T[i,c] * U[c,a]");
+  EXPECT_THROW(validate(q), Error);
+}
+
+TEST(ExprValidate, RejectsAccumulationIntoNonOutput) {
+  Program p = shared_program();
+  p.terms[0] = parse_term("S[i,a] += T[i,c] * U[c,a]");
+  EXPECT_THROW(validate(p), Error);
+}
+
+TEST(ExprValidate, RejectsOutputUsedAsFactor) {
+  Program p = shared_program();
+  p.terms[0] = parse_term("R[i,a] += R[i,c] * U[c,a]");
+  EXPECT_THROW(validate(p), Error);
+}
+
+TEST(ExprValidate, RejectsDuplicateOutputIndex) {
+  Program p = shared_program();
+  p.terms[0] = parse_term("R[i,i] += T[i,c] * U[c,i]");
+  EXPECT_THROW(validate(p), Error);
+}
+
+TEST(ExprValidate, RejectsExtentMismatch) {
+  Program p = shared_program();
+  // 'c' binds to space v via T's column but to space o via U's column.
+  p.terms[0] = parse_term("R[i,a] += T[i,c] * U[a,c]");
+  EXPECT_THROW(validate(p), Error);
+}
+
+TEST(ExprValidate, RejectsWrongSymbolMultiplicity) {
+  // Contracted symbol appearing three times (a hyper-edge).
+  Program p = shared_program();
+  p.terms[0] = parse_term("R[i,a] += T[i,c] * U[c,k] * T[k,a] * U[c,k]");
+  EXPECT_THROW(validate(p), Error);
+
+  // Output symbol never produced by a factor.
+  Program q = shared_program();
+  q.terms[0] = parse_term("R[i,a] += T[i,c] * U[c,i]");
+  EXPECT_THROW(validate(q), Error);
+}
+
+TEST(ExprValidate, RejectsOneFactorAndTracedTerms) {
+  Program p = shared_program();
+  Term copy;
+  copy.output = "R";
+  copy.out_row = "i";
+  copy.out_col = "a";
+  copy.factors = {FactorRef{"T", "i", "a"}};
+  p.terms[0] = copy;
+  EXPECT_THROW(validate(p), Error);
+
+  Program q = shared_program();
+  q.terms[0] = parse_term("R[i,a] += T[c,c] * S[i,a]");
+  EXPECT_THROW(validate(q), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Lowering.
+
+TEST(ExprLower, SharesIntermediateAcrossTerms) {
+  const LoweredProgram lp = lower(shared_program());
+  EXPECT_EQ(lp.output, "R");
+  EXPECT_EQ(lp.nodes.size(), 3u);  // x0, then one accumulation per term
+  EXPECT_EQ(lp.accumulations, 2);
+  EXPECT_EQ(lp.intermediates, 1);
+  EXPECT_EQ(lp.reuse_edges, 1);
+  EXPECT_NE(lp.structure_fingerprint, 0u);
+
+  int shared = 0;
+  for (const LoweredNode& n : lp.nodes) {
+    if (n.accumulate_order < 0) {
+      EXPECT_EQ(n.consumers, 2) << n.label;
+      ++shared;
+    } else {
+      EXPECT_GE(n.term, 0);
+    }
+  }
+  EXPECT_EQ(shared, 1);
+  EXPECT_FALSE(print_lowered(lp).empty());
+}
+
+TEST(ExprLower, ReuseOffDuplicatesTheIntermediate) {
+  LowerOptions opts;
+  opts.reuse_intermediates = false;
+  const LoweredProgram lp = lower(shared_program(), opts);
+  EXPECT_EQ(lp.nodes.size(), 4u);
+  EXPECT_EQ(lp.intermediates, 2);
+  EXPECT_EQ(lp.reuse_edges, 0);
+}
+
+TEST(ExprLower, OrderSeedLeavesStructureInvariant) {
+  const LoweredProgram base = lower(shared_program());
+  for (const std::uint64_t seed : {1ull, 7ull, 99ull, 12345ull}) {
+    LowerOptions opts;
+    opts.order_seed = seed;
+    const LoweredProgram lp = lower(shared_program(), opts);
+    EXPECT_EQ(lp.structure_fingerprint, base.structure_fingerprint) << seed;
+    EXPECT_EQ(lp.nodes.size(), base.nodes.size());
+    EXPECT_EQ(lp.intermediates, base.intermediates);
+    EXPECT_EQ(lp.reuse_edges, base.reuse_edges);
+    EXPECT_EQ(lp.accumulations, base.accumulations);
+  }
+}
+
+TEST(ExprLower, RejectsMultipleOutputTensors) {
+  Program p = shared_program();
+  const Tiling o = p.spaces[0].tiling;
+  const Tiling v = p.spaces[1].tiling;
+  p.tensors.push_back(
+      {"R2", "o", "v", TensorKind::kOutput, Shape::dense(o, v), 0});
+  p.terms.push_back(parse_term("R2[i,a] += T[i,c] * U[c,k] * S[k,a]"));
+  EXPECT_THROW(lower(p), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Shipped programs.
+
+TEST(ExprPrograms, RegistryKnowsItsNames) {
+  EXPECT_EQ(program_names(), (std::vector<std::string>{"abcd",
+                                                       "ccsd-doubles"}));
+  EXPECT_TRUE(is_program_name("abcd"));
+  EXPECT_TRUE(is_program_name("ccsd-doubles"));
+  EXPECT_FALSE(is_program_name("nope"));
+  ServeProblemSpec spec;
+  EXPECT_THROW(build_named_program("nope", spec), Error);
+}
+
+TEST(ExprPrograms, AbcdLowersToOneAccumulation) {
+  ServeProblemSpec spec;
+  spec.m = 48;
+  spec.k = 96;
+  spec.n = 96;
+  spec.seed = 3;
+  const NamedProgram np = build_named_program("abcd", spec);
+  EXPECT_NO_THROW(validate(np.program));
+  const LoweredProgram lp = lower(np.program);
+  EXPECT_EQ(lp.nodes.size(), 1u);
+  EXPECT_EQ(lp.accumulations, 1);
+  EXPECT_EQ(lp.intermediates, 0);
+  EXPECT_EQ(lp.reuse_edges, 0);
+  EXPECT_TRUE(lp.nodes[0].b_fixed);  // V on the cacheable B side
+}
+
+TEST(ExprPrograms, CcsdDoublesLoweringStructure) {
+  ServeProblemSpec spec;
+  spec.m = 2;  // carbon count: the smallest chain
+  spec.seed = 7;
+  const NamedProgram np = build_named_program("ccsd-doubles", spec);
+  EXPECT_NO_THROW(validate(np.program));
+
+  const LoweredProgram lp = lower(np.program);
+  // 4 terms -> 4 accumulations plus the one shared X = T*U intermediate.
+  EXPECT_EQ(lp.nodes.size(), 5u);
+  EXPECT_EQ(lp.accumulations, 4);
+  EXPECT_EQ(lp.intermediates, 1);
+  EXPECT_EQ(lp.reuse_edges, 1);
+
+  bool saw_transposed_accumulation = false;
+  for (const LoweredNode& n : lp.nodes) {
+    if (n.term == 0) {
+      EXPECT_TRUE(n.b_fixed) << "ABCD ladder caches V";
+    }
+    // The hole-hole ladder's best orientation computes R^T.
+    if (n.term == 1) saw_transposed_accumulation = n.c_transpose;
+    if (n.accumulate_order < 0) {
+      EXPECT_EQ(n.consumers, 2);
+    }
+  }
+  EXPECT_TRUE(saw_transposed_accumulation);
+
+  // Structure identity is order-seed invariant and program-specific.
+  LowerOptions opts;
+  opts.order_seed = 17;
+  EXPECT_EQ(lower(np.program, opts).structure_fingerprint,
+            lp.structure_fingerprint);
+  EXPECT_NE(lp.structure_fingerprint,
+            lower(shared_program()).structure_fingerprint);
+}
+
+}  // namespace
+}  // namespace bstc::expr

@@ -204,7 +204,7 @@ TEST(Wire, RequestRejectsUnknownKind) {
   EXPECT_THROW(decode_request(decode_frame(encode_frame(
                    encode_request(msg)))),
                Error);
-  msg.kind = 5;
+  msg.kind = 6;  // one past kProgramRun, the highest defined kind
   EXPECT_THROW(decode_request(decode_frame(encode_frame(
                    encode_request(msg)))),
                Error);

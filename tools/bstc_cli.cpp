@@ -9,6 +9,7 @@
 ///   plan         build a plan and print its structure/statistics
 ///   execute      run the REAL engine on a small synthetic problem + verify
 ///   serve-batch  drive the ContractionService with a scripted request mix
+///   program-run  iterate a named contraction program (multi-term DAG)
 ///   store-build  materialize a spec's B tiles into a shared-memory store
 ///   store-inspect  attach a tile store read-only and print its layout
 ///   launch       run the distributed executor as --np real OS processes
@@ -21,6 +22,7 @@
 ///   bstc_cli plan --m 24000 --n 96000 --density 0.25 --nodes 8
 ///   bstc_cli execute --m 96 --n 480 --density 0.4 --nodes 2 --gpus 2
 ///   bstc_cli serve-batch --clients 4 --workers 2 --script requests.txt
+///   bstc_cli program-run --program ccsd-doubles --iters 3 --ranks 4
 ///   bstc_cli launch --np 4 --p 2 --m 96 --k 480 --n 480
 ///
 /// Unknown flags are rejected with a nearest-known-flag suggestion
@@ -156,6 +158,7 @@ const CommandInfo kCommands[] = {
      "  script lines:  problem m=96 k=480 n=480 density=0.4 seed=1 \\\n"
      "                   repeat=4 gpus=2 gpu-mem=1e6 [tile-lo=8 tile-hi=24]\n"
      "                 session m=64 k=320 n=320 density=0.5 iters=6 ...\n"
+     "                 program name=ccsd-doubles m=6 iters=3 seed=7 ...\n"
      "                 ('#' starts a comment)\n"
      "  --trace-out F.json   write a span trace of the whole batch\n"
      "  --metrics-out F.txt  write Prometheus-style text metrics\n"
@@ -165,6 +168,25 @@ const CommandInfo kCommands[] = {
      "  --shm-store NAME     build a shared-memory B-tile store (shm name,\n"
      "                       e.g. /bstc_store) for the first workload's\n"
      "                       spec and serve every rank from it zero-copy\n"},
+    {"program-run", "iterate a named contraction program (multi-term DAG)",
+     "usage: bstc_cli program-run [options]\n"
+     "  --program NAME       registered program: abcd | ccsd-doubles\n"
+     "                       (default ccsd-doubles)\n"
+     "  --iters N            program iterations (default 2); A-side\n"
+     "                       tensors are reseeded every iteration, fixed\n"
+     "                       tensors stay cached in node sessions\n"
+     "  --m --k --n --density --tile-lo --tile-hi --seed   problem spec\n"
+     "                       (ccsd-doubles reads --m as the alkane chain\n"
+     "                       length, clamped to [2,65])\n"
+     "  --workers N          service worker threads per rank (default 2)\n"
+     "  --threads N          inter-term DAG parallelism is the service's\n"
+     "                       worker pool; this is reserved (default 2)\n"
+     "  --ranks N            also run distributed: fork N serve-worker\n"
+     "                       ranks, iterate the same program over TCP and\n"
+     "                       verify the residual bitwise against the\n"
+     "                       single-process run\n"
+     "  --metrics-out F.txt  Prometheus text: local bstc_expr_* counters,\n"
+     "                       plus per-rank sections in distributed mode\n"},
     {"serve-worker", "join a distributed serve-batch (spawned by it)",
      "usage: bstc_cli serve-worker --host H --port P [options]\n"
      "  Normally started by `bstc_cli serve-batch --ranks N`, not by\n"
@@ -704,6 +726,7 @@ struct ServeWorkload {
   ServeProblemSpec spec;
   int repeat = 1;
   int session_iters = 0;  ///< > 0: session workload instead of submits
+  std::string program;    ///< non-empty: iterate this named program
 
   // Aggregated outcomes (filled by the drivers).
   std::uint64_t fingerprint = 0;
@@ -749,6 +772,16 @@ std::unique_ptr<ServeWorkload> make_workload(const std::string& kind,
   if (kind == "session") {
     w->session_iters = static_cast<int>(script_num(kv, "iters", 4));
     w->label = "session " + extent;
+  } else if (kind == "program") {
+    const auto it = kv.find("name");
+    w->program = it == kv.end() ? "ccsd-doubles" : it->second;
+    // m is ccsd-doubles' chain length; the synthetic default would mean
+    // a 65-carbon production run.
+    if (w->program == "ccsd-doubles" && kv.find("m") == kv.end()) {
+      w->spec.m = 3;
+    }
+    w->session_iters = static_cast<int>(script_num(kv, "iters", 2));
+    w->label = "program " + w->program;
   } else {
     w->repeat = static_cast<int>(script_num(kv, "repeat", default_repeat));
     w->label = "problem " + extent;
@@ -766,9 +799,9 @@ std::vector<std::unique_ptr<ServeWorkload>> parse_script(
     std::istringstream tokens(line);
     std::string kind;
     if (!(tokens >> kind)) continue;  // blank / comment-only line
-    BSTC_REQUIRE(kind == "problem" || kind == "session",
+    BSTC_REQUIRE(kind == "problem" || kind == "session" || kind == "program",
                  "script: unknown workload kind '" + kind +
-                     "' (expected problem|session)");
+                     "' (expected problem|session|program)");
     ScriptLine kv;
     std::string token;
     while (tokens >> token) {
@@ -835,13 +868,18 @@ void drive_serve(ServeInterface& service,
       for (int it = 0; it < w->session_iters; ++it) {
         ServeRequest req;
         req.spec = w->spec;
+        req.program = w->program;
         req.a_seed = w->spec.seed + 100 + static_cast<std::uint64_t>(it);
         req.want_c = false;
         ServeOutcome outcome;
-        record_outcome(*w, service.SessionIterate(req, outcome), outcome);
+        const ServiceStatus status =
+            w->program.empty() ? service.SessionIterate(req, outcome)
+                               : service.ProgramRun(req, outcome);
+        record_outcome(*w, status, outcome);
       }
       ServeRequest close_req;
       close_req.spec = w->spec;
+      close_req.program = w->program;
       ServeOutcome outcome;
       service.SessionClose(close_req, outcome);
     });
@@ -1208,6 +1246,225 @@ int cmd_serve_batch(const Args& args) {
   return failed == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// program-run: iterate a named contraction program (a multi-term DAG from
+// expr/programs.hpp) through the serving boundary — in-process, and
+// optionally again across forked worker ranks with a bitwise verdict.
+
+/// What one driver run of a program produced (per-iteration checksums are
+/// the bitwise witness compared between local and distributed runs).
+struct ProgramDriveResult {
+  std::uint64_t fingerprint = 0;       ///< program instance fingerprint
+  std::vector<std::uint64_t> checksums;  ///< residual checksum per iteration
+  double c_norm = 0.0;                 ///< final residual Frobenius norm
+  std::size_t nodes = 0, intermediates = 0, reuse = 0;
+  double execute_s = 0.0;
+  BlockSparseMatrix c;  ///< final iteration's residual (want_c)
+  bool has_c = false;
+  int failed = 0;
+};
+
+ProgramDriveResult drive_program(ServeInterface& service,
+                                 const ServeProblemSpec& spec,
+                                 const std::string& program, int iters) {
+  ProgramDriveResult out;
+  for (int it = 0; it < iters; ++it) {
+    ServeRequest req;
+    req.spec = spec;
+    req.program = program;
+    req.a_seed = spec.seed + 100 + static_cast<std::uint64_t>(it);
+    req.want_c = it == iters - 1;  // ship only the final residual back
+    ServeOutcome outcome;
+    const ServiceStatus status = service.ProgramRun(req, outcome);
+    if (status != ServiceStatus::kOk) {
+      ++out.failed;
+      std::fprintf(stderr, "program-run: iteration %d: %s (%s)\n", it,
+                   service_status_name(status), outcome.error.c_str());
+      continue;
+    }
+    out.fingerprint = outcome.fingerprint;
+    out.checksums.push_back(outcome.c_checksum);
+    out.c_norm = outcome.c_norm;
+    out.nodes = outcome.program_nodes;
+    out.intermediates = outcome.program_intermediates;
+    out.reuse = outcome.program_reuse;
+    out.execute_s += outcome.execute_s;
+    if (outcome.has_c) {
+      out.c = std::move(outcome.c);
+      out.has_c = true;
+    }
+  }
+  // Release the program session (runner, node sessions, B caches).
+  ServeRequest close_req;
+  close_req.spec = spec;
+  close_req.program = program;
+  ServeOutcome close_outcome;
+  service.SessionClose(close_req, close_outcome);
+  return out;
+}
+
+int cmd_program_run(const Args& args) {
+  const std::string program = args.get("program", "ccsd-doubles");
+  const int iters = static_cast<int>(args.get_int("iters", 2));
+  const int ranks = static_cast<int>(args.get_int("ranks", 0));
+  const std::string metrics_out = args.get("metrics-out", "");
+  BSTC_REQUIRE(iters >= 1, "--iters must be >= 1");
+  BSTC_REQUIRE(ranks >= 0, "--ranks must be >= 0");
+  ServeProblemSpec spec = spec_from_args(args);
+  // ccsd-doubles reads spec.m as the alkane chain length; the synthetic
+  // default (96, clamped to 65 carbons) would be a production-sized run.
+  if (program == "ccsd-doubles" && !args.has("m")) spec.m = 3;
+  ServiceConfig service_cfg;
+  service_cfg.workers = static_cast<int>(args.get_int("workers", 2));
+  args.allow({"threads"});  // reserved: DAG parallelism rides the workers
+
+  // In-process run — also the bitwise reference for distributed mode.
+  ProgramDriveResult local_result;
+  ServiceMetrics local_metrics;
+  double local_wall = 0.0;
+  {
+    LocalService local(service_cfg);
+    Timer wall;
+    local_result = drive_program(local, spec, program, iters);
+    local_wall = wall.elapsed_s();
+    local_metrics = local.metrics();
+  }
+  TextTable table({"program", "fingerprint", "iters", "nodes",
+                   "intermediates", "reuse", "checksum", "|R|_F",
+                   "mean exec"});
+  table.add_row({program, fingerprint_hex(local_result.fingerprint),
+                 std::to_string(iters), std::to_string(local_result.nodes),
+                 std::to_string(local_result.intermediates),
+                 std::to_string(local_result.reuse),
+                 local_result.checksums.empty()
+                     ? "-"
+                     : fingerprint_hex(local_result.checksums.back()),
+                 fmt_fixed(local_result.c_norm, 6),
+                 fmt_duration(local_result.execute_s / std::max(1, iters))});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("local          %d iterations in %s, %zu intermediates "
+              "built per iteration, %zu reuse hits\n",
+              iters, fmt_duration(local_wall).c_str(),
+              local_result.intermediates, local_result.reuse);
+  int failed = local_result.failed;
+
+  if (ranks == 0) {
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      BSTC_REQUIRE(out.good(), "cannot open " + metrics_out);
+      out << metrics_prometheus(local_metrics);
+      BSTC_REQUIRE(out.good(), "failed writing " + metrics_out);
+      std::printf("metrics        %s\n", metrics_out.c_str());
+    }
+    return failed == 0 ? 0 : 1;
+  }
+
+  // Distributed mode: the same program stream through forked worker
+  // ranks, then a bitwise comparison against the in-process residuals.
+  net::Listener listener("127.0.0.1", 0);
+  const std::uint16_t port = listener.local_port();
+  struct Child {
+    pid_t pid = -1;
+    bool reaped = false;
+    int status = 0;
+  };
+  std::vector<Child> children;
+  for (int i = 0; i < ranks; ++i) {
+    const pid_t pid = fork();
+    BSTC_REQUIRE(pid >= 0, "program-run: fork failed");
+    if (pid == 0) {
+      std::vector<std::string> argv_s = {
+          "/proc/self/exe", "serve-worker",
+          "--host", "127.0.0.1",
+          "--port", std::to_string(port),
+          "--workers", std::to_string(service_cfg.workers)};
+      std::vector<char*> argv;
+      argv.reserve(argv_s.size() + 1);
+      for (std::string& s : argv_s) argv.push_back(s.data());
+      argv.push_back(nullptr);
+      execv(argv[0], argv.data());
+      std::perror("program-run: execv /proc/self/exe");
+      _exit(127);
+    }
+    children.push_back(Child{pid, false, 0});
+  }
+  const auto dead_poll = [&]() -> int {
+    int dead = 0;
+    for (Child& c : children) {
+      if (c.reaped) {
+        ++dead;
+        continue;
+      }
+      if (waitpid(c.pid, &c.status, WNOHANG) == c.pid) {
+        c.reaped = true;
+        ++dead;
+      }
+    }
+    return dead;
+  };
+  std::vector<net::PeerLink> links =
+      net::accept_serve_workers(listener, ranks, 60000, dead_poll);
+  net::ServeRouter router(std::move(links));
+  net::RemoteService remote(router);
+
+  Timer wall;
+  const ProgramDriveResult remote_result =
+      drive_program(remote, spec, program, iters);
+  const double remote_wall = wall.elapsed_s();
+  failed += remote_result.failed;
+
+  const int owner = router.owner_of(
+      serve_program_routing_key(spec, program));
+  std::printf("distributed    %d iterations over %d ranks in %s "
+              "(program sticky to rank %d)\n",
+              iters, ranks, fmt_duration(remote_wall).c_str(), owner);
+  const bool checksums_match =
+      local_result.checksums == remote_result.checksums &&
+      !local_result.checksums.empty();
+  double max_diff = -1.0;
+  if (local_result.has_c && remote_result.has_c) {
+    max_diff = local_result.c.max_abs_diff(remote_result.c);
+  }
+  const bool bitwise = checksums_match && max_diff == 0.0;
+  std::printf("verdict        %s (per-iteration checksums %s, "
+              "max|R - R_local| = %.3e)\n",
+              bitwise ? "bitwise-identical to the single-process run"
+                      : "MISMATCH against the single-process run",
+              checksums_match ? "equal" : "DIFFER", max_diff);
+  if (!bitwise) ++failed;
+
+  const std::vector<net::ServeRankMetrics> per_rank =
+      router.gather_metrics();
+  TextTable rank_table({"rank", "programs", "nodes", "built", "reuse",
+                        "released", "sessions", "plan misses"});
+  for (const net::ServeRankMetrics& r : per_rank) {
+    rank_table.add_row({std::to_string(r.rank),
+                        std::to_string(r.expr_programs),
+                        std::to_string(r.expr_nodes),
+                        std::to_string(r.expr_intermediates_built),
+                        std::to_string(r.expr_intermediate_reuse),
+                        std::to_string(r.expr_intermediates_released),
+                        std::to_string(r.sessions_opened),
+                        std::to_string(r.plan_misses)});
+  }
+  std::printf("%s\n", rank_table.render().c_str());
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    BSTC_REQUIRE(out.good(), "cannot open " + metrics_out);
+    for (const net::ServeRankMetrics& r : per_rank) out << r.prometheus;
+    BSTC_REQUIRE(out.good(), "failed writing " + metrics_out);
+    std::printf("metrics        %s\n", metrics_out.c_str());
+  }
+
+  router.shutdown();
+  for (Child& c : children) {
+    if (!c.reaped) waitpid(c.pid, &c.status, 0);
+    if (!WIFEXITED(c.status) || WEXITSTATUS(c.status) != 0) ++failed;
+  }
+  return failed == 0 ? 0 : 1;
+}
+
 int cmd_serve_worker(const Args& args) {
   net::ServeWorkerOptions opts;
   opts.host = args.get("host", "127.0.0.1");
@@ -1273,6 +1530,8 @@ int main(int argc, char** argv) {
       rc = cmd_serve_worker(args);
     } else if (cmd == "serve-batch") {
       rc = cmd_serve_batch(args);
+    } else if (cmd == "program-run") {
+      rc = cmd_program_run(args);
     } else if (cmd == "store-build") {
       rc = cmd_store_build(args);
     } else if (cmd == "store-inspect") {
