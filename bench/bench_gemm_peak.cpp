@@ -15,9 +15,13 @@
 ///               or scalar by runtime dispatch; see gemm_kernel_name()).
 ///
 /// The sweep covers the tile extents a physics tiling actually produces
-/// (~32-512), plus a batched-vs-per-call comparison on a realistic
+/// (~32-512), plus a skewed-shape fixed-vs-autotuned comparison (the
+/// micro-kernel zoo's selling point: geometry choice matters most off the
+/// square diagonal) and a batched-vs-per-call comparison on a realistic
 /// mixed-extent group sharing one B tile. Results land in
-/// BENCH_gemm_peak.json so the bench trajectory records every run.
+/// BENCH_gemm_peak.json so the bench trajectory records every run,
+/// including the autotuner's benchmark count (zero on a warm tuning
+/// cache — the CI persistence smoke greps for it).
 
 #include <algorithm>
 #include <cstdio>
@@ -27,7 +31,9 @@
 #include "machine/machine.hpp"
 #include "support/format.hpp"
 #include "support/timer.hpp"
+#include "tile/autotune.hpp"
 #include "tile/gemm.hpp"
+#include "tile/microkernel.hpp"
 
 using namespace bstc;
 
@@ -50,6 +56,13 @@ struct SweepPoint {
   double naive = 0.0;
   double blocked = 0.0;
   double packed = 0.0;
+};
+
+struct SkewPoint {
+  Index m = 0, k = 0, n = 0;
+  double fixed = 0.0;  ///< default 8x4 kernel pinned
+  double tuned = 0.0;  ///< autotuner's per-bucket choice
+  std::string winner;  ///< the kernel the autotuner picked
 };
 
 }  // namespace
@@ -112,6 +125,58 @@ int main() {
   std::printf("256^3 packed/blocked speedup: %.2fx\n",
               p256->packed / p256->blocked);
 
+  // --- Skewed shapes: fixed default geometry vs the autotuner's choice.
+  // Block-sparse physics tilings produce flat and tall tile products
+  // where the default 8x4 register tile wastes fringe work; the zoo's
+  // other geometries recover it. The tuned column must be >= fixed within
+  // noise by construction (the autotuner benchmarks the default too).
+  const bool tuning = Autotuner::instance().enabled();
+  std::printf("\nskewed-shape sweep: fixed %s vs autotuned (%s):\n",
+              default_microkernel().name.c_str(),
+              tuning ? "on" : "off — BSTC_TUNE=off");
+  std::printf("  %16s  %12s  %12s  %8s  %s\n", "m x k x n", "fixed", "tuned",
+              "ratio", "winner");
+  std::vector<SkewPoint> skew;
+  const Index skew_shapes[][3] = {{24, 256, 256}, {256, 256, 24},
+                                  {12, 384, 384}, {384, 24, 384},
+                                  {48, 48, 384},  {384, 384, 48},
+                                  {128, 128, 128}};
+  for (const auto& s : skew_shapes) {
+    const Index m = s[0], k = s[1], n = s[2];
+    Tile a(m, k), b(k, n), c(m, n);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    const double flops = gemm_flops(a, b);
+    SkewPoint pt;
+    pt.m = m;
+    pt.k = k;
+    pt.n = n;
+    const MicroKernel& fixed = default_microkernel();
+    gemm_view_with(fixed, m, n, k, 1.0, a.data(), a.ld(), b.data(), b.ld(),
+                   0.0, c.data(), c.ld());
+    pt.fixed = best_flops(10, flops, [&] {
+      gemm_view_with(fixed, m, n, k, 1.0, a.data(), a.ld(), b.data(), b.ld(),
+                     0.0, c.data(), c.ld());
+    });
+    const MicroKernel& chosen = select_microkernel(m, k, n);
+    pt.winner = chosen.name;
+    gemm(1.0, a, b, 0.0, c);
+    pt.tuned = best_flops(10, flops, [&] { gemm(1.0, a, b, 0.0, c); });
+    skew.push_back(pt);
+    char shape[32];
+    std::snprintf(shape, sizeof shape, "%lldx%lldx%lld",
+                  static_cast<long long>(m), static_cast<long long>(k),
+                  static_cast<long long>(n));
+    std::printf("  %16s  %12s  %12s  %7.2fx  %s\n", shape,
+                fmt_flops(pt.fixed).c_str(), fmt_flops(pt.tuned).c_str(),
+                pt.tuned / pt.fixed, pt.winner.c_str());
+  }
+  const TuneStats tune = Autotuner::instance().stats();
+  std::printf("tune stats: %llu lookups, %llu hits, %llu benchmarks\n",
+              static_cast<unsigned long long>(tune.lookups),
+              static_cast<unsigned long long>(tune.hits),
+              static_cast<unsigned long long>(tune.benchmarks));
+
   // --- Batched vs per-call on a realistic mixed-extent group: every item
   // shares one B tile, as the executor's (chunk, B tile) batches do. ---
   // Physics tilings put most A-row tiles at the small end of the extent
@@ -166,6 +231,24 @@ int main() {
                    static_cast<long long>(sweep[s].n), sweep[s].naive,
                    sweep[s].blocked, sweep[s].packed,
                    s + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"tune_enabled\": %s,\n", tuning ? "true" : "false");
+    std::fprintf(out, "  \"tune_lookups\": %llu,\n",
+                 static_cast<unsigned long long>(tune.lookups));
+    std::fprintf(out, "  \"tune_benchmarks\": %llu,\n",
+                 static_cast<unsigned long long>(tune.benchmarks));
+    std::fprintf(out, "  \"skew\": [\n");
+    for (std::size_t s = 0; s < skew.size(); ++s) {
+      std::fprintf(out,
+                   "    {\"m\": %lld, \"k\": %lld, \"n\": %lld, "
+                   "\"fixed_flops\": %.6e, \"tuned_flops\": %.6e, "
+                   "\"winner\": \"%s\"}%s\n",
+                   static_cast<long long>(skew[s].m),
+                   static_cast<long long>(skew[s].k),
+                   static_cast<long long>(skew[s].n), skew[s].fixed,
+                   skew[s].tuned, skew[s].winner.c_str(),
+                   s + 1 < skew.size() ? "," : "");
     }
     std::fprintf(out, "  ],\n");
     std::fprintf(out, "  \"speedup_256_packed_vs_blocked\": %.4f,\n",

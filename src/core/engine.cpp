@@ -359,7 +359,9 @@ EngineResult contract_with_plan(const ExecutionPlan& plan,
                   items.push_back({&res.a.at(tile_key(i, grp.k)),
                                    &res.c.at(tile_key(i, grp.j))});
                 }
-                gemm_batch(1.0, items, bt, 1.0);
+                // One autotuned kernel for the whole shared-B group.
+                const MicroKernel& mk = select_batch_microkernel(items, bt);
+                gemm_batch_with(mk, 1.0, items, bt, 1.0);
               });
           chunk_gemms[ci].push_back(g);
           // Dataflow: the batch needs the piece owning its B tile staged.

@@ -17,6 +17,7 @@ const char* category_name(Category cat) {
     case Category::kServiceNet: return "service.net";
     case Category::kShm: return "shm";
     case Category::kExprTerm: return "expr.term";
+    case Category::kTune: return "tune";
   }
   return "unknown";
 }

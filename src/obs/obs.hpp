@@ -47,6 +47,7 @@ enum class Category : std::uint8_t {
   kServiceNet,      ///< one distributed-serving request over the wire
   kShm,             ///< shared-memory store builds, attaches, swaps
   kExprTerm,        ///< one contraction-program DAG node (or whole program)
+  kTune,            ///< one micro-kernel autotuning benchmark (per bucket)
 };
 
 const char* category_name(Category cat);

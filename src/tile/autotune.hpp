@@ -1,0 +1,155 @@
+#pragma once
+
+/// \file autotune.hpp
+/// Per-shape micro-kernel autotuning with a persistent tuning cache —
+/// DBCSR's libsmm approach adapted to the zoo in microkernel.hpp.
+///
+/// Block-sparse workloads hit many small, skewed (m, k, n) tile shapes,
+/// and no single register geometry is best for all of them. The
+/// autotuner buckets each shape onto a coarse extent ladder, benchmarks
+/// every candidate kernel of the active ISA on the bucket's first use
+/// (a few repetitions on synthetic operands, best time wins), and
+/// records the winner in a process-wide selection table. Because every
+/// same-ISA kernel is bitwise-identical (see microkernel.hpp), selection
+/// is purely a performance decision — results never depend on it.
+///
+/// Winners persist to an on-disk tuning cache (`BSTC_TUNE_CACHE=path`)
+/// keyed by a CPU signature (active ISA + candidate kernel set), with the
+/// same FNV-checksummed-header discipline as shm/arena: magic, layout
+/// version, header and payload checksums all validated before a single
+/// entry is trusted, and a wrong CPU signature rejects the file. The
+/// cache is reloaded across runs and shared by co-located serve workers
+/// (they inherit BSTC_TUNE_CACHE from the front; writes go through an
+/// atomic rename, so concurrent writers are safe).
+///
+/// Environment:
+///   * BSTC_TUNE=off|0     — disable tuning (default 8x4 kernel always);
+///   * BSTC_TUNE_CACHE=p   — load winners from `p` at startup, persist
+///                           new winners back to it;
+///   * BSTC_KERNEL=avx2-8x6 (etc.) — pin one geometry, bypassing tuning.
+///
+/// Observability: bstc_tune_{lookups,hits,benchmarks}_total counters and
+/// a per-kernel bstc_tune_active_buckets{kernel="..."} gauge in the obs
+/// registry; kTune spans mark benchmark pauses in traces.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "shm/arena.hpp"  // shm::Status — the attach/validate idiom
+#include "tile/microkernel.hpp"
+
+namespace bstc {
+
+/// Counters of the autotuner's life so far (also mirrored to the obs
+/// registry as bstc_tune_*_total).
+struct TuneStats {
+  std::uint64_t lookups = 0;     ///< select() calls while enabled
+  std::uint64_t hits = 0;        ///< served from the table (incl. cache)
+  std::uint64_t benchmarks = 0;  ///< candidate kernels actually timed
+};
+
+inline constexpr std::uint64_t kTuneCacheMagic = 0x4253544354554e31ull;  // BSTCTUN1
+inline constexpr std::uint32_t kTuneCacheLayoutVersion = 1;
+
+/// The checksummed header at offset 0 of a tuning-cache file (same
+/// discipline as shm::ArenaHeader; sealed 64-byte layout).
+struct TuneCacheHeader {
+  std::uint64_t magic = 0;
+  std::uint32_t layout_version = 0;
+  std::uint32_t entry_count = 0;
+  std::uint64_t cpu_signature = 0;  ///< active ISA + candidate kernel set
+  std::uint64_t reserved0 = 0;
+  std::uint64_t reserved1 = 0;
+  std::uint64_t reserved2 = 0;
+  std::uint64_t payload_checksum = 0;  ///< FNV-1a of the entry array
+  std::uint64_t header_checksum = 0;   ///< FNV-1a of the fields above
+};
+static_assert(sizeof(TuneCacheHeader) == 64, "tune cache header is sealed");
+
+/// One persisted winner: the bucket triple and the kernel's derived name.
+struct TuneCacheEntry {
+  std::uint32_t m = 0;
+  std::uint32_t k = 0;
+  std::uint32_t n = 0;
+  std::uint32_t reserved = 0;
+  char kernel[32] = {};
+};
+static_assert(sizeof(TuneCacheEntry) == 48, "tune cache entry is sealed");
+
+/// FNV-1a 64 over raw bytes (the cache checksum primitive; exposed so
+/// tests can forge headers).
+std::uint64_t tune_fnv1a64(const void* data, std::size_t bytes,
+                           std::uint64_t state = 0xcbf29ce484222325ull);
+
+/// The process-wide selection table. All methods are thread-safe; a
+/// bucket's first select() benchmarks under the table lock, so
+/// concurrent misses serialize (and every later lookup is one map find).
+class Autotuner {
+ public:
+  /// The process instance (env-configured: BSTC_TUNE, BSTC_TUNE_CACHE,
+  /// BSTC_KERNEL pin).
+  static Autotuner& instance();
+
+  /// Testing constructor: no env, no persistence, enabled, no pin.
+  Autotuner();
+
+  /// The kernel to run for an (m, k, n) tile GEMM under the active ISA.
+  /// Disabled or pinned tuners return without consulting the table.
+  const MicroKernel& select(Index m, Index k, Index n);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Drop every selection and zero the stats (tests, bench ablations).
+  void clear();
+
+  TuneStats stats() const;
+  std::size_t table_size() const;
+
+  /// (kernel name, buckets currently won) for every selected kernel —
+  /// the active-kernel gauge the per-rank metrics gather ships.
+  std::vector<std::pair<std::string, std::size_t>> active_kernels() const;
+
+  /// Load winners from a tuning-cache file. Validates magic, layout
+  /// version, header checksum, payload checksum, entry-count/size
+  /// consistency and the CPU signature before trusting any entry;
+  /// entries naming kernels absent from this build are rejected too.
+  /// Loaded entries count as table hits on later select()s.
+  shm::Status load_cache(const std::string& path);
+
+  /// Persist the current table (atomic: temp file + rename).
+  shm::Status save_cache(const std::string& path) const;
+
+  /// Identity of the selection domain: active ISA + candidate kernel
+  /// names + layout version. A cache from another CPU (different ISA or
+  /// kernel set) never validates here.
+  std::uint64_t cpu_signature() const;
+
+  /// Coarse extent ladder for shape bucketing (monotonic, >= x).
+  static Index bucket_dim(Index x);
+  /// Packed (bucketed m, k, n) key.
+  static std::uint64_t bucket_key(Index m, Index k, Index n);
+
+ private:
+  const MicroKernel* benchmark_bucket(Index m, Index k, Index n);
+  void record_winner_locked(std::uint64_t key, const MicroKernel* winner);
+  void publish_gauges_locked() const;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, const MicroKernel*> table_;
+  TuneStats stats_;
+  bool enabled_ = true;
+  const MicroKernel* pinned_ = nullptr;  ///< BSTC_KERNEL geometry pin
+  std::string cache_path_;               ///< "" = no persistence
+  bool mirror_registry_ = false;  ///< process instance mirrors to obs
+};
+
+/// Autotuned kernel choice for one GEMM through the process instance.
+const MicroKernel& select_microkernel(Index m, Index k, Index n);
+
+}  // namespace bstc

@@ -1,7 +1,10 @@
 #include "tile/cpu_features.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "support/error.hpp"
 
 namespace bstc {
 namespace {
@@ -14,28 +17,112 @@ bool host_supports_avx2_fma() {
 #endif
 }
 
-KernelIsa resolve_isa() {
-  const bool avx2 = host_supports_avx2_fma();
-  const char* env = std::getenv("BSTC_KERNEL");
-  if (env != nullptr) {
-    if (std::strcmp(env, "scalar") == 0) return KernelIsa::kScalar;
-    if (std::strcmp(env, "avx2") == 0) {
-      return avx2 ? KernelIsa::kAvx2 : KernelIsa::kScalar;
-    }
-    // "auto" or anything unrecognised: fall through to detection.
+bool host_supports_avx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  // The zoo's 512-bit kernels use zmm (F) and EVEX-encoded ymm tails (VL).
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512vl") && host_supports_avx2_fma();
+#else
+  return false;
+#endif
+}
+
+/// Geometry suffixes the kernel zoo ships for every ISA. Kept in sync
+/// with microkernel_*.cpp by GemmKernels.ZooMatchesAcceptedGeometries.
+constexpr const char* kKnownGeometries[] = {"8x4", "8x6", "12x4", "4x12"};
+
+bool known_geometry(const std::string& geom) {
+  for (const char* g : kKnownGeometries) {
+    if (geom == g) return true;
   }
-  return avx2 ? KernelIsa::kAvx2 : KernelIsa::kScalar;
+  return false;
 }
 
 }  // namespace
 
-KernelIsa active_kernel_isa() {
-  static const KernelIsa isa = resolve_isa();
-  return isa;
+KernelIsa host_best_isa() {
+  if (host_supports_avx512()) return KernelIsa::kAvx512;
+  if (host_supports_avx2_fma()) return KernelIsa::kAvx2;
+  return KernelIsa::kScalar;
+}
+
+KernelChoice resolve_kernel_choice(const char* env, KernelIsa host_best) {
+  KernelChoice choice;
+  choice.isa = host_best;
+  if (env == nullptr || std::strcmp(env, "") == 0 ||
+      std::strcmp(env, "auto") == 0) {
+    return choice;
+  }
+
+  // Split an optional "-MRxNR" geometry suffix off the ISA name.
+  std::string value(env);
+  std::string isa_name = value;
+  const std::size_t dash = value.find('-');
+  if (dash != std::string::npos) {
+    isa_name = value.substr(0, dash);
+    choice.pinned_geometry = value.substr(dash + 1);
+    BSTC_REQUIRE(known_geometry(choice.pinned_geometry),
+                 "BSTC_KERNEL=" + value + ": unknown kernel geometry \"" +
+                     choice.pinned_geometry +
+                     "\" (known: 8x4, 8x6, 12x4, 4x12)");
+  }
+
+  KernelIsa requested;
+  if (isa_name == "scalar") {
+    requested = KernelIsa::kScalar;
+  } else if (isa_name == "avx2") {
+    requested = KernelIsa::kAvx2;
+  } else if (isa_name == "avx512") {
+    requested = KernelIsa::kAvx512;
+  } else {
+    BSTC_REQUIRE(false, "BSTC_KERNEL=" + value +
+                            ": unknown kernel ISA \"" + isa_name +
+                            "\" (accepted: auto, scalar, avx2, avx512, or a "
+                            "full kernel name like avx2-8x6)");
+    __builtin_unreachable();
+  }
+  choice.requested = isa_name;
+  if (requested > host_best) {
+    // An explicit request the host cannot run: degrade to the best
+    // supported ISA, but never silently — the caller logs it once.
+    choice.isa = host_best;
+    choice.downgraded = true;
+  } else {
+    choice.isa = requested;
+  }
+  return choice;
+}
+
+namespace {
+
+const KernelChoice& process_kernel_choice() {
+  static const KernelChoice choice = [] {
+    KernelChoice c =
+        resolve_kernel_choice(std::getenv("BSTC_KERNEL"), host_best_isa());
+    if (c.downgraded) {
+      std::fprintf(stderr,
+                   "bstc: BSTC_KERNEL requested \"%s\" but this host "
+                   "supports at most \"%s\"; using %s kernels\n",
+                   c.requested.c_str(), kernel_isa_name(c.isa),
+                   kernel_isa_name(c.isa));
+    }
+    return c;
+  }();
+  return choice;
+}
+
+}  // namespace
+
+KernelIsa active_kernel_isa() { return process_kernel_choice().isa; }
+
+const std::string& pinned_kernel_geometry() {
+  return process_kernel_choice().pinned_geometry;
 }
 
 const char* kernel_isa_name(KernelIsa isa) {
   switch (isa) {
+    case KernelIsa::kAvx512:
+      return "avx512";
     case KernelIsa::kAvx2:
       return "avx2";
     case KernelIsa::kScalar:

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "support/error.hpp"
+#include "tile/autotune.hpp"
 #include "tile/cpu_features.hpp"
 #include "tile/microkernel.hpp"
 #include "tile/pack.hpp"
@@ -92,21 +93,25 @@ void scale_view(Index m, Index n, double beta, double* c, Index ldc) {
 // ---- Packed kernel core --------------------------------------------------
 
 /// Run the micro-kernel over one packed mc x kc A block and the packed
-/// kc x nc B block, updating the C view at (0, 0).
-void macro_kernel(MicroKernelFn kern, Index mc, Index nc, Index kc,
+/// kc x nc B block (both packed with the kernel's geometry), updating the
+/// C view at (0, 0).
+void macro_kernel(const MicroKernel& mk, Index mc, Index nc, Index kc,
                   double alpha, const double* ap, const double* bp, double* c,
                   Index ldc) {
-  for (Index jr = 0; jr < nc; jr += kPackNR) {
-    const Index nr = std::min(kPackNR, nc - jr);
-    const double* bpanel = bp + (jr / kPackNR) * kc * kPackNR;
+  const Index MR = mk.geom.mr, NR = mk.geom.nr;
+  for (Index jr = 0; jr < nc; jr += NR) {
+    const Index nr = std::min(NR, nc - jr);
+    const double* bpanel = bp + (jr / NR) * kc * NR;
     double* cj = c + jr * ldc;
-    for (Index ir = 0; ir < mc; ir += kPackMR) {
-      const Index mr = std::min(kPackMR, mc - ir);
-      kern(kc, alpha, ap + (ir / kPackMR) * kc * kPackMR, bpanel, cj + ir,
-           ldc, mr, nr);
+    for (Index ir = 0; ir < mc; ir += MR) {
+      const Index mr = std::min(MR, mc - ir);
+      mk.fn(kc, alpha, ap + (ir / MR) * kc * MR, bpanel, cj + ir, ldc, mr,
+            nr);
     }
   }
 }
+
+thread_local std::uint64_t t_batch_a_packs = 0;
 
 }  // namespace
 
@@ -163,35 +168,47 @@ void gemm_blocked(double alpha, const Tile& a, const Tile& b, double beta,
   }
 }
 
-void gemm_view(Index m, Index n, Index k, double alpha, const double* a,
-               Index lda, const double* b, Index ldb, double beta, double* c,
-               Index ldc) {
+void gemm_view_with(const MicroKernel& mk, Index m, Index n, Index k,
+                    double alpha, const double* a, Index lda, const double* b,
+                    Index ldb, double beta, double* c, Index ldc) {
   BSTC_REQUIRE(lda >= m && ldb >= k && ldc >= m,
                "GEMM leading dimensions must cover the views");
   scale_view(m, n, beta, c, ldc);
   if (alpha == 0.0 || m <= 0 || n <= 0 || k <= 0) return;
 
-  const MicroKernelFn kern = active_microkernel();
+  const KernelGeometry& g = mk.geom;
   // One arena acquire sized for the largest (B panel, A block) pair this
   // call will pack; the pointers stay stable across the blocking loops.
   const std::size_t b_doubles =
-      packed_b_doubles(std::min(k, kPackKC), std::min(n, kPackNC));
+      packed_b_doubles(std::min(k, kPackKC), std::min(n, g.nc), g.nr);
   const std::size_t a_doubles =
-      packed_a_doubles(std::min(m, kPackMC), std::min(k, kPackKC));
+      packed_a_doubles(std::min(m, g.mc), std::min(k, kPackKC), g.mr);
   double* bp = pack_arena().acquire(b_doubles + a_doubles);
   double* ap = bp + b_doubles;
 
-  for (Index jc = 0; jc < n; jc += kPackNC) {
-    const Index nc = std::min(kPackNC, n - jc);
+  for (Index jc = 0; jc < n; jc += g.nc) {
+    const Index nc = std::min(g.nc, n - jc);
     for (Index pc = 0; pc < k; pc += kPackKC) {
       const Index kc = std::min(kPackKC, k - pc);
-      pack_b(kc, nc, b + pc + jc * ldb, ldb, bp);
-      for (Index ic = 0; ic < m; ic += kPackMC) {
-        const Index mc = std::min(kPackMC, m - ic);
-        pack_a(mc, kc, a + ic + pc * lda, lda, ap);
-        macro_kernel(kern, mc, nc, kc, alpha, ap, bp, c + ic + jc * ldc, ldc);
+      pack_b(kc, nc, b + pc + jc * ldb, ldb, bp, g.nr);
+      for (Index ic = 0; ic < m; ic += g.mc) {
+        const Index mc = std::min(g.mc, m - ic);
+        pack_a(mc, kc, a + ic + pc * lda, lda, ap, g.mr);
+        macro_kernel(mk, mc, nc, kc, alpha, ap, bp, c + ic + jc * ldc, ldc);
       }
     }
+  }
+}
+
+void gemm_view(Index m, Index n, Index k, double alpha, const double* a,
+               Index lda, const double* b, Index ldb, double beta, double* c,
+               Index ldc) {
+  if (m > 0 && n > 0 && k > 0) {
+    gemm_view_with(select_microkernel(m, k, n), m, n, k, alpha, a, lda, b,
+                   ldb, beta, c, ldc);
+  } else {
+    gemm_view_with(default_microkernel(), m, n, k, alpha, a, lda, b, ldb,
+                   beta, c, ldc);
   }
 }
 
@@ -201,8 +218,24 @@ void gemm(double alpha, const Tile& a, const Tile& b, double beta, Tile& c) {
             b.ld(), beta, c.data(), c.ld());
 }
 
-void gemm_batch(double alpha, std::span<const GemmBatchItem> items,
-                const Tile& b, double beta) {
+const MicroKernel& select_batch_microkernel(
+    std::span<const GemmBatchItem> items, const Tile& b) {
+  // One kernel for the whole group (the shared B panel is packed once, so
+  // the geometry must be uniform). Physics tilings skew the A-row extents
+  // small, so the mean m is the representative the bucket is tuned for.
+  Index sum_m = 0;
+  for (const GemmBatchItem& item : items) {
+    if (item.a != nullptr) sum_m += item.a->rows();
+  }
+  if (items.empty() || sum_m <= 0) return default_microkernel();
+  const Index mean_m =
+      std::max<Index>(1, sum_m / static_cast<Index>(items.size()));
+  return select_microkernel(mean_m, b.rows(), b.cols());
+}
+
+void gemm_batch_with(const MicroKernel& mk, double alpha,
+                     std::span<const GemmBatchItem> items, const Tile& b,
+                     double beta) {
   Index max_m = 0;
   for (const GemmBatchItem& item : items) {
     BSTC_REQUIRE(item.a != nullptr && item.c != nullptr,
@@ -224,40 +257,59 @@ void gemm_batch(double alpha, std::span<const GemmBatchItem> items,
   const Index k = b.rows(), n = b.cols();
   if (alpha == 0.0 || max_m <= 0 || n <= 0 || k <= 0) return;
 
-  const MicroKernelFn kern = active_microkernel();
+  const KernelGeometry& g = mk.geom;
   const std::size_t b_doubles =
-      packed_b_doubles(std::min(k, kPackKC), std::min(n, kPackNC));
+      packed_b_doubles(std::min(k, kPackKC), std::min(n, g.nc), g.nr);
   const std::size_t a_doubles =
-      packed_a_doubles(std::min(max_m, kPackMC), std::min(k, kPackKC));
+      packed_a_doubles(std::min(max_m, g.mc), std::min(k, kPackKC), g.mr);
   double* bp = pack_arena().acquire(b_doubles + a_doubles);
   double* ap = bp + b_doubles;
 
+  // What the A scratch currently holds: consecutive items referencing the
+  // same A tile (and the same (ic, pc) block of it) skip the re-pack.
+  // The key survives the jc loop on purpose — an A block is independent
+  // of jc, so the first item of a new jc slab reuses the pack too.
+  struct PackedAKey {
+    const double* a = nullptr;
+    Index lda = -1, ic = -1, pc = -1, mc = -1;
+  } packed;
+
   // The shared B panel is packed once per (jc, pc) for the whole group —
   // this is the point of batching: every item reuses it from cache.
-  for (Index jc = 0; jc < n; jc += kPackNC) {
-    const Index nc = std::min(kPackNC, n - jc);
+  for (Index jc = 0; jc < n; jc += g.nc) {
+    const Index nc = std::min(g.nc, n - jc);
     for (Index pc = 0; pc < k; pc += kPackKC) {
       const Index kc = std::min(kPackKC, k - pc);
-      pack_b(kc, nc, b.data() + pc + jc * b.ld(), b.ld(), bp);
+      pack_b(kc, nc, b.data() + pc + jc * b.ld(), b.ld(), bp, g.nr);
       for (const GemmBatchItem& item : items) {
         const Index m = item.a->rows();
         const double* adata = item.a->data();
         const Index lda = item.a->ld();
         double* cdata = item.c->data();
         const Index ldc = item.c->ld();
-        for (Index ic = 0; ic < m; ic += kPackMC) {
-          const Index mc = std::min(kPackMC, m - ic);
-          pack_a(mc, kc, adata + ic + pc * lda, lda, ap);
-          macro_kernel(kern, mc, nc, kc, alpha, ap, bp,
-                       cdata + ic + jc * ldc, ldc);
+        for (Index ic = 0; ic < m; ic += g.mc) {
+          const Index mc = std::min(g.mc, m - ic);
+          if (packed.a != adata || packed.lda != lda || packed.ic != ic ||
+              packed.pc != pc || packed.mc != mc) {
+            pack_a(mc, kc, adata + ic + pc * lda, lda, ap, g.mr);
+            packed = {adata, lda, ic, pc, mc};
+            ++t_batch_a_packs;
+          }
+          macro_kernel(mk, mc, nc, kc, alpha, ap, bp, cdata + ic + jc * ldc,
+                       ldc);
         }
       }
     }
   }
 }
 
-const char* gemm_kernel_name() {
-  return active_kernel_isa() == KernelIsa::kAvx2 ? "avx2-8x4" : "scalar-8x4";
+void gemm_batch(double alpha, std::span<const GemmBatchItem> items,
+                const Tile& b, double beta) {
+  gemm_batch_with(select_batch_microkernel(items, b), alpha, items, b, beta);
 }
+
+std::uint64_t gemm_batch_a_pack_count() { return t_batch_a_packs; }
+
+const char* gemm_kernel_name() { return default_microkernel().name.c_str(); }
 
 }  // namespace bstc

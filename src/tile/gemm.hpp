@@ -11,17 +11,25 @@
 ///  * gemm_blocked — cache-blocked with an in-place 4x4 micro-kernel (the
 ///                   pre-packing kernel, kept as a benchmark baseline);
 ///  * gemm         — BLIS-style packed kernel: operands are copied into
-///                   aligned MR-row / NR-column panels (pack.hpp) and an
-///                   8x4 micro-kernel selected by runtime CPU dispatch
-///                   (AVX2/FMA when available, portable scalar otherwise)
-///                   runs fringe-free over them.
+///                   aligned MR-row / NR-column panels (pack.hpp) and a
+///                   micro-kernel from the zoo (microkernel.hpp) runs
+///                   fringe-free over them. The kernel is chosen per
+///                   (m, k, n) shape bucket by the autotuner
+///                   (autotune.hpp) among the active ISA's geometries —
+///                   a pure performance decision, since same-ISA kernels
+///                   are bitwise-identical.
 ///
 /// gemm_batch() executes a group of tile GEMMs that all read the same B
 /// tile — the executor's unit of work — packing each B panel once for the
-/// whole group instead of once per GEMM.
+/// whole group instead of once per GEMM, and skipping the A-block re-pack
+/// when consecutive items reference the same A tile.
+///
+/// The *_with variants run a caller-chosen zoo kernel (engines select
+/// once per batch; benches and tests pin geometries explicitly).
 
 #include <span>
 
+#include "tile/microkernel.hpp"
 #include "tile/tile.hpp"
 
 namespace bstc {
@@ -38,10 +46,15 @@ void gemm_blocked(double alpha, const Tile& a, const Tile& b, double beta,
 /// C <- alpha*A*B + beta*C over raw column-major views: A is m x k with
 /// leading dimension lda >= m, B k x n with ldb >= k, C m x n with
 /// ldc >= m — leading dimensions may exceed the view extents (submatrix
-/// views). Packed path with micro-kernel dispatch.
+/// views). Packed path with autotuned micro-kernel selection.
 void gemm_view(Index m, Index n, Index k, double alpha, const double* a,
                Index lda, const double* b, Index ldb, double beta, double* c,
                Index ldc);
+
+/// gemm_view with an explicit zoo kernel (no autotuner consultation).
+void gemm_view_with(const MicroKernel& mk, Index m, Index n, Index k,
+                    double alpha, const double* a, Index lda, const double* b,
+                    Index ldb, double beta, double* c, Index ldc);
 
 /// C <- alpha*A*B + beta*C, packed kernel. Dimensions: A is MxK, B is KxN,
 /// C is MxN.
@@ -56,11 +69,28 @@ struct GemmBatchItem {
 /// Execute every item against the same B tile, packing each B panel once
 /// for the whole group. beta is applied exactly once per *distinct* C
 /// tile, so items may alias their outputs (the aliased tile then receives
-/// beta*C plus every aliased item's product, in item order).
+/// beta*C plus every aliased item's product, in item order). The kernel
+/// is selected once for the whole batch (see select_batch_microkernel).
 void gemm_batch(double alpha, std::span<const GemmBatchItem> items,
                 const Tile& b, double beta);
 
-/// Name of the dispatched micro-kernel ("avx2-8x4" / "scalar-8x4").
+/// gemm_batch with an explicit zoo kernel (no autotuner consultation).
+void gemm_batch_with(const MicroKernel& mk, double alpha,
+                     std::span<const GemmBatchItem> items, const Tile& b,
+                     double beta);
+
+/// The autotuner's choice for a shared-B batch: one kernel for the whole
+/// group (the B panel is packed once, so the geometry must be uniform),
+/// bucketed on the items' mean A-row extent and B's (k, n).
+const MicroKernel& select_batch_microkernel(
+    std::span<const GemmBatchItem> items, const Tile& b);
+
+/// A-block packs performed by gemm_batch on this thread so far — test
+/// observability for the consecutive-same-A re-pack skip.
+std::uint64_t gemm_batch_a_pack_count();
+
+/// Name of the default dispatched micro-kernel ("avx512-8x4", ...),
+/// derived from the zoo entry that actually runs — never hand-written.
 const char* gemm_kernel_name();
 
 /// Flops of one tile GEMM (2*m*n*k).

@@ -1,15 +1,28 @@
 #pragma once
 
 /// \file microkernel.hpp
-/// Register micro-kernels over packed panels (see pack.hpp for the panel
-/// format) and their runtime dispatch.
+/// The micro-kernel zoo: register micro-kernels over packed panels (see
+/// pack.hpp for the panel format) in several geometries per ISA, plus the
+/// registry the autotuner selects from.
 ///
 /// Contract: C(0:mr, 0:nr) += alpha * Apanel * Bpanel, where Apanel is one
 /// packed MR-row panel (kc iterations of MR contiguous doubles, fringe
-/// rows zero-padded) and Bpanel one packed NR-column panel. mr <= kPackMR
-/// and nr <= kPackNR select how much of the register tile is actually
-/// stored to C — the multiply itself always runs the full MR x NR tile,
-/// which is safe because the packed fringes are zeros.
+/// rows zero-padded) and Bpanel one packed NR-column panel — MR/NR being
+/// the kernel's own geometry. mr <= MR and nr <= NR select how much of
+/// the register tile is actually stored to C; the multiply itself always
+/// runs the full MR x NR tile, which is safe because packed fringes are
+/// zeros.
+///
+/// Bitwise discipline: within one ISA, every geometry accumulates each C
+/// element as the same k-ascending chain (one fused multiply-add per k
+/// step for the vector ISAs, one mul+add for scalar) and commits it with
+/// one alpha-scaled FMA (vector) or mul+add (scalar) per KC block — so
+/// kernels of the same ISA produce bitwise-identical C for any geometry,
+/// and AVX2/AVX-512 are bitwise-identical to each other. The autotuner
+/// may therefore switch geometries freely without perturbing results.
+
+#include <span>
+#include <string>
 
 #include "tile/cpu_features.hpp"
 #include "tile/pack.hpp"
@@ -20,14 +33,51 @@ using MicroKernelFn = void (*)(Index kc, double alpha, const double* apanel,
                                const double* bpanel, double* c, Index ldc,
                                Index mr, Index nr);
 
-/// Portable C++ MR x NR micro-kernel (any host).
-MicroKernelFn scalar_microkernel();
+/// One zoo member: a micro-kernel function plus the geometry its panels
+/// must be packed with and the ISA it requires.
+struct MicroKernel {
+  std::string name;  ///< "<isa>-<MR>x<NR>", derived from the fields below
+  KernelIsa isa = KernelIsa::kScalar;
+  KernelGeometry geom;
+  MicroKernelFn fn = nullptr;
+};
 
-/// AVX2/FMA MR x NR micro-kernel; nullptr on non-x86-64 builds. Callers
-/// must check active_kernel_isa() before invoking it.
-MicroKernelFn avx2_microkernel();
+/// Every micro-kernel compiled into this binary, in a stable order
+/// (scalar, avx2, avx512; default 8x4 geometry first within each ISA).
+/// On non-x86 builds the vector entries are absent.
+std::span<const MicroKernel> microkernel_zoo();
 
-/// The micro-kernel for active_kernel_isa() (resolved once per process).
+/// The zoo members whose ISA is exactly `isa` — the autotuner's candidate
+/// set. Selection never mixes ISAs within a process: one ISA keeps every
+/// possible selection bitwise-identical (see the bitwise discipline note).
+std::span<const MicroKernel> microkernels_for_isa(KernelIsa isa);
+
+/// The default-geometry (8x4) kernel of the active ISA — what runs when
+/// the autotuner is disabled, and the baseline every candidate must beat.
+const MicroKernel& default_microkernel();
+
+/// Look up a zoo member by name ("avx2-8x6", ...); nullptr if absent.
+const MicroKernel* find_microkernel(const std::string& name);
+
+/// Geometry-variant factories per ISA (nullptr fn entries never appear in
+/// the zoo). Exposed for tests; production code goes through the zoo.
+MicroKernelFn scalar_microkernel();  ///< the 8x4 scalar kernel
+MicroKernelFn avx2_microkernel();    ///< the 8x4 AVX2 kernel (or nullptr)
+
+namespace detail {
+/// All variants one translation unit contributes: (geometry, fn) pairs in
+/// the canonical geometry order 8x4, 8x6, 12x4, 4x12.
+struct KernelVariant {
+  KernelGeometry geom;
+  MicroKernelFn fn = nullptr;
+};
+std::span<const KernelVariant> scalar_kernel_variants();
+std::span<const KernelVariant> avx2_kernel_variants();    ///< empty off-x86
+std::span<const KernelVariant> avx512_kernel_variants();  ///< empty off-x86
+}  // namespace detail
+
+/// The micro-kernel for active_kernel_isa() in the default geometry
+/// (resolved once per process). Kept for callers that predate the zoo.
 MicroKernelFn active_microkernel();
 
 }  // namespace bstc

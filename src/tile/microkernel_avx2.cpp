@@ -7,81 +7,95 @@
 namespace bstc {
 namespace {
 
-/// 8x4 AVX2/FMA kernel: 8 ymm accumulators (two 4-double vectors per C
-/// column), one B broadcast and two FMAs per column per k step. Built with
-/// a function-level target attribute so the translation unit still
-/// compiles for the baseline architecture; only dispatch may call it.
+/// Generic AVX2/FMA kernel over MRV ymm row-vectors (MR = 4*MRV rows) and
+/// NR columns: one B broadcast and MRV FMAs per column per k step. The
+/// fixed-trip loops over the register arrays fully unroll at -O3, so each
+/// instantiation is a flat register kernel. Built with a function-level
+/// target attribute so the translation unit still compiles for the
+/// baseline architecture; only dispatch may call it.
+///
+/// Stores: the full-tile path commits with one vector FMA per element
+/// (c = fma(alpha, acc, c)); the fringe path spills the register tile and
+/// commits with a scalar __builtin_fma — the same single rounding — so an
+/// element's result never depends on whether its geometry put it in a
+/// full or a fringe tile. That, plus the shared KC blocking, is what
+/// makes every AVX2/AVX-512 geometry bitwise-identical.
+template <int MRV, int NR>
 __attribute__((target("avx2,fma"))) void avx2_kernel(
     Index kc, double alpha, const double* apanel, const double* bpanel,
     double* c, Index ldc, Index mr, Index nr) {
-  __m256d c0l = _mm256_setzero_pd(), c0h = _mm256_setzero_pd();
-  __m256d c1l = _mm256_setzero_pd(), c1h = _mm256_setzero_pd();
-  __m256d c2l = _mm256_setzero_pd(), c2h = _mm256_setzero_pd();
-  __m256d c3l = _mm256_setzero_pd(), c3h = _mm256_setzero_pd();
+  constexpr Index MR = 4 * MRV;
+  __m256d acc[NR][MRV];
+  for (int j = 0; j < NR; ++j) {
+    for (int v = 0; v < MRV; ++v) acc[j][v] = _mm256_setzero_pd();
+  }
   for (Index k = 0; k < kc; ++k) {
-    const __m256d al = _mm256_loadu_pd(apanel);
-    const __m256d ah = _mm256_loadu_pd(apanel + 4);
-    apanel += kPackMR;
-    const __m256d b0 = _mm256_broadcast_sd(bpanel + 0);
-    c0l = _mm256_fmadd_pd(al, b0, c0l);
-    c0h = _mm256_fmadd_pd(ah, b0, c0h);
-    const __m256d b1 = _mm256_broadcast_sd(bpanel + 1);
-    c1l = _mm256_fmadd_pd(al, b1, c1l);
-    c1h = _mm256_fmadd_pd(ah, b1, c1h);
-    const __m256d b2 = _mm256_broadcast_sd(bpanel + 2);
-    c2l = _mm256_fmadd_pd(al, b2, c2l);
-    c2h = _mm256_fmadd_pd(ah, b2, c2h);
-    const __m256d b3 = _mm256_broadcast_sd(bpanel + 3);
-    c3l = _mm256_fmadd_pd(al, b3, c3l);
-    c3h = _mm256_fmadd_pd(ah, b3, c3h);
-    bpanel += kPackNR;
+    __m256d a[MRV];
+    for (int v = 0; v < MRV; ++v) {
+      a[v] = _mm256_loadu_pd(apanel + 4 * v);
+    }
+    apanel += MR;
+    for (int j = 0; j < NR; ++j) {
+      const __m256d bj = _mm256_broadcast_sd(bpanel + j);
+      for (int v = 0; v < MRV; ++v) {
+        acc[j][v] = _mm256_fmadd_pd(a[v], bj, acc[j][v]);
+      }
+    }
+    bpanel += NR;
   }
 
   const __m256d va = _mm256_set1_pd(alpha);
-  if (mr == kPackMR && nr == kPackNR) {
-    double* c0 = c;
-    double* c1 = c + ldc;
-    double* c2 = c + 2 * ldc;
-    double* c3 = c + 3 * ldc;
-    _mm256_storeu_pd(c0, _mm256_fmadd_pd(va, c0l, _mm256_loadu_pd(c0)));
-    _mm256_storeu_pd(c0 + 4, _mm256_fmadd_pd(va, c0h, _mm256_loadu_pd(c0 + 4)));
-    _mm256_storeu_pd(c1, _mm256_fmadd_pd(va, c1l, _mm256_loadu_pd(c1)));
-    _mm256_storeu_pd(c1 + 4, _mm256_fmadd_pd(va, c1h, _mm256_loadu_pd(c1 + 4)));
-    _mm256_storeu_pd(c2, _mm256_fmadd_pd(va, c2l, _mm256_loadu_pd(c2)));
-    _mm256_storeu_pd(c2 + 4, _mm256_fmadd_pd(va, c2h, _mm256_loadu_pd(c2 + 4)));
-    _mm256_storeu_pd(c3, _mm256_fmadd_pd(va, c3l, _mm256_loadu_pd(c3)));
-    _mm256_storeu_pd(c3 + 4, _mm256_fmadd_pd(va, c3h, _mm256_loadu_pd(c3 + 4)));
+  if (mr == MR && nr == NR) {
+    for (int j = 0; j < NR; ++j) {
+      double* cj = c + j * ldc;
+      for (int v = 0; v < MRV; ++v) {
+        _mm256_storeu_pd(
+            cj + 4 * v,
+            _mm256_fmadd_pd(va, acc[j][v], _mm256_loadu_pd(cj + 4 * v)));
+      }
+    }
     return;
   }
 
-  // Fringe store: spill the register tile and write the live part.
-  alignas(32) double tmp[kPackNR * kPackMR];
-  _mm256_store_pd(tmp + 0, c0l);
-  _mm256_store_pd(tmp + 4, c0h);
-  _mm256_store_pd(tmp + 8, c1l);
-  _mm256_store_pd(tmp + 12, c1h);
-  _mm256_store_pd(tmp + 16, c2l);
-  _mm256_store_pd(tmp + 20, c2h);
-  _mm256_store_pd(tmp + 24, c3l);
-  _mm256_store_pd(tmp + 28, c3h);
+  // Fringe store: spill the register tile and FMA-commit the live part.
+  alignas(32) double tmp[NR * MR];
+  for (int j = 0; j < NR; ++j) {
+    for (int v = 0; v < MRV; ++v) {
+      _mm256_store_pd(tmp + j * MR + 4 * v, acc[j][v]);
+    }
+  }
   for (Index j = 0; j < nr; ++j) {
     double* cj = c + j * ldc;
-    const double* tj = tmp + j * kPackMR;
+    const double* tj = tmp + j * MR;
     for (Index i = 0; i < mr; ++i) {
-      cj[i] += alpha * tj[i];
+      cj[i] = __builtin_fma(alpha, tj[i], cj[i]);
     }
   }
 }
 
+const detail::KernelVariant kAvx2Variants[] = {
+    {{8, 4, 128, 512}, &avx2_kernel<2, 4>},
+    {{8, 6, 128, 510}, &avx2_kernel<2, 6>},
+    {{12, 4, 120, 512}, &avx2_kernel<3, 4>},
+    {{4, 12, 128, 504}, &avx2_kernel<1, 12>},
+};
+
 }  // namespace
 
-MicroKernelFn avx2_microkernel() { return &avx2_kernel; }
+namespace detail {
+std::span<const KernelVariant> avx2_kernel_variants() { return kAvx2Variants; }
+}  // namespace detail
+
+MicroKernelFn avx2_microkernel() { return &avx2_kernel<2, 4>; }
 
 }  // namespace bstc
 
-#else  // non-x86 build: no AVX2 kernel; dispatch never selects it.
+#else  // non-x86 build: no AVX2 kernels; dispatch never selects them.
 
 namespace bstc {
+namespace detail {
+std::span<const KernelVariant> avx2_kernel_variants() { return {}; }
+}  // namespace detail
 MicroKernelFn avx2_microkernel() { return nullptr; }
 }  // namespace bstc
 

@@ -3,20 +3,23 @@
 namespace bstc {
 namespace {
 
-/// Portable 8x4 kernel: the accumulator block is updated with MR
+/// Portable MR x NR kernel: the accumulator block is updated with MR
 /// independent chains per column, which baseline autovectorization (SSE2)
 /// can still pick up. Fringes are handled at store time only — the packed
 /// panels are zero-padded, so the full-tile multiply is always valid.
+/// Every scalar geometry performs the identical per-element mul+add chain
+/// in k order, so scalar kernels are bitwise-identical to each other.
+template <Index MR, Index NR>
 void scalar_kernel(Index kc, double alpha, const double* apanel,
                    const double* bpanel, double* c, Index ldc, Index mr,
                    Index nr) {
-  double acc[kPackNR][kPackMR] = {};
+  double acc[NR][MR] = {};
   for (Index k = 0; k < kc; ++k) {
-    const double* a = apanel + k * kPackMR;
-    const double* b = bpanel + k * kPackNR;
-    for (Index j = 0; j < kPackNR; ++j) {
+    const double* a = apanel + k * MR;
+    const double* b = bpanel + k * NR;
+    for (Index j = 0; j < NR; ++j) {
       const double bj = b[j];
-      for (Index i = 0; i < kPackMR; ++i) {
+      for (Index i = 0; i < MR; ++i) {
         acc[j][i] += a[i] * bj;
       }
     }
@@ -29,15 +32,23 @@ void scalar_kernel(Index kc, double alpha, const double* apanel,
   }
 }
 
+const detail::KernelVariant kScalarVariants[] = {
+    {{8, 4, 128, 512}, &scalar_kernel<8, 4>},
+    {{8, 6, 128, 510}, &scalar_kernel<8, 6>},
+    {{12, 4, 120, 512}, &scalar_kernel<12, 4>},
+    {{4, 12, 128, 504}, &scalar_kernel<4, 12>},
+};
+
 }  // namespace
 
-MicroKernelFn scalar_microkernel() { return &scalar_kernel; }
-
-MicroKernelFn active_microkernel() {
-  static const MicroKernelFn fn = active_kernel_isa() == KernelIsa::kAvx2
-                                      ? avx2_microkernel()
-                                      : scalar_microkernel();
-  return fn;
+namespace detail {
+std::span<const KernelVariant> scalar_kernel_variants() {
+  return kScalarVariants;
 }
+}  // namespace detail
+
+MicroKernelFn scalar_microkernel() { return &scalar_kernel<8, 4>; }
+
+MicroKernelFn active_microkernel() { return default_microkernel().fn; }
 
 }  // namespace bstc

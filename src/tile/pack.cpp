@@ -29,41 +29,43 @@ PackArena& pack_arena() {
   return arena;
 }
 
-void pack_a(Index mc, Index kc, const double* a, Index lda, double* dst) {
-  for (Index ir = 0; ir < mc; ir += kPackMR) {
-    const Index mr = std::min(kPackMR, mc - ir);
+void pack_a(Index mc, Index kc, const double* a, Index lda, double* dst,
+            Index mr_tile) {
+  for (Index ir = 0; ir < mc; ir += mr_tile) {
+    const Index mr = std::min(mr_tile, mc - ir);
     const double* src = a + ir;
-    if (mr == kPackMR) {
+    if (mr == mr_tile) {
       for (Index k = 0; k < kc; ++k) {
         const double* col = src + k * lda;
-        for (Index r = 0; r < kPackMR; ++r) dst[r] = col[r];
-        dst += kPackMR;
+        for (Index r = 0; r < mr_tile; ++r) dst[r] = col[r];
+        dst += mr_tile;
       }
     } else {
       for (Index k = 0; k < kc; ++k) {
         const double* col = src + k * lda;
         for (Index r = 0; r < mr; ++r) dst[r] = col[r];
-        for (Index r = mr; r < kPackMR; ++r) dst[r] = 0.0;
-        dst += kPackMR;
+        for (Index r = mr; r < mr_tile; ++r) dst[r] = 0.0;
+        dst += mr_tile;
       }
     }
   }
 }
 
-void pack_b(Index kc, Index nc, const double* b, Index ldb, double* dst) {
-  for (Index jr = 0; jr < nc; jr += kPackNR) {
-    const Index nr = std::min(kPackNR, nc - jr);
+void pack_b(Index kc, Index nc, const double* b, Index ldb, double* dst,
+            Index nr_tile) {
+  for (Index jr = 0; jr < nc; jr += nr_tile) {
+    const Index nr = std::min(nr_tile, nc - jr);
     const double* src = b + jr * ldb;
-    if (nr == kPackNR) {
+    if (nr == nr_tile) {
       for (Index k = 0; k < kc; ++k) {
-        for (Index c = 0; c < kPackNR; ++c) dst[c] = src[k + c * ldb];
-        dst += kPackNR;
+        for (Index c = 0; c < nr_tile; ++c) dst[c] = src[k + c * ldb];
+        dst += nr_tile;
       }
     } else {
       for (Index k = 0; k < kc; ++k) {
         for (Index c = 0; c < nr; ++c) dst[c] = src[k + c * ldb];
-        for (Index c = nr; c < kPackNR; ++c) dst[c] = 0.0;
-        dst += kPackNR;
+        for (Index c = nr; c < nr_tile; ++c) dst[c] = 0.0;
+        dst += nr_tile;
       }
     }
   }

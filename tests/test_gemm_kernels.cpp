@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "support/error.hpp"
@@ -204,16 +205,205 @@ TEST(GemmKernels, ArenaGrowsAndAligns) {
 }
 
 TEST(GemmKernels, DispatchReportsAKernel) {
-  // Whatever the host, dispatch must resolve to a callable kernel and a
-  // matching name.
+  // Whatever the host, dispatch must resolve to a callable kernel whose
+  // reported name is derived from the dispatched zoo entry itself — the
+  // active ISA plus the default 8x4 geometry, never a hand-written
+  // string.
   EXPECT_NE(active_microkernel(), nullptr);
   EXPECT_NE(scalar_microkernel(), nullptr);
   const KernelIsa isa = active_kernel_isa();
-  if (isa == KernelIsa::kAvx2) {
-    EXPECT_NE(avx2_microkernel(), nullptr);
-    EXPECT_STREQ(gemm_kernel_name(), "avx2-8x4");
-  } else {
-    EXPECT_STREQ(gemm_kernel_name(), "scalar-8x4");
+  if (isa >= KernelIsa::kAvx2) EXPECT_NE(avx2_microkernel(), nullptr);
+  const std::string expected =
+      std::string(kernel_isa_name(isa)) + "-8x4";
+  EXPECT_EQ(gemm_kernel_name(), expected);
+  EXPECT_EQ(default_microkernel().name, expected);
+  EXPECT_EQ(default_microkernel().isa, isa);
+  EXPECT_EQ(default_microkernel().geom.mr, 8);
+  EXPECT_EQ(default_microkernel().geom.nr, 4);
+}
+
+TEST(GemmKernels, ResolveRejectsUnknownKernelValues) {
+  // A typo in BSTC_KERNEL must never silently fall back to
+  // autodetection.
+  for (const char* bad : {"avx", "AVX2", "sse2", "avx2-9x4", "avx2-8x5",
+                          "avx2-", "-8x4", "fastest", "avx512-13x3"}) {
+    EXPECT_THROW(resolve_kernel_choice(bad, KernelIsa::kAvx512), Error)
+        << "accepted BSTC_KERNEL=" << bad;
+  }
+  // Unset and "auto" pick the host's best ISA without a downgrade flag.
+  for (const char* ok : {static_cast<const char*>(nullptr), "auto", ""}) {
+    const KernelChoice c = resolve_kernel_choice(ok, KernelIsa::kAvx2);
+    EXPECT_EQ(c.isa, KernelIsa::kAvx2);
+    EXPECT_FALSE(c.downgraded);
+    EXPECT_TRUE(c.pinned_geometry.empty());
+  }
+}
+
+TEST(GemmKernels, ResolveDowngradesExplicitRequestsAboveHost) {
+  // avx512 on an avx2 host: run the best the host has, but say so.
+  KernelChoice c = resolve_kernel_choice("avx512", KernelIsa::kAvx2);
+  EXPECT_EQ(c.isa, KernelIsa::kAvx2);
+  EXPECT_TRUE(c.downgraded);
+  EXPECT_EQ(c.requested, "avx512");
+
+  c = resolve_kernel_choice("avx2", KernelIsa::kScalar);
+  EXPECT_EQ(c.isa, KernelIsa::kScalar);
+  EXPECT_TRUE(c.downgraded);
+
+  // At-or-below-host requests are honored exactly, no downgrade.
+  c = resolve_kernel_choice("scalar", KernelIsa::kAvx512);
+  EXPECT_EQ(c.isa, KernelIsa::kScalar);
+  EXPECT_FALSE(c.downgraded);
+
+  // A full kernel name pins the geometry and follows the same ISA rules.
+  c = resolve_kernel_choice("avx512-8x6", KernelIsa::kAvx512);
+  EXPECT_EQ(c.isa, KernelIsa::kAvx512);
+  EXPECT_FALSE(c.downgraded);
+  EXPECT_EQ(c.pinned_geometry, "8x6");
+
+  c = resolve_kernel_choice("avx512-12x4", KernelIsa::kAvx2);
+  EXPECT_EQ(c.isa, KernelIsa::kAvx2);
+  EXPECT_TRUE(c.downgraded);
+  EXPECT_EQ(c.pinned_geometry, "12x4");
+}
+
+TEST(GemmKernels, ZooEntriesAreConsistent) {
+  ASSERT_FALSE(microkernel_zoo().empty());
+  for (const MicroKernel& mk : microkernel_zoo()) {
+    EXPECT_NE(mk.fn, nullptr);
+    // Names are derived from the entry's own fields.
+    const std::string expected = std::string(kernel_isa_name(mk.isa)) + "-" +
+                                 std::to_string(mk.geom.mr) + "x" +
+                                 std::to_string(mk.geom.nr);
+    EXPECT_EQ(mk.name, expected);
+    // Cache blocks tile evenly by the register tile, and every geometry
+    // fits the packing bound and shares the KC blocking.
+    EXPECT_EQ(mk.geom.mc % mk.geom.mr, 0) << mk.name;
+    EXPECT_EQ(mk.geom.nc % mk.geom.nr, 0) << mk.name;
+    EXPECT_LE(mk.geom.mr, kMaxPackMR) << mk.name;
+    EXPECT_LE(mk.geom.nr, kMaxPackNR) << mk.name;
+    EXPECT_EQ(find_microkernel(mk.name), &mk);
+  }
+  for (const MicroKernel& mk : microkernels_for_isa(active_kernel_isa())) {
+    EXPECT_EQ(mk.isa, active_kernel_isa());
+  }
+  EXPECT_EQ(find_microkernel("avx2-9x9"), nullptr);
+}
+
+TEST(GemmKernels, EveryZooKernelMatchesNaiveOnFringeLattice) {
+  // The whole zoo — every ISA this host can run, every geometry — against
+  // the naive reference over shapes straddling each geometry's register
+  // tile and the cache-block edges.
+  Rng rng(404);
+  const std::vector<Index> extents = {1, 3, 5, 8, 11, 13, 24, 129};
+  for (const MicroKernel& mk : microkernel_zoo()) {
+    if (mk.isa > host_best_isa()) continue;  // not executable here
+    int trial = 0;
+    for (const Index m : extents) {
+      for (const Index n : extents) {
+        const Index k = extents[static_cast<std::size_t>(trial++) %
+                                extents.size()];
+        const Tile a = random_tile(m, k, rng);
+        const Tile b = random_tile(k, n, rng);
+        Tile c0 = random_tile(m, n, rng);
+        Tile c1 = c0;
+        gemm_naive(0.75, a, b, 0.5, c0);
+        gemm_view_with(mk, m, n, k, 0.75, a.data(), a.ld(), b.data(),
+                       b.ld(), 0.5, c1.data(), c1.ld());
+        EXPECT_LT(c0.max_abs_diff(c1), 1e-12 * static_cast<double>(k + 1))
+            << mk.name << " m=" << m << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(GemmKernels, SameIsaGeometriesAreBitwiseIdentical) {
+  // The autotuner's license to switch geometries freely: within one ISA
+  // every geometry accumulates each C element in the same k order with
+  // the same per-KC-block commit, so results are bitwise-identical. The
+  // vector ISAs (AVX2 and AVX-512 both run FMA chains) are additionally
+  // bitwise-identical to each other.
+  Rng rng(808);
+  const Index shapes[][3] = {{37, 300, 25}, {8, 8, 8}, {130, 29, 61},
+                             {5, 513, 12}};
+  for (const auto& s : shapes) {
+    const Index m = s[0], k = s[1], n = s[2];
+    const Tile a = random_tile(m, k, rng);
+    const Tile b = random_tile(k, n, rng);
+    const Tile c_init = random_tile(m, n, rng);
+    const KernelIsa host = host_best_isa();
+    // Group references: one C per "rounding family" (scalar mul+add vs
+    // vector FMA).
+    Tile c_scalar_ref, c_vector_ref;
+    for (const MicroKernel& mk : microkernel_zoo()) {
+      if (mk.isa > host) continue;
+      Tile c = c_init;
+      gemm_view_with(mk, m, n, k, 1.0, a.data(), a.ld(), b.data(), b.ld(),
+                     0.5, c.data(), c.ld());
+      Tile& ref = mk.isa == KernelIsa::kScalar ? c_scalar_ref : c_vector_ref;
+      if (ref.size() == 0) {
+        ref = c;
+        continue;
+      }
+      for (Index j = 0; j < n; ++j) {
+        for (Index i = 0; i < m; ++i) {
+          EXPECT_EQ(c.at(i, j), ref.at(i, j))
+              << mk.name << " differs bitwise at (" << i << "," << j
+              << ") for m=" << m << " k=" << k << " n=" << n;
+        }
+      }
+    }
+    // Across the families, FMA contraction may differ in the last ulps.
+    if (c_scalar_ref.size() != 0 && c_vector_ref.size() != 0) {
+      EXPECT_LT(c_scalar_ref.max_abs_diff(c_vector_ref),
+                1e-12 * static_cast<double>(k + 1));
+    }
+  }
+}
+
+TEST(GemmKernels, BatchSkipsRedundantAPacksBitwiseEqual) {
+  // Consecutive items referencing the same A tile (the aliased-C
+  // accumulation pattern) must not re-pack A — and the skip must be
+  // invisible in the results.
+  Rng rng(31);
+  const Index m = 61, k = 300, n = 45;  // two mc blocks, two kc blocks
+  const Tile a = random_tile(m, k, rng);
+  const Tile a2 = random_tile(m, k, rng);
+  const Tile b = random_tile(k, n, rng);
+  const Tile c_init = random_tile(m, n, rng);
+
+  // Reference: the same batch computed one item at a time through the
+  // same kernel (per-call path packs A for every item unconditionally).
+  const MicroKernel& mk = default_microkernel();
+  Tile e1 = c_init, e2 = c_init, e3 = c_init;
+  gemm_view_with(mk, m, n, k, 1.0, a.data(), a.ld(), b.data(), b.ld(), 0.5,
+                 e1.data(), e1.ld());
+  gemm_view_with(mk, m, n, k, 1.0, a.data(), a.ld(), b.data(), b.ld(), 0.5,
+                 e2.data(), e2.ld());
+  gemm_view_with(mk, m, n, k, 1.0, a2.data(), a2.ld(), b.data(), b.ld(), 0.5,
+                 e3.data(), e3.ld());
+
+  Tile c1 = c_init, c2 = c_init, c3 = c_init;
+  const std::vector<GemmBatchItem> items = {{&a, &c1}, {&a, &c2}, {&a2, &c3}};
+  const std::uint64_t packs_before = gemm_batch_a_pack_count();
+  gemm_batch_with(mk, 1.0, items, b, 0.5);
+  const std::uint64_t packs = gemm_batch_a_pack_count() - packs_before;
+
+  // Block math: ceil(61/mc)=1 mc block, ceil(300/256)=2 kc blocks, and the
+  // A-pack cache survives the jc loop. Two distinct A tiles -> 2 tiles *
+  // 1 mc * 2 kc = 4 packs; the naive count (every item, every jc) would
+  // be 3 items * 2 kc * ceil(45/nc = 1) = 6.
+  const std::uint64_t mc_blocks = (m + mk.geom.mc - 1) / mk.geom.mc;
+  const std::uint64_t kc_blocks = (k + kPackKC - 1) / kPackKC;
+  EXPECT_EQ(packs, 2 * mc_blocks * kc_blocks);
+
+  // And the skip is bitwise-invisible: batch output == per-call output.
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < m; ++i) {
+      EXPECT_EQ(c1.at(i, j), e1.at(i, j)) << "(" << i << "," << j << ")";
+      EXPECT_EQ(c2.at(i, j), e2.at(i, j)) << "(" << i << "," << j << ")";
+      EXPECT_EQ(c3.at(i, j), e3.at(i, j)) << "(" << i << "," << j << ")";
+    }
   }
 }
 
