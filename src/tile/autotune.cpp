@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "support/error.hpp"
 #include "support/rng.hpp"
 #include "tile/cpu_features.hpp"
 #include "tile/gemm.hpp"
@@ -108,7 +109,12 @@ std::uint64_t Autotuner::bucket_key(Index m, Index k, Index n) {
   const auto bm = static_cast<std::uint64_t>(bucket_dim(m));
   const auto bk = static_cast<std::uint64_t>(bucket_dim(k));
   const auto bn = static_cast<std::uint64_t>(bucket_dim(n));
-  return (bm << 42) | ((bk & 0x1fffffull) << 21) | (bn & 0x1fffffull);
+  // Each dim gets 21 bits of the key; an extent past that must fail
+  // loudly rather than silently collide or round-trip through the cache
+  // as a different bucket.
+  BSTC_REQUIRE((bm | bk | bn) < (1ull << 21),
+               "tune: bucketed extent exceeds the 21-bit key field");
+  return (bm << 42) | (bk << 21) | bn;
 }
 
 const MicroKernel& Autotuner::select(Index m, Index k, Index n) {
@@ -121,29 +127,49 @@ const MicroKernel& Autotuner::select(Index m, Index k, Index n) {
   if (!enabled_) return default_microkernel();
 
   const std::uint64_t key = bucket_key(m, k, n);
-  const MicroKernel* chosen = nullptr;
-  bool benchmarked = false;
   {
-    std::lock_guard lock(mutex_);
+    std::unique_lock lock(mutex_);
     ++stats_.lookups;
-    auto it = table_.find(key);
-    if (it != table_.end()) {
-      ++stats_.hits;
-      chosen = it->second;
-    } else {
-      // First use of this bucket: benchmark under the lock so concurrent
-      // misses of the same bucket serialize instead of racing the timer.
-      chosen = benchmark_bucket(bucket_dim(m), bucket_dim(k), bucket_dim(n));
-      record_winner_locked(key, chosen);
-      benchmarked = true;
-    }
     if (mirror_registry_) {
-      obs::Registry& reg = obs::Registry::instance();
-      reg.counter_add("bstc_tune_lookups_total");
-      if (!benchmarked) reg.counter_add("bstc_tune_hits_total");
+      obs::Registry::instance().counter_add("bstc_tune_lookups_total");
+    }
+    // A cold bucket's benchmark runs multiple milliseconds — far too long
+    // to hold the table lock. The tuning thread marks the bucket in-flight
+    // and benchmarks unlocked; concurrent misses of the SAME bucket wait
+    // on the marker (so they never race the timer), while hits and misses
+    // of other buckets proceed (and tune concurrently) unimpeded.
+    for (;;) {
+      auto it = table_.find(key);
+      if (it != table_.end()) {
+        ++stats_.hits;
+        if (mirror_registry_) {
+          obs::Registry::instance().counter_add("bstc_tune_hits_total");
+        }
+        return *it->second;
+      }
+      if (tuning_.insert(key).second) break;  // we own this bucket's tune
+      tuning_done_.wait(lock);
     }
   }
-  if (benchmarked && !cache_path_.empty()) {
+  const MicroKernel* chosen = nullptr;
+  try {
+    chosen = benchmark_bucket(bucket_dim(m), bucket_dim(k), bucket_dim(n));
+  } catch (...) {
+    // Drop the in-flight marker so waiters retry instead of hanging.
+    {
+      std::lock_guard lock(mutex_);
+      tuning_.erase(key);
+    }
+    tuning_done_.notify_all();
+    throw;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    record_winner_locked(key, chosen);
+    tuning_.erase(key);
+  }
+  tuning_done_.notify_all();
+  if (!cache_path_.empty()) {
     shm::Status st = save_cache(cache_path_);
     if (!st) {
       std::fprintf(stderr, "bstc: tuning cache save failed: %s\n",
@@ -198,7 +224,12 @@ const MicroKernel* Autotuner::benchmark_bucket(Index m, Index k, Index n) {
       }
       elapsed = std::min(elapsed, (now_seconds() - t0) / iters);
     }
-    ++stats_.benchmarks;
+    {
+      // Called outside the table lock (see select()); take it just for
+      // the stats bump.
+      std::lock_guard lock(mutex_);
+      ++stats_.benchmarks;
+    }
     if (mirror_registry_) {
       obs::Registry::instance().counter_add("bstc_tune_benchmarks_total");
     }

@@ -32,11 +32,13 @@
 /// a per-kernel bstc_tune_active_buckets{kernel="..."} gauge in the obs
 /// registry; kTune spans mark benchmark pauses in traces.
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -87,8 +89,11 @@ std::uint64_t tune_fnv1a64(const void* data, std::size_t bytes,
                            std::uint64_t state = 0xcbf29ce484222325ull);
 
 /// The process-wide selection table. All methods are thread-safe; a
-/// bucket's first select() benchmarks under the table lock, so
-/// concurrent misses serialize (and every later lookup is one map find).
+/// bucket's first select() benchmarks OUTSIDE the table lock under a
+/// per-bucket in-flight marker, so concurrent misses of the same bucket
+/// wait for one benchmark while hits and other buckets proceed (and
+/// distinct cold buckets tune concurrently). Every later lookup is one
+/// map find.
 class Autotuner {
  public:
   /// The process instance (env-configured: BSTC_TUNE, BSTC_TUNE_CACHE,
@@ -142,6 +147,8 @@ class Autotuner {
 
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, const MicroKernel*> table_;
+  std::unordered_set<std::uint64_t> tuning_;  ///< buckets mid-benchmark
+  std::condition_variable tuning_done_;       ///< signaled per recorded winner
   TuneStats stats_;
   bool enabled_ = true;
   const MicroKernel* pinned_ = nullptr;  ///< BSTC_KERNEL geometry pin

@@ -73,13 +73,16 @@ __attribute__((target("avx2,fma,avx512f,avx512vl"))) void avx512_kernel(
   }
 
   // Fringe store: spill the register tile and FMA-commit the live part.
+  // The per-column stride MR need not be a vector multiple (12x4: odd
+  // columns start 96B in), so the spill must use unaligned stores — it
+  // is a cold path, the unaligned form costs nothing.
   alignas(64) double tmp[NR * MR];
   for (int j = 0; j < NR; ++j) {
     for (int v = 0; v < NZ; ++v) {
-      _mm512_store_pd(tmp + j * MR + 8 * v, accz[j][v]);
+      _mm512_storeu_pd(tmp + j * MR + 8 * v, accz[j][v]);
     }
     for (int v = 0; v < NY; ++v) {
-      _mm256_store_pd(tmp + j * MR + 8 * NZ + 4 * v, accy[j][v]);
+      _mm256_storeu_pd(tmp + j * MR + 8 * NZ + 4 * v, accy[j][v]);
     }
   }
   for (Index j = 0; j < nr; ++j) {

@@ -13,8 +13,10 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "support/error.hpp"
 #include "tile/autotune.hpp"
 #include "tile/cpu_features.hpp"
 #include "tile/microkernel.hpp"
@@ -65,6 +67,67 @@ TEST(Autotune, BucketLadderIsMonotonicAndCovers) {
             Autotuner::bucket_key(256, 64, 8));
   EXPECT_EQ(Autotuner::bucket_key(30, 60, 100),
             Autotuner::bucket_key(32, 64, 128));
+}
+
+TEST(Autotune, BucketKeyRejectsExtentsPastTheKeyField) {
+  // Each dim gets 21 bits of the packed key; an extent whose bucket
+  // exceeds that must fail loudly instead of silently colliding or
+  // round-tripping through the cache as a different bucket.
+  constexpr Index kTooBig = Index{1} << 22;
+  EXPECT_THROW(Autotuner::bucket_key(kTooBig, 8, 8), Error);
+  EXPECT_THROW(Autotuner::bucket_key(8, kTooBig, 8), Error);
+  EXPECT_THROW(Autotuner::bucket_key(8, 8, kTooBig), Error);
+  // The largest in-range bucket still packs.
+  constexpr Index kInRange = (Index{1} << 21) - 256;
+  EXPECT_NO_THROW(Autotuner::bucket_key(kInRange, kInRange, kInRange));
+}
+
+TEST(Autotune, ConcurrentSelectsBenchmarkEachBucketExactlyOnce) {
+  // Cold-bucket benchmarks run outside the table lock under a per-bucket
+  // in-flight marker: concurrent misses of the same bucket must wait for
+  // one benchmark (never race the timer or tune twice), while distinct
+  // buckets tune independently. Hammer a handful of buckets from many
+  // threads and check the accounting afterwards.
+  Autotuner tuner;
+  constexpr int kThreads = 8;
+  constexpr int kRepsPerThread = 4;
+  const Index shapes[][3] = {{8, 8, 8}, {24, 16, 12}, {64, 32, 48},
+                             {128, 8, 128}};
+  constexpr std::size_t kBuckets = std::size(shapes);
+
+  std::vector<const MicroKernel*> picks(kThreads * kBuckets, nullptr);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int rep = 0; rep < kRepsPerThread; ++rep) {
+          for (std::size_t s = 0; s < kBuckets; ++s) {
+            const MicroKernel& mk =
+                tuner.select(shapes[s][0], shapes[s][1], shapes[s][2]);
+            picks[t * kBuckets + s] = &mk;  // last rep's pick
+          }
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+
+  // Every thread agrees on each bucket's winner.
+  for (std::size_t s = 0; s < kBuckets; ++s) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(picks[t * kBuckets + s], picks[s]) << "bucket " << s;
+    }
+  }
+  // Each bucket was benchmarked exactly once (every candidate timed once
+  // per bucket), no matter how the threads interleaved.
+  const TuneStats s = tuner.stats();
+  EXPECT_EQ(s.benchmarks,
+            kBuckets * microkernels_for_isa(active_kernel_isa()).size());
+  EXPECT_EQ(tuner.table_size(), kBuckets);
+  EXPECT_EQ(s.lookups,
+            static_cast<std::uint64_t>(kThreads) * kRepsPerThread * kBuckets);
+  EXPECT_EQ(s.hits, s.lookups - kBuckets);
 }
 
 TEST(Autotune, SelectBenchmarksOncePerBucketThenHits) {
